@@ -1,0 +1,50 @@
+"""Shared infrastructure for the figure-regeneration benchmarks.
+
+Each benchmark module regenerates one table/figure from the paper,
+asserts its qualitative shape (who wins, by roughly what factor, where
+crossovers fall), saves the rendered table under ``benchmarks/results/``
+and reports wall time through pytest-benchmark.
+
+Fidelity knobs (environment variables):
+
+* ``REPRO_SAMPLES``  -- request matrices per matching-quality point
+  (paper: 10000; default here: 500).
+* ``REPRO_SIM_CYCLES`` -- measurement cycles per network-simulation
+  point (default 1200; the paper's simulator runs far longer).
+* ``REPRO_FULL=1``   -- paper fidelity for both knobs.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.eval.cost import CostCache
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+FULL = os.environ.get("REPRO_FULL", "") == "1"
+NUM_SAMPLES = int(os.environ.get("REPRO_SAMPLES", "10000" if FULL else "500"))
+SIM_MEASURE_CYCLES = int(
+    os.environ.get("REPRO_SIM_CYCLES", "10000" if FULL else "1200")
+)
+SIM_WARMUP_CYCLES = max(300, SIM_MEASURE_CYCLES // 3)
+SIM_DRAIN_CYCLES = SIM_MEASURE_CYCLES
+
+
+def save_result(name: str, text: str) -> None:
+    """Persist a rendered figure table and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def cost_cache():
+    """Repo-local synthesis cache shared by the cost benchmarks."""
+    return CostCache(str(Path(__file__).parent / ".cost_cache.json"))
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,116 @@
+"""Figures 5 & 6: VC allocator area vs delay and power vs delay.
+
+For each of the six design points, synthesizes every allocator variant
+(sep_if/m, sep_if/rr, sep_of/m, sep_of/rr, wf/rr) dense and sparse, and
+checks the qualitative results of Section 4.3.1:
+
+* sparse VC allocation reduces delay, area and power across the board;
+* the wavefront allocator's cost grows fastest with the VC count;
+* matrix arbiters cost area/power over round-robin for a small delay
+  gain;
+* the infeasible points (synthesis capacity) match the paper's missing
+  data points.
+"""
+
+import pytest
+
+from conftest import run_once, save_result, cost_cache  # noqa: F401
+from repro.eval.cost import sparse_savings, vc_allocator_costs
+from repro.eval.design_points import ALL_POINTS, FBFLY_POINTS, MESH_POINTS
+from repro.eval.tables import format_cost_results
+
+
+@pytest.mark.parametrize("point", ALL_POINTS, ids=lambda p: p.label)
+def test_fig05_06_vc_allocator_cost(benchmark, cost_cache, point):
+    results = run_once(
+        benchmark, lambda: vc_allocator_costs(point, cache=cost_cache)
+    )
+    tag = point.label.replace(" ", "_").replace("(", "").replace(")", "")
+    save_result(
+        f"fig05_06_vc_cost_{tag}",
+        format_cost_results(results, title=f"Figures 5/6 panel: {point.label}"),
+    )
+
+    ok = {(r.curve, r.variant): r for r in results if not r.failed}
+    failed = {(r.curve, r.variant) for r in results if r.failed}
+
+    # Sparse never worse than dense on any metric where both exist.
+    for curve, s in sparse_savings(results).items():
+        assert s["delay"] > 0, curve
+        assert s["area"] > 0, curve
+        assert s["power"] > 0, curve
+
+    if point.topology == "mesh":
+        # All sparse variants are feasible on the mesh.
+        for curve in ("sep_if/rr", "sep_of/rr", "sep_if/m", "sep_of/m", "wf/rr"):
+            assert (curve, "sparse") in ok, curve
+    else:
+        # Paper: wavefront fails for the two larger fbfly configs even
+        # with sparse allocation; rr-separable succeeds everywhere.
+        if point.vcs_per_class >= 2:
+            assert ("wf/rr", "sparse") in failed
+        else:
+            assert ("wf/rr", "sparse") in ok
+        assert ("sep_if/rr", "sparse") in ok
+        assert ("sep_of/rr", "sparse") in ok
+        if point.vcs_per_class == 4:
+            # Only the round-robin separable variants synthesize.
+            assert ("sep_if/m", "sparse") in failed
+            assert ("sep_of/m", "sparse") in failed
+
+    # Matrix arbiters: lower (or equal) delay, higher power than rr.
+    for arch in ("sep_if", "sep_of"):
+        m = ok.get((f"{arch}/m", "sparse"))
+        rr = ok.get((f"{arch}/rr", "sparse"))
+        if m and rr:
+            assert m.delay_ns <= rr.delay_ns * 1.05
+            assert m.power_mw > rr.power_mw
+
+
+def test_fig05_wavefront_cost_grows_fastest(benchmark, cost_cache):
+    """The wf area ratio between C=2 and C=1 mesh points exceeds the
+    separable ratio (Section 4.3.1 scaling observation)."""
+
+    def collect():
+        out = {}
+        for point in MESH_POINTS[:2]:
+            for r in vc_allocator_costs(
+                point,
+                variants=[("sep_if", "rr"), ("wf", "rr")],
+                cache=cost_cache,
+            ):
+                if not r.failed and r.variant == "sparse":
+                    out[(point.vcs_per_class, r.arch)] = r.area_um2
+        return out
+
+    areas = run_once(benchmark, collect)
+    wf_ratio = areas[(2, "wf")] / areas[(1, "wf")]
+    sep_ratio = areas[(2, "sep_if")] / areas[(1, "sep_if")]
+    assert wf_ratio > sep_ratio
+
+
+def test_fig05_wavefront_best_tradeoff_at_single_vc(benchmark, cost_cache):
+    """Paper: for C=1, sparse wf is among the best area-delay tradeoffs;
+    as C grows, wf delay exceeds the separable implementations'."""
+
+    def collect():
+        one = {
+            r.curve: r
+            for r in vc_allocator_costs(MESH_POINTS[0], cache=cost_cache)
+            if not r.failed and r.variant == "sparse"
+        }
+        four = {
+            r.curve: r
+            for r in vc_allocator_costs(MESH_POINTS[2], cache=cost_cache)
+            if not r.failed and r.variant == "sparse"
+        }
+        return one, four
+
+    one, four = run_once(benchmark, collect)
+    # At C=1 the wavefront is delay-competitive with the rr separable
+    # variants (within 25%)...
+    assert one["wf/rr"].delay_ns <= 1.25 * min(
+        one["sep_if/rr"].delay_ns, one["sep_of/rr"].delay_ns
+    )
+    # ... and at C=4 it is clearly slower than separable input-first.
+    assert four["wf/rr"].delay_ns > 1.5 * four["sep_if/rr"].delay_ns

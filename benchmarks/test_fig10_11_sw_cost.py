@@ -1,0 +1,85 @@
+"""Figures 10 & 11: switch allocator area/power vs delay.
+
+Each variant curve carries three points: non-speculative, pessimistic
+speculative, conventional speculative.  Asserts the Section 5.3.1
+findings: sep_if offers the lowest delay and usually pareto-dominates;
+wf is the most expensive; pessimistic speculation cuts delay vs the
+conventional scheme (up to ~23%) and approaches the non-speculative
+delay; speculation roughly doubles allocator area.
+"""
+
+import pytest
+
+from conftest import run_once, save_result, cost_cache  # noqa: F401
+from repro.eval.cost import speculation_delay_savings, switch_allocator_costs
+from repro.eval.design_points import ALL_POINTS
+from repro.eval.tables import format_cost_results
+
+
+@pytest.mark.parametrize("point", ALL_POINTS, ids=lambda p: p.label)
+def test_fig10_11_switch_allocator_cost(benchmark, cost_cache, point):
+    results = run_once(
+        benchmark, lambda: switch_allocator_costs(point, cache=cost_cache)
+    )
+    tag = point.label.replace(" ", "_").replace("(", "").replace(")", "")
+    save_result(
+        f"fig10_11_sw_cost_{tag}",
+        format_cost_results(results, title=f"Figures 10/11 panel: {point.label}"),
+    )
+
+    ok = {(r.curve, r.variant): r for r in results if not r.failed}
+    # Every switch allocator design point is synthesizable (P x P cores
+    # are small compared to the VC allocators).
+    assert len(ok) == len(results)
+
+    # Separable input-first offers the lowest delay per speculation
+    # scheme among the rr variants (Section 5.3.1).
+    for scheme in ("nonspec", "pessimistic", "conventional"):
+        d_if = ok[("sep_if/rr", scheme)].delay_ns
+        d_of = ok[("sep_of/rr", scheme)].delay_ns
+        assert d_if <= d_of * 1.02, (point.label, scheme)
+
+    # The wavefront is the most expensive implementation in area.
+    for scheme in ("nonspec", "pessimistic"):
+        a_wf = ok[("wf/rr", scheme)].area_um2
+        assert a_wf > ok[("sep_if/rr", scheme)].area_um2
+        assert a_wf > ok[("sep_of/rr", scheme)].area_um2
+
+    # Pessimistic < conventional delay for every variant; the paper's
+    # maximum saving is 23%.
+    savings = speculation_delay_savings(results)
+    assert savings, "no (pessimistic, conventional) pairs synthesized"
+    for curve, s in savings.items():
+        assert 0.0 < s < 0.35, (curve, s)
+
+    # Pessimistic approaches the non-speculative delay (within ~12%).
+    for curve in ("sep_if/rr", "sep_of/rr", "wf/rr"):
+        pess = ok[(curve, "pessimistic")].delay_ns
+        nonspec = ok[(curve, "nonspec")].delay_ns
+        assert pess <= nonspec * 1.12, curve
+
+    # Speculation roughly doubles area (two allocator cores + masking).
+    for curve in ("sep_if/rr", "wf/rr"):
+        ratio = ok[(curve, "pessimistic")].area_um2 / ok[(curve, "nonspec")].area_um2
+        assert 1.5 < ratio < 3.0, curve
+
+
+def test_fig10_pessimistic_savings_peak(benchmark, cost_cache):
+    """The largest pessimistic-vs-conventional delay saving across all
+    points lands in the paper's reported neighborhood (up to 23%)."""
+
+    def collect():
+        best = 0.0
+        for point in ALL_POINTS:
+            results = switch_allocator_costs(point, cache=cost_cache)
+            for s in speculation_delay_savings(results).values():
+                best = max(best, s)
+        return best
+
+    best = run_once(benchmark, collect)
+    save_result(
+        "fig10_peak_speculation_saving",
+        f"peak pessimistic-vs-conventional delay saving: {best:.1%} "
+        "(paper: up to 23%)",
+    )
+    assert 0.10 < best < 0.35

@@ -1,0 +1,123 @@
+"""Figure 13: latency vs injection rate per switch allocator.
+
+Reproduces the six panels (mesh/fbfly x C in {1,2,4}) with the three
+switch allocator architectures, using a separable input-first VC
+allocator and pessimistic speculation as in Section 5.3.3, and asserts:
+
+* zero-load latency is allocator-independent;
+* input- and output-first separable allocators perform nearly
+  identically at network level (despite the Figure 12 quality gap);
+* the wavefront's saturation-throughput advantage over sep_if is small
+  on the mesh and grows with VC count on the flattened butterfly
+  (paper: >20% at 2x2x4).
+"""
+
+import pytest
+
+from conftest import (
+    SIM_DRAIN_CYCLES,
+    SIM_MEASURE_CYCLES,
+    SIM_WARMUP_CYCLES,
+    run_once,
+    save_result,
+)
+from repro.eval.design_points import ALL_POINTS
+from repro.eval.netperf import latency_sweep
+from repro.eval.tables import format_curves
+from repro.netsim.simulator import SimulationConfig
+
+ARCHS = ("sep_if", "sep_of", "wf")
+
+# Sweep grids roughly matching each panel's x-axis in the paper.
+RATE_GRID = {
+    ("mesh", 1): (0.05, 0.15, 0.25, 0.32, 0.38),
+    ("mesh", 2): (0.05, 0.15, 0.25, 0.35, 0.42),
+    ("mesh", 4): (0.05, 0.15, 0.25, 0.35, 0.45),
+    ("fbfly", 1): (0.05, 0.2, 0.35, 0.45, 0.55),
+    ("fbfly", 2): (0.05, 0.2, 0.4, 0.55, 0.65),
+    ("fbfly", 4): (0.05, 0.2, 0.4, 0.55, 0.68),
+}
+
+
+def _base(point, arch):
+    return SimulationConfig(
+        topology=point.topology,
+        vcs_per_class=point.vcs_per_class,
+        sw_alloc_arch=arch,
+        vc_alloc_arch="sep_if",
+        speculation="pessimistic",
+        warmup_cycles=SIM_WARMUP_CYCLES,
+        measure_cycles=SIM_MEASURE_CYCLES,
+        drain_cycles=SIM_DRAIN_CYCLES,
+    )
+
+
+@pytest.mark.parametrize("point", ALL_POINTS, ids=lambda p: p.label)
+def test_fig13_switch_allocator_network_performance(benchmark, point):
+    rates = RATE_GRID[(point.topology, point.vcs_per_class)]
+
+    def sweep_all():
+        return {
+            arch: latency_sweep(
+                _base(point, arch), rates, label=arch, stop_after_saturation=False
+            )
+            for arch in ARCHS
+        }
+
+    curves = run_once(benchmark, sweep_all)
+    tag = point.label.replace(" ", "_").replace("(", "").replace(")", "")
+    save_result(
+        f"fig13_network_{tag}",
+        format_curves(
+            "inj rate",
+            list(rates),
+            {a: [p.latency for p in c.points] for a, c in curves.items()},
+            title=f"Figure 13 panel: {point.label} (latency, cycles)",
+        )
+        + "\nsaturation rates: "
+        + ", ".join(
+            f"{a}={c.saturation_rate():.3f}" for a, c in curves.items()
+        ),
+    )
+
+    # Zero-load latency is allocator-independent (within noise).
+    z = [c.zero_load for c in curves.values()]
+    assert max(z) < min(z) * 1.08
+
+    sat = {a: c.saturation_rate() for a, c in curves.items()}
+    # sep_if and sep_of are nearly identical at network level.
+    assert abs(sat["sep_if"] - sat["sep_of"]) < 0.12 * max(sat["sep_if"], sat["sep_of"])
+    # The wavefront never loses meaningfully.
+    assert sat["wf"] > 0.92 * sat["sep_if"]
+
+    if point.topology == "fbfly" and point.vcs_per_class == 4:
+        # Paper: >20% advantage at 2x2x4; allow simulator noise.
+        assert sat["wf"] > 1.10 * sat["sep_if"]
+
+
+def test_fig13_wf_advantage_grows_with_vcs_on_fbfly(benchmark):
+    """Section 5.3.3: the wavefront's saturation advantage on the
+    flattened butterfly grows from C=1 to C=4."""
+
+    def collect():
+        adv = {}
+        for point in ALL_POINTS:
+            if point.topology != "fbfly" or point.vcs_per_class == 2:
+                continue
+            rates = RATE_GRID[(point.topology, point.vcs_per_class)]
+            sat = {}
+            for arch in ("sep_if", "wf"):
+                curve = latency_sweep(
+                    _base(point, arch), rates, stop_after_saturation=False
+                )
+                sat[arch] = curve.saturation_rate()
+            adv[point.vcs_per_class] = sat["wf"] / sat["sep_if"]
+        return adv
+
+    adv = run_once(benchmark, collect)
+    save_result(
+        "fig13_wf_advantage",
+        f"wf/sep_if saturation ratio on fbfly: C=1 -> {adv[1]:.3f}, "
+        f"C=4 -> {adv[4]:.3f} (paper: ~1.04 and >1.20)",
+    )
+    assert adv[4] > adv[1]

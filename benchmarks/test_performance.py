@@ -1,0 +1,98 @@
+"""Performance microbenchmarks for the library itself.
+
+Unlike the figure benchmarks (run once, assert shape), these use
+pytest-benchmark's statistical timing to track the hot paths a
+downstream user cares about: per-cycle allocator cost, network
+simulation throughput, and netlist analysis speed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MaximumSizeAllocator,
+    SeparableInputFirstAllocator,
+    SeparableOutputFirstAllocator,
+    SwitchAllocator,
+    WavefrontAllocator,
+)
+from repro.hw.netlist import Netlist
+from repro.hw.sw_alloc_gates import build_switch_allocator_netlist
+from repro.hw.timing import analyze_timing
+from repro.netsim.simulator import SimulationConfig, build_network
+
+ALLOCATORS = {
+    "sep_if": SeparableInputFirstAllocator,
+    "sep_of": SeparableOutputFirstAllocator,
+    "wf": WavefrontAllocator,
+    "maxsize": MaximumSizeAllocator,
+}
+
+
+@pytest.mark.parametrize("name", list(ALLOCATORS))
+def test_perf_allocator_dense_requests(benchmark, name):
+    """One allocation of a dense 16x16 request matrix."""
+    alloc = ALLOCATORS[name](16, 16)
+    rng = np.random.default_rng(0)
+    reqs = [rng.random((16, 16)) < 0.5 for _ in range(64)]
+    idx = iter(range(10**9))
+
+    def run():
+        return alloc.allocate(reqs[next(idx) % 64])
+
+    benchmark(run)
+
+
+@pytest.mark.parametrize("name", ["sep_if", "wf"])
+def test_perf_allocator_sparse_requests(benchmark, name):
+    """One allocation of a large-but-sparse matrix (the network
+    simulator's regime; the wavefront's sort-by-diagonal fast path)."""
+    alloc = ALLOCATORS[name](160, 160)
+    rng = np.random.default_rng(1)
+    reqs = []
+    for _ in range(64):
+        mat = np.zeros((160, 160), dtype=bool)
+        for i in rng.integers(0, 160, size=12):
+            mat[i, rng.integers(0, 160)] = True
+        reqs.append(mat)
+    idx = iter(range(10**9))
+
+    def run():
+        return alloc.allocate(reqs[next(idx) % 64])
+
+    benchmark(run)
+
+
+def test_perf_switch_allocation_cycle(benchmark):
+    """A loaded P=10, V=4 switch allocation (per-router-cycle cost)."""
+    alloc = SwitchAllocator(10, 4, "sep_if")
+    alloc.check_requests = False
+    rng = np.random.default_rng(2)
+    reqs = [
+        [
+            [int(rng.integers(10)) if rng.random() < 0.4 else None for _ in range(4)]
+            for _ in range(10)
+        ]
+        for _ in range(32)
+    ]
+    idx = iter(range(10**9))
+    benchmark(lambda: alloc.allocate(reqs[next(idx) % 32]))
+
+
+@pytest.mark.parametrize("topology", ["mesh", "fbfly", "torus"])
+def test_perf_simulation_cycles(benchmark, topology):
+    """Wall time of 100 network cycles at moderate load."""
+    cfg = SimulationConfig(
+        topology=topology, vcs_per_class=2, injection_rate=0.2
+    )
+    net = build_network(cfg)
+    net.run(200)  # warm the network into steady state
+
+    benchmark.pedantic(lambda: net.run(100), rounds=3, iterations=1)
+
+
+def test_perf_static_timing(benchmark):
+    """Timing analysis of a ~17k-gate switch allocator netlist."""
+    nl = build_switch_allocator_netlist(10, 8, "sep_if", "rr", "pessimistic")
+
+    benchmark(lambda: analyze_timing(nl))

@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Building a custom network from the library's router primitives.
+
+The paper evaluates an 8x8 mesh and a 4x4 flattened butterfly, but the
+router model is topology-agnostic.  This example wires a small ring
+network by hand -- routers, links, terminals and a custom routing
+function -- and runs request-reply traffic over it, demonstrating the
+substrate API a downstream user would build on:
+
+* ``Router``           -- ports, VC partition, allocators, pipeline;
+* ``connect_output`` / ``connect_upstream`` -- link wiring (data +
+  credits);
+* a routing object with ``prepare``/``route`` hooks;
+* ``Terminal``         -- traffic generation and the request-reply
+  protocol;
+* ``Network``          -- the cycle loop.
+
+Run:  python examples/custom_topology.py
+"""
+
+import numpy as np
+
+from repro.core import VCPartition
+from repro.netsim import Network, Router, Terminal
+
+# Ring ports: 0 = terminal, 1 = clockwise, 2 = counter-clockwise.
+PORT_TERMINAL, PORT_CW, PORT_CCW = 0, 1, 2
+
+
+class RingRouting:
+    """Shortest-direction ring routing.
+
+    A ring has cyclic channel dependencies, so (like dateline routing in
+    a torus) it needs two resource classes: packets start in class 0 and
+    move to class 1 when they cross the dateline between the last and
+    first router -- the same VC transition structure sparse VC
+    allocation exploits (Section 4.2).
+    """
+
+    def __init__(self, size: int) -> None:
+        self.size = size
+
+    def prepare(self, network, terminal, packet) -> None:
+        packet.resource_class = 0
+
+    def route(self, network, router, packet) -> int:
+        n = self.size
+        dest = packet.dest
+        if dest == router.id:
+            return PORT_TERMINAL
+        cw = (dest - router.id) % n
+        ccw = (router.id - dest) % n
+        port = PORT_CW if cw <= ccw else PORT_CCW
+        # Dateline: crossing the n-1 -> 0 (or 0 -> n-1) boundary bumps
+        # the resource class, breaking the cyclic dependency.
+        nxt = (router.id + 1) % n if port == PORT_CW else (router.id - 1) % n
+        if (port == PORT_CW and nxt == 0) or (port == PORT_CCW and nxt == n - 1):
+            packet.resource_class = 1
+        return port
+
+
+def build_ring(size: int = 8, packet_rate: float = 0.02) -> Network:
+    # Dateline deadlock avoidance: 2 resource classes; transitions only
+    # 0 -> {0, 1} and 1 -> 1 (same structure as the fbfly partition).
+    transitions = np.array([[True, True], [False, True]])
+    partition = VCPartition(2, 2, 1, transitions)
+
+    routing = RingRouting(size)
+    net = Network(routing)
+
+    for rid in range(size):
+        net.routers.append(
+            Router(
+                rid,
+                3,
+                partition,
+                lambda network, router, pkt: routing.route(network, router, pkt),
+                speculation="pessimistic",
+            )
+        )
+
+    for rid in range(size):
+        a = net.routers[rid]
+        b = net.routers[(rid + 1) % size]
+        a.connect_output(PORT_CW, "router", b, PORT_CCW, 1)
+        b.connect_upstream(PORT_CCW, "router", a, PORT_CW, 1)
+        b.connect_output(PORT_CCW, "router", a, PORT_CW, 1)
+        a.connect_upstream(PORT_CW, "router", b, PORT_CCW, 1)
+
+    for rid in range(size):
+        router = net.routers[rid]
+        term = Terminal(
+            rid, router, PORT_TERMINAL, 1, packet_rate,
+            np.random.default_rng((7, rid)), num_terminals=size,
+        )
+        net.terminals.append(term)
+        router.connect_output(PORT_TERMINAL, "terminal", term, 0, 1)
+        router.connect_upstream(PORT_TERMINAL, "terminal", term, 0, 1)
+    return net
+
+
+def main() -> None:
+    net = build_ring(size=8, packet_rate=0.03)
+    latencies = []
+    net.on_delivery = lambda pkt, now: latencies.append(now - pkt.birth_time)
+
+    net.run(4000)
+    for t in net.terminals:
+        t.packet_rate = 0.0
+    net.run(500)
+
+    assert net.in_flight_flits() == 0, "ring deadlocked or lost flits!"
+    print(f"8-node ring, request-reply traffic:")
+    print(f"  delivered packets : {len(latencies)}")
+    print(f"  average latency   : {sum(latencies) / len(latencies):.1f} cycles")
+    print(f"  max latency       : {max(latencies)} cycles")
+    print(
+        f"  speculative wins  : {net.total_speculative_wins()}, "
+        f"misspeculations: {net.total_misspeculations()}"
+    )
+    print("\nNo flits in flight after drain: the dateline VC transition")
+    print("discipline kept the ring deadlock-free.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Speculative switch allocation end to end (Section 5.2).
+
+Shows the two halves of the paper's speculation story on one page:
+
+* circuit level -- the pessimistic masking scheme removes the grant
+  reduction network from the critical path (delay vs the conventional
+  scheme, for all three allocator architectures);
+* network level -- speculation removes a pipeline stage at low load
+  (zero-load latency) while the pessimistic scheme's extra misspeculated
+  grants cost almost nothing in saturation throughput.
+
+Also prints the simulator's misspeculation counters, which explain the
+mechanism: at low load nearly all speculative grants survive, near
+saturation the pessimistic scheme discards more of them.
+
+Run:  python examples/speculation_study.py [--topology mesh|fbfly]
+"""
+
+import argparse
+
+from repro.eval.tables import format_table
+from repro.hw import synthesize_switch_allocator
+from repro.netsim import SimulationConfig, run_simulation
+
+SCHEMES = ("nonspec", "pessimistic", "conventional")
+
+
+def circuit_level(ports: int, vcs: int) -> None:
+    print(f"--- Circuit level: P={ports}, V={vcs} ---")
+    rows = []
+    for arch in ("sep_if", "sep_of", "wf"):
+        delays = {}
+        for scheme in SCHEMES:
+            rep = synthesize_switch_allocator(ports, vcs, arch, "rr", scheme)
+            delays[scheme] = rep.delay_ns
+        saving = 1 - delays["pessimistic"] / delays["conventional"]
+        rows.append(
+            [arch]
+            + [f"{delays[s]:.2f}" for s in SCHEMES]
+            + [f"{saving:.0%}"]
+        )
+    print(
+        format_table(
+            ["arch", "nonspec (ns)", "pessimistic (ns)", "conventional (ns)",
+             "pess. saving"],
+            rows,
+        )
+    )
+    print()
+
+
+def network_level(topology: str, cycles: int) -> None:
+    print(f"--- Network level: {topology}, 2x{'2' if topology == 'fbfly' else '1'}x1 VCs ---")
+    low = 0.05
+    high = 0.30 if topology == "mesh" else 0.45
+    rows = []
+    for scheme in SCHEMES:
+        cols = [scheme]
+        for rate in (low, high):
+            cfg = SimulationConfig(
+                topology=topology,
+                vcs_per_class=1,
+                injection_rate=rate,
+                speculation=scheme,
+                warmup_cycles=cycles // 3,
+                measure_cycles=cycles,
+                drain_cycles=cycles,
+            )
+            res = run_simulation(cfg)
+            total_spec = res.speculative_wins + res.misspeculations
+            misrate = (
+                res.misspeculations / total_spec if total_spec else 0.0
+            )
+            cols.append(f"{res.avg_latency:.1f}")
+            cols.append(f"{misrate:.1%}")
+        rows.append(cols)
+    print(
+        format_table(
+            ["scheme", f"latency @ {low}", "misspec rate",
+             f"latency @ {high}", "misspec rate"],
+            rows,
+        )
+    )
+    print(
+        "\nReading: speculation cuts the low-load latency by roughly one\n"
+        "cycle per hop; the pessimistic scheme discards more speculative\n"
+        "grants as load rises (higher misspec rate) but, because those\n"
+        "cycles are mostly covered by non-speculative traffic anyway,\n"
+        "saturation throughput barely moves (Section 5.3.3)."
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--topology", choices=["mesh", "fbfly"], default="mesh")
+    parser.add_argument("--cycles", type=int, default=1500)
+    args = parser.parse_args()
+
+    ports = 5 if args.topology == "mesh" else 10
+    vcs = 2 if args.topology == "mesh" else 4
+    circuit_level(ports, vcs)
+    network_level(args.topology, args.cycles)
+
+
+if __name__ == "__main__":
+    main()

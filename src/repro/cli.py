@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the experiment harness without writing any Python:
+
+* ``figures``     -- list every reproducible table/figure;
+* ``transitions`` -- print a VC transition matrix (Figure 4);
+* ``quality``     -- matching-quality curves (Figures 7 / 12);
+* ``cost``        -- synthesize allocator variants (Figures 5/6/10/11);
+* ``simulate``    -- one network simulation point;
+* ``sweep``       -- a latency-vs-load curve (Figures 13 / 14).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .eval.cost import switch_allocator_costs, vc_allocator_costs
+from .eval.figures import format_experiment_index
+from .eval.design_points import DesignPoint
+from .eval.matching import switch_matching_quality, vc_matching_quality
+from .eval.netperf import latency_sweep
+from .eval.tables import format_cost_results, format_curves, format_table
+from .netsim.simulator import SimulationConfig, run_simulation
+
+__all__ = ["main"]
+
+
+def _point(args) -> DesignPoint:
+    ports = 5 if args.topology == "mesh" else 10
+    return DesignPoint(args.topology, ports, args.vcs_per_class)
+
+
+def _add_point_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--topology", choices=["mesh", "fbfly"], default="mesh")
+    p.add_argument("--vcs-per-class", type=int, default=1, choices=[1, 2, 4])
+
+
+def cmd_figures(args) -> int:
+    print(format_experiment_index())
+    return 0
+
+
+def cmd_transitions(args) -> int:
+    part = _point(args).partition
+    mat = part.transition_matrix()
+    rows = []
+    for vin in range(part.num_vcs):
+        m, r, c = part.vc_fields(vin)
+        rows.append(
+            [vin, f"m{m}/r{r}/c{c}",
+             "".join("o" if x else "." for x in mat[vin])]
+        )
+    print(format_table(["in VC", "class", "legal outputs"], rows,
+                       title=f"VC transitions, {part.describe()}"))
+    print(f"legal: {part.num_legal_transitions()} / {part.num_vcs ** 2}")
+    return 0
+
+
+def cmd_quality(args) -> int:
+    point = _point(args)
+    rates = [float(r) for r in args.rates.split(",")]
+    fn = vc_matching_quality if args.target == "vc" else switch_matching_quality
+    curves = fn(point, rates=rates, num_samples=args.samples)
+    print(
+        format_curves(
+            "req/VC/cycle",
+            rates,
+            {k: c.quality for k, c in curves.items()},
+            title=f"{args.target} allocator matching quality, {point.label}",
+        )
+    )
+    return 0
+
+
+def cmd_cost(args) -> int:
+    point = _point(args)
+    if args.target == "vc":
+        results = vc_allocator_costs(point)
+    else:
+        results = switch_allocator_costs(point)
+    print(format_cost_results(results, title=f"{args.target} allocator cost, {point.label}"))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    cfg = SimulationConfig(
+        topology=args.topology,
+        vcs_per_class=args.vcs_per_class,
+        injection_rate=args.rate,
+        sw_alloc_arch=args.sw_alloc,
+        vc_alloc_arch=args.vc_alloc,
+        speculation=args.speculation,
+        traffic_pattern=args.pattern,
+        warmup_cycles=args.cycles // 3,
+        measure_cycles=args.cycles,
+        drain_cycles=args.cycles,
+        seed=args.seed,
+    )
+    res = run_simulation(cfg)
+    print(res)
+    print(
+        f"injected {res.injected_flit_rate:.3f} / accepted "
+        f"{res.accepted_flit_rate:.3f} flits/cycle/terminal; "
+        f"speculative wins {res.speculative_wins}, "
+        f"misspeculations {res.misspeculations}"
+    )
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    base = SimulationConfig(
+        topology=args.topology,
+        vcs_per_class=args.vcs_per_class,
+        sw_alloc_arch=args.sw_alloc,
+        vc_alloc_arch=args.vc_alloc,
+        speculation=args.speculation,
+        traffic_pattern=args.pattern,
+        warmup_cycles=args.cycles // 3,
+        measure_cycles=args.cycles,
+        drain_cycles=args.cycles,
+        seed=args.seed,
+    )
+    rates = [float(r) for r in args.rates.split(",")]
+    curve = latency_sweep(base, rates, stop_after_saturation=False)
+    print(
+        format_curves(
+            "inj rate",
+            [p.rate for p in curve.points],
+            {"latency": [p.latency for p in curve.points],
+             "accepted": [p.accepted for p in curve.points]},
+            title=f"{args.topology} {args.sw_alloc}/{args.speculation}",
+        )
+    )
+    print(f"zero-load {curve.zero_load:.1f} cycles, "
+          f"saturation ~{curve.saturation_rate():.3f} flits/cycle")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Becker & Dally SC'09 allocator study, reproduced.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="list every reproducible figure")
+    p.set_defaults(fn=cmd_figures)
+
+    p = sub.add_parser("transitions", help="VC transition matrix (Fig 4)")
+    _add_point_args(p)
+    p.set_defaults(fn=cmd_transitions)
+
+    p = sub.add_parser("quality", help="matching quality (Figs 7/12)")
+    _add_point_args(p)
+    p.add_argument("--target", choices=["vc", "switch"], default="switch")
+    p.add_argument("--rates", default="0.1,0.2,0.4,0.6,0.8,1.0")
+    p.add_argument("--samples", type=int, default=1000)
+    p.set_defaults(fn=cmd_quality)
+
+    p = sub.add_parser("cost", help="synthesis cost (Figs 5/6/10/11)")
+    _add_point_args(p)
+    p.add_argument("--target", choices=["vc", "switch"], default="vc")
+    p.set_defaults(fn=cmd_cost)
+
+    for name, helptext in (
+        ("simulate", "one network simulation point"),
+        ("sweep", "latency vs load (Figs 13/14)"),
+    ):
+        p = sub.add_parser(name, help=helptext)
+        _add_point_args(p)
+        p.add_argument("--sw-alloc", choices=["sep_if", "sep_of", "wf"],
+                       default="sep_if")
+        p.add_argument("--vc-alloc", choices=["sep_if", "sep_of", "wf"],
+                       default="sep_if")
+        p.add_argument("--speculation",
+                       choices=["nonspec", "pessimistic", "conventional"],
+                       default="pessimistic")
+        p.add_argument("--pattern", default="uniform")
+        p.add_argument("--cycles", type=int, default=2000)
+        p.add_argument("--seed", type=int, default=1)
+        if name == "simulate":
+            p.add_argument("--rate", type=float, default=0.2)
+            p.set_defaults(fn=cmd_simulate)
+        else:
+            p.add_argument("--rates", default="0.05,0.15,0.25,0.35")
+            p.set_defaults(fn=cmd_sweep)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

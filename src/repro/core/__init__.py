@@ -1,0 +1,76 @@
+"""Allocator core: the paper's subject matter.
+
+Behavioural models of the arbiters and allocators evaluated in
+Becker & Dally, "Allocator Implementations for Network-on-Chip Routers"
+(SC 2009): separable input-/output-first and wavefront allocators,
+maximum-size matching as a quality yardstick, VC and switch allocator
+front-ends, sparse VC allocation, and speculative switch allocation.
+"""
+
+from .arbiters import (
+    Arbiter,
+    FixedPriorityArbiter,
+    MatrixArbiter,
+    RoundRobinArbiter,
+    TreeArbiter,
+    make_arbiter,
+)
+from .base import (
+    Allocator,
+    as_request_matrix,
+    is_matching,
+    is_maximal_matching,
+    matching_size,
+)
+from .islip import IterativeSLIPAllocator
+from .maxsize import MaximumSizeAllocator, hopcroft_karp, maximum_matching_size
+from .separable import (
+    SeparableAllocator,
+    SeparableInputFirstAllocator,
+    SeparableOutputFirstAllocator,
+)
+from .speculative import (
+    SPECULATION_SCHEMES,
+    SpeculativeGrants,
+    SpeculativeSwitchAllocator,
+)
+from .switch_allocator import (
+    SWITCH_ALLOCATOR_ARCHS,
+    SwitchAllocator,
+    port_request_matrix,
+)
+from .vc_allocator import VC_ALLOCATOR_ARCHS, VCAllocator, VCRequest
+from .vc_partition import VCPartition
+from .wavefront import WavefrontAllocator
+
+__all__ = [
+    "Allocator",
+    "Arbiter",
+    "FixedPriorityArbiter",
+    "IterativeSLIPAllocator",
+    "MatrixArbiter",
+    "MaximumSizeAllocator",
+    "RoundRobinArbiter",
+    "SeparableAllocator",
+    "SeparableInputFirstAllocator",
+    "SeparableOutputFirstAllocator",
+    "SpeculativeGrants",
+    "SpeculativeSwitchAllocator",
+    "SwitchAllocator",
+    "TreeArbiter",
+    "VCAllocator",
+    "VCPartition",
+    "VCRequest",
+    "WavefrontAllocator",
+    "SPECULATION_SCHEMES",
+    "SWITCH_ALLOCATOR_ARCHS",
+    "VC_ALLOCATOR_ARCHS",
+    "as_request_matrix",
+    "hopcroft_karp",
+    "is_matching",
+    "is_maximal_matching",
+    "make_arbiter",
+    "matching_size",
+    "maximum_matching_size",
+    "port_request_matrix",
+]

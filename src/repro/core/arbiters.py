@@ -1,0 +1,271 @@
+"""Arbiter primitives used by separable allocators.
+
+An arbiter selects a single winner among a set of simultaneous requests.
+The paper (Section 2.1) builds separable allocators from two stages of
+arbiters and requires that an arbiter's priority state only be updated
+when the grant it produces is also successful in the *other* arbitration
+stage (the iSLIP-style "update on success" rule [McKeown 1999]).  To
+support that, every arbiter exposes a pure :meth:`Arbiter.select` (no
+state change) and an explicit :meth:`Arbiter.advance` that commits the
+priority update for a given winner.
+
+Three arbiter families from the paper are provided:
+
+* :class:`FixedPriorityArbiter` -- lowest index wins; the building block
+  for the others and the behavioural model of a priority/prefix network.
+* :class:`RoundRobinArbiter` -- rotating priority pointer (``rr`` in the
+  paper's figures); cheap, weakly fair.
+* :class:`MatrixArbiter` -- least-recently-served via an NxN priority
+  matrix (``m`` in the paper's figures); strongly fair, O(n^2) state.
+* :class:`TreeArbiter` -- a two-level arbiter (a stage of group arbiters
+  in parallel with a top-level arbiter across groups) used for the wide
+  P*V-input arbitration in VC allocators (Section 4.1).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+__all__ = [
+    "Arbiter",
+    "FixedPriorityArbiter",
+    "RoundRobinArbiter",
+    "MatrixArbiter",
+    "TreeArbiter",
+    "make_arbiter",
+]
+
+
+class Arbiter(ABC):
+    """Abstract n-input single-winner arbiter.
+
+    Parameters
+    ----------
+    num_inputs:
+        Number of request inputs (``n >= 1``).
+    """
+
+    def __init__(self, num_inputs: int) -> None:
+        if num_inputs < 1:
+            raise ValueError(f"arbiter needs >= 1 input, got {num_inputs}")
+        self.num_inputs = num_inputs
+
+    @abstractmethod
+    def select(self, requests: Sequence[bool]) -> Optional[int]:
+        """Return the winning input index for ``requests``, or ``None``.
+
+        Pure function of the current priority state; does not modify it.
+        """
+
+    @abstractmethod
+    def advance(self, winner: int) -> None:
+        """Commit the priority update for a successful grant to ``winner``."""
+
+    @abstractmethod
+    def reset(self) -> None:
+        """Restore the initial priority state."""
+
+    def arbitrate(self, requests: Sequence[bool], update: bool = True) -> Optional[int]:
+        """Select a winner and (by default) immediately commit the update."""
+        winner = self.select(requests)
+        if update and winner is not None:
+            self.advance(winner)
+        return winner
+
+    def _check_requests(self, requests: Sequence[bool]) -> None:
+        if len(requests) != self.num_inputs:
+            raise ValueError(
+                f"expected {self.num_inputs} requests, got {len(requests)}"
+            )
+
+    def _check_winner(self, winner: int) -> None:
+        if not 0 <= winner < self.num_inputs:
+            raise ValueError(f"winner {winner} out of range [0, {self.num_inputs})")
+
+
+class FixedPriorityArbiter(Arbiter):
+    """Static-priority arbiter; the lowest-indexed requester always wins.
+
+    Models a priority (thermometer-mask) network.  Not fair: persistent
+    low-index requests starve everything behind them.  Used standalone
+    only where fairness is irrelevant and as a primitive inside
+    :class:`RoundRobinArbiter`.
+    """
+
+    def select(self, requests: Sequence[bool]) -> Optional[int]:
+        self._check_requests(requests)
+        for i, req in enumerate(requests):
+            if req:
+                return i
+        return None
+
+    def advance(self, winner: int) -> None:
+        self._check_winner(winner)
+
+    def reset(self) -> None:  # stateless
+        return None
+
+
+class RoundRobinArbiter(Arbiter):
+    """Rotating-priority arbiter (``rr``).
+
+    The highest priority is held by the input at the pointer; priority
+    decreases cyclically from there.  After a successful grant the
+    pointer moves one past the winner, making the winner the lowest
+    priority input -- this guarantees any persistent requester is served
+    at least once every ``n`` successful grants (weak fairness).
+    """
+
+    def __init__(self, num_inputs: int) -> None:
+        super().__init__(num_inputs)
+        self._pointer = 0
+
+    @property
+    def pointer(self) -> int:
+        """Index that currently holds the highest priority."""
+        return self._pointer
+
+    def select(self, requests: Sequence[bool]) -> Optional[int]:
+        n = self.num_inputs
+        if len(requests) != n:
+            raise ValueError(f"expected {n} requests, got {len(requests)}")
+        p = self._pointer
+        for i in range(p, n):
+            if requests[i]:
+                return i
+        for i in range(p):
+            if requests[i]:
+                return i
+        return None
+
+    def advance(self, winner: int) -> None:
+        self._check_winner(winner)
+        self._pointer = (winner + 1) % self.num_inputs
+
+    def reset(self) -> None:
+        self._pointer = 0
+
+
+class MatrixArbiter(Arbiter):
+    """Least-recently-served arbiter (``m``).
+
+    Keeps an n x n priority matrix ``w`` where ``w[i][j]`` means input
+    ``i`` currently beats input ``j``.  A requester wins iff no other
+    requester beats it.  On a successful grant the winner's priority is
+    cleared against everyone (it becomes least recently served), which
+    yields strong fairness at O(n^2) state cost -- the area/power premium
+    the paper measures for ``m`` variants.
+    """
+
+    def __init__(self, num_inputs: int) -> None:
+        super().__init__(num_inputs)
+        self._beats: List[List[bool]] = []
+        self.reset()
+
+    def reset(self) -> None:
+        n = self.num_inputs
+        # Upper-triangular initial state: lower indices start with priority.
+        self._beats = [[i < j for j in range(n)] for i in range(n)]
+
+    def beats(self, i: int, j: int) -> bool:
+        """True if input ``i`` currently has priority over input ``j``."""
+        return self._beats[i][j]
+
+    def select(self, requests: Sequence[bool]) -> Optional[int]:
+        self._check_requests(requests)
+        n = self.num_inputs
+        for i in range(n):
+            if not requests[i]:
+                continue
+            beaten = False
+            row_j = self._beats
+            for j in range(n):
+                if j != i and requests[j] and row_j[j][i]:
+                    beaten = True
+                    break
+            if not beaten:
+                return i
+        return None
+
+    def advance(self, winner: int) -> None:
+        self._check_winner(winner)
+        n = self.num_inputs
+        for j in range(n):
+            if j != winner:
+                self._beats[winner][j] = False
+                self._beats[j][winner] = True
+
+
+class TreeArbiter(Arbiter):
+    """Two-level arbiter: per-group arbiters plus a top-level group arbiter.
+
+    Implements the P*V-input tree arbiter from Section 4.1: "a stage of
+    P V-input arbiters in parallel with a single P-input arbiter that
+    selects among them".  Inputs are split into ``num_groups`` contiguous
+    groups of ``group_size`` inputs each.
+    """
+
+    def __init__(
+        self,
+        num_groups: int,
+        group_size: int,
+        arbiter_factory=RoundRobinArbiter,
+    ) -> None:
+        if num_groups < 1 or group_size < 1:
+            raise ValueError("num_groups and group_size must be >= 1")
+        super().__init__(num_groups * group_size)
+        self.num_groups = num_groups
+        self.group_size = group_size
+        self._group_arbs = [arbiter_factory(group_size) for _ in range(num_groups)]
+        self._top_arb = arbiter_factory(num_groups)
+
+    def select(self, requests: Sequence[bool]) -> Optional[int]:
+        self._check_requests(requests)
+        gs = self.group_size
+        group_winner: List[Optional[int]] = []
+        group_any: List[bool] = []
+        for g in range(self.num_groups):
+            sub = requests[g * gs : (g + 1) * gs]
+            w = self._group_arbs[g].select(sub)
+            group_winner.append(w)
+            group_any.append(w is not None)
+        top = self._top_arb.select(group_any)
+        if top is None:
+            return None
+        local = group_winner[top]
+        assert local is not None
+        return top * gs + local
+
+    def advance(self, winner: int) -> None:
+        self._check_winner(winner)
+        g, local = divmod(winner, self.group_size)
+        self._group_arbs[g].advance(local)
+        self._top_arb.advance(g)
+
+    def reset(self) -> None:
+        for arb in self._group_arbs:
+            arb.reset()
+        self._top_arb.reset()
+
+
+_ARBITER_KINDS = {
+    "rr": RoundRobinArbiter,
+    "m": MatrixArbiter,
+    "fixed": FixedPriorityArbiter,
+}
+
+
+def make_arbiter(kind: str, num_inputs: int) -> Arbiter:
+    """Construct an arbiter from the paper's shorthand.
+
+    ``kind`` is one of ``"rr"`` (round-robin), ``"m"`` (matrix) or
+    ``"fixed"`` (static priority).
+    """
+    try:
+        cls = _ARBITER_KINDS[kind]
+    except KeyError:
+        raise ValueError(
+            f"unknown arbiter kind {kind!r}; expected one of {sorted(_ARBITER_KINDS)}"
+        ) from None
+    return cls(num_inputs)

@@ -1,0 +1,127 @@
+"""Separable allocators (Section 2.1, Figure 1).
+
+A separable allocator decomposes allocation into independent arbitration
+across requesters and across resources:
+
+* *input-first* (``sep_if``): each requester first picks one resource to
+  bid on, then each resource arbitrates among the incoming bids.
+* *output-first* (``sep_of``): each resource first picks a winner among
+  all requests in its column, then each requester arbitrates among the
+  resources that picked it.
+
+Neither variant is guaranteed to produce a maximal matching.  Priority
+state in the *first* arbitration stage is only advanced when the grant
+also survives the second stage, and vice versa -- concretely, an
+arbiter's priority is advanced exactly when its selected winner is part
+of the final matching (the iSLIP update rule the paper adopts to avoid
+traffic-pattern-dependent starvation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from .arbiters import Arbiter, RoundRobinArbiter
+from .base import Allocator
+
+__all__ = [
+    "SeparableAllocator",
+    "SeparableInputFirstAllocator",
+    "SeparableOutputFirstAllocator",
+]
+
+ArbiterFactory = Callable[[int], Arbiter]
+
+
+class SeparableAllocator(Allocator):
+    """Common state for the two separable variants.
+
+    Parameters
+    ----------
+    num_requesters, num_resources:
+        Matrix dimensions.
+    arbiter_factory:
+        Callable ``n -> Arbiter`` used for both stages (default:
+        round-robin, the paper's ``rr`` variants).
+    """
+
+    def __init__(
+        self,
+        num_requesters: int,
+        num_resources: int,
+        arbiter_factory: ArbiterFactory = RoundRobinArbiter,
+    ) -> None:
+        super().__init__(num_requesters, num_resources)
+        self._row_arbs: List[Arbiter] = [
+            arbiter_factory(num_resources) for _ in range(num_requesters)
+        ]
+        self._col_arbs: List[Arbiter] = [
+            arbiter_factory(num_requesters) for _ in range(num_resources)
+        ]
+
+    def reset(self) -> None:
+        for arb in self._row_arbs:
+            arb.reset()
+        for arb in self._col_arbs:
+            arb.reset()
+
+
+class SeparableInputFirstAllocator(SeparableAllocator):
+    """``sep_if``: requester-side arbitration, then resource-side."""
+
+    def allocate(self, requests: np.ndarray) -> np.ndarray:
+        req = self._validated(requests)
+        m, n = self.shape
+        grants = np.zeros((m, n), dtype=bool)
+
+        # Stage 1: each requester selects a single resource to bid on.
+        bids: List[Optional[int]] = [None] * m
+        for i in range(m):
+            row = req[i]
+            if row.any():
+                bids[i] = self._row_arbs[i].select(row)
+
+        # Stage 2: each resource arbitrates among incoming bids.
+        for j in range(n):
+            incoming = [bids[i] == j for i in range(m)]
+            if not any(incoming):
+                continue
+            winner = self._col_arbs[j].select(incoming)
+            if winner is None:
+                continue
+            grants[winner, j] = True
+            # Both stages succeeded for this (winner, j) pair.
+            self._row_arbs[winner].advance(j)
+            self._col_arbs[j].advance(winner)
+        return grants
+
+
+class SeparableOutputFirstAllocator(SeparableAllocator):
+    """``sep_of``: resource-side arbitration, then requester-side."""
+
+    def allocate(self, requests: np.ndarray) -> np.ndarray:
+        req = self._validated(requests)
+        m, n = self.shape
+        grants = np.zeros((m, n), dtype=bool)
+
+        # Stage 1: each resource picks a winner among its column.
+        offers: List[Optional[int]] = [None] * n
+        for j in range(n):
+            col = req[:, j]
+            if col.any():
+                offers[j] = self._col_arbs[j].select(col)
+
+        # Stage 2: each requester picks among the resources offered to it.
+        for i in range(m):
+            offered = [offers[j] == i for j in range(n)]
+            if not any(offered):
+                continue
+            choice = self._row_arbs[i].select(offered)
+            if choice is None:
+                continue
+            grants[i, choice] = True
+            self._row_arbs[i].advance(choice)
+            self._col_arbs[choice].advance(i)
+        return grants

@@ -1,0 +1,156 @@
+"""Open-loop matching-quality experiments (Section 3.1, Figures 7 & 12).
+
+Streams of pseudo-random request matrices are fed to each allocator and
+the resulting grant counts are normalized against a maximum-size
+allocator driven with the same requests.  The paper uses 10 000 request
+matrices per point; ``num_samples`` is configurable so the benchmark
+harness can trade precision for runtime.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.maxsize import hopcroft_karp
+from ..core.switch_allocator import SwitchAllocator
+from ..core.vc_allocator import VCAllocator, VCRequest
+from ..core.vc_partition import VCPartition
+from .design_points import DesignPoint
+
+__all__ = [
+    "QualityCurve",
+    "DEFAULT_RATES",
+    "vc_matching_quality",
+    "switch_matching_quality",
+]
+
+DEFAULT_RATES: Sequence[float] = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclass
+class QualityCurve:
+    """Matching quality vs request rate for one allocator."""
+
+    label: str
+    rates: List[float]
+    quality: List[float]
+
+    def at(self, rate: float) -> float:
+        return self.quality[self.rates.index(rate)]
+
+
+def _max_matching_size(adjacency: List[List[int]], num_right: int) -> int:
+    match = hopcroft_karp(adjacency, num_right)
+    return sum(1 for v in match if v != -1)
+
+
+def vc_matching_quality(
+    point: DesignPoint,
+    archs: Sequence[str] = ("sep_if", "sep_of", "wf"),
+    rates: Sequence[float] = DEFAULT_RATES,
+    num_samples: int = 10_000,
+    seed: int = 0,
+    arbiter: str = "rr",
+) -> Dict[str, QualityCurve]:
+    """Figure 7: VC allocator matching quality.
+
+    Each input VC independently holds a head flit with probability
+    ``rate`` (the figure's "requests per VC per cycle"); the flit
+    targets a uniformly random output port and a uniformly random legal
+    successor resource class, with all ``C`` VCs of that class as
+    candidates.
+    """
+    P = point.num_ports
+    part = point.partition
+    V = part.num_vcs
+    n = P * V
+
+    # Precompute candidate sets per (input VC class, successor class).
+    successor_sets = []
+    for v in range(V):
+        m_in, r_in, _ = part.vc_fields(v)
+        successor_sets.append(
+            [tuple(part.class_vcs(m_in, r)) for r in part.successor_classes(r_in)]
+        )
+
+    curves: Dict[str, QualityCurve] = {}
+    for arch in archs:
+        alloc = VCAllocator(P, part, arch=arch, arbiter=arbiter, sparse=True)
+        alloc.check_requests = False
+        rng = np.random.default_rng(seed)
+        qualities = []
+        for rate in rates:
+            total = 0
+            total_max = 0
+            for _ in range(num_samples):
+                active = rng.random(n) < rate
+                ports = rng.integers(P, size=n)
+                class_pick = rng.random(n)
+                requests: List[Optional[VCRequest]] = [None] * n
+                adjacency: List[List[int]] = [[] for _ in range(n)]
+                for i in np.flatnonzero(active):
+                    v = i % V
+                    choices = successor_sets[v]
+                    cands = choices[int(class_pick[i] * len(choices))]
+                    q = int(ports[i])
+                    requests[i] = VCRequest(q, cands)
+                    base = q * V
+                    adjacency[i] = [base + u for u in cands]
+                grants = alloc.allocate(requests)
+                total += sum(g is not None for g in grants)
+                total_max += _max_matching_size(adjacency, n)
+            qualities.append(total / total_max if total_max else 1.0)
+        curves[arch] = QualityCurve(arch, list(rates), qualities)
+    return curves
+
+
+def switch_matching_quality(
+    point: DesignPoint,
+    archs: Sequence[str] = ("sep_if", "sep_of", "wf"),
+    rates: Sequence[float] = DEFAULT_RATES,
+    num_samples: int = 10_000,
+    seed: int = 0,
+    arbiter: str = "rr",
+) -> Dict[str, QualityCurve]:
+    """Figure 12: switch allocator matching quality.
+
+    Each input VC independently requests a uniformly random output port
+    with probability ``rate``.  The maximum-size reference matches on
+    the port-level request matrix (at most one grant per input port and
+    output port).
+    """
+    P = point.num_ports
+    V = point.num_vcs
+
+    curves: Dict[str, QualityCurve] = {}
+    for arch in archs:
+        alloc = SwitchAllocator(P, V, arch=arch, arbiter=arbiter)
+        alloc.check_requests = False
+        rng = np.random.default_rng(seed)
+        qualities = []
+        for rate in rates:
+            total = 0
+            total_max = 0
+            for _ in range(num_samples):
+                active = rng.random((P, V)) < rate
+                ports = rng.integers(P, size=(P, V))
+                requests = [
+                    [
+                        int(ports[p, v]) if active[p, v] else None
+                        for v in range(V)
+                    ]
+                    for p in range(P)
+                ]
+                grants = alloc.allocate(requests)
+                total += sum(g is not None for g in grants)
+                adjacency = [
+                    sorted({int(ports[p, v]) for v in range(V) if active[p, v]})
+                    for p in range(P)
+                ]
+                total_max += _max_matching_size(adjacency, P)
+            qualities.append(total / total_max if total_max else 1.0)
+        curves[arch] = QualityCurve(arch, list(rates), qualities)
+    return curves

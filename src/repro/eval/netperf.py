@@ -1,0 +1,133 @@
+"""Network-level performance sweeps (Figures 13 & 14).
+
+Latency-vs-injection-rate curves plus the derived metrics the paper's
+text quotes: zero-load latency and saturation throughput (the offered
+load at which average latency crosses a multiple of zero-load).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Sequence
+
+from ..netsim.simulator import SimulationConfig, SimulationResult, run_simulation
+
+__all__ = [
+    "SweepPoint",
+    "LatencyCurve",
+    "latency_sweep",
+    "zero_load_latency",
+    "saturation_throughput",
+]
+
+
+@dataclass
+class SweepPoint:
+    rate: float
+    latency: float
+    accepted: float
+    saturated: bool
+    misspeculations: int = 0
+    speculative_wins: int = 0
+
+
+@dataclass
+class LatencyCurve:
+    label: str
+    points: List[SweepPoint]
+
+    @property
+    def zero_load(self) -> float:
+        return self.points[0].latency if self.points else float("inf")
+
+    def saturation_rate(
+        self,
+        threshold_factor: float = 3.0,
+        zero_load: Optional[float] = None,
+    ) -> float:
+        """Offered load at which latency exceeds ``factor`` x zero-load.
+
+        Linearly interpolates between the last stable point and the
+        first unstable one; returns the last measured rate if the curve
+        never saturates over the sweep.
+
+        ``zero_load`` overrides the curve's own zero-load latency --
+        pass a common reference when comparing schemes whose zero-load
+        latencies differ (e.g. speculative vs non-speculative routers),
+        otherwise the lower-latency scheme is held to a stricter
+        absolute threshold.
+        """
+        z = zero_load if zero_load is not None else self.zero_load
+        limit = threshold_factor * z
+        prev = None
+        for pt in self.points:
+            bad = pt.saturated or pt.latency > limit
+            if bad and prev is not None:
+                if pt.latency == float("inf") or pt.latency <= prev.latency:
+                    return prev.rate
+                frac = (limit - prev.latency) / (pt.latency - prev.latency)
+                frac = min(max(frac, 0.0), 1.0)
+                return prev.rate + frac * (pt.rate - prev.rate)
+            if bad:
+                return pt.rate
+            prev = pt
+        return self.points[-1].rate if self.points else 0.0
+
+
+def latency_sweep(
+    base: SimulationConfig,
+    rates: Sequence[float],
+    label: str = "",
+    stop_after_saturation: bool = True,
+) -> LatencyCurve:
+    """Run the simulator across ``rates`` and collect a latency curve."""
+    points: List[SweepPoint] = []
+    for rate in rates:
+        cfg = replace(base, injection_rate=rate)
+        res = run_simulation(cfg)
+        points.append(
+            SweepPoint(
+                rate,
+                res.avg_latency,
+                res.accepted_flit_rate,
+                res.saturated,
+                res.misspeculations,
+                res.speculative_wins,
+            )
+        )
+        if stop_after_saturation and res.saturated:
+            break
+    return LatencyCurve(label or base.sw_alloc_arch, points)
+
+
+def zero_load_latency(base: SimulationConfig, rate: float = 0.02) -> float:
+    """Average latency at (near) zero load."""
+    cfg = replace(base, injection_rate=rate)
+    return run_simulation(cfg).avg_latency
+
+
+def saturation_throughput(
+    base: SimulationConfig,
+    lo: float = 0.05,
+    hi: float = 1.0,
+    iterations: int = 6,
+    threshold_factor: float = 3.0,
+) -> float:
+    """Binary-search the offered load where latency crosses
+    ``threshold_factor`` x zero-load (the paper's saturation metric)."""
+    z = zero_load_latency(base)
+    limit = threshold_factor * z
+
+    def stable(rate: float) -> bool:
+        res = run_simulation(replace(base, injection_rate=rate))
+        return not res.saturated and res.avg_latency <= limit
+
+    if not stable(lo):
+        return lo
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if stable(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

@@ -1,0 +1,76 @@
+"""Plain-text rendering of the paper-style figures.
+
+The benchmark harness prints each figure as a table of series (no
+plotting dependencies are available offline); these helpers keep the
+formatting consistent across benchmarks and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_curves", "format_cost_results"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Fixed-width ASCII table."""
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_curves(
+    x_label: str,
+    xs: Sequence[float],
+    series: dict,
+    title: str = "",
+) -> str:
+    """Table with one column per named series (curve-style figures)."""
+    headers = [x_label] + list(series.keys())
+    rows: List[List[object]] = []
+    for i, x in enumerate(xs):
+        row: List[object] = [x]
+        for ys in series.values():
+            row.append(ys[i] if i < len(ys) else None)
+        rows.append(row)
+    return format_table(headers, rows, title)
+
+
+def format_cost_results(results, title: str = "") -> str:
+    """Table for a list of :class:`repro.eval.cost.CostResult`."""
+    rows = []
+    for r in results:
+        if r.failed:
+            rows.append([r.curve, r.variant, "FAILED (capacity)", "-", "-", "-"])
+        else:
+            rows.append(
+                [r.curve, r.variant, f"{r.delay_ns:.3f}",
+                 f"{r.area_um2:.0f}", f"{r.power_mw:.3f}", r.num_cells]
+            )
+    return format_table(
+        ["variant", "config", "delay (ns)", "area (um2)", "power (mW)", "cells"],
+        rows,
+        title,
+    )

@@ -1,0 +1,298 @@
+"""Gate-level generic allocator netlists.
+
+Matrix-in / matrix-out building blocks shared by the VC and switch
+allocator netlists:
+
+* :func:`build_separable_matrix` -- separable input-/output-first
+  allocation over an ``m x n`` request-net matrix (Figure 1);
+* :func:`build_wavefront_matrix` -- the loop-free replicated wavefront
+  array of Section 2.2 / Figure 2: one unrolled ``n x n`` tile array per
+  possible priority diagonal plus a one-hot output multiplexer, which is
+  what gives the synthesized wavefront its cubic area growth.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from .arbiter_gates import build_arbiter
+from .logic import fanout_tree, onehot_mux, or_reduce
+from .netlist import Netlist
+
+__all__ = [
+    "build_separable_matrix",
+    "build_wavefront_matrix",
+    "build_wavefront_matrix_rotated",
+    "wavefront_gate_estimate",
+    "rotated_wavefront_gate_estimate",
+    "separable_gate_estimate",
+]
+
+NetMatrix = List[List[int]]
+
+
+def build_separable_matrix(
+    nl: Netlist,
+    requests: NetMatrix,
+    input_first: bool,
+    arbiter: str = "rr",
+    col_tree_groups: Optional[int] = None,
+) -> NetMatrix:
+    """Separable allocator over a request-net matrix; returns grant nets.
+
+    Priority updates in each stage are gated on end-to-end success
+    (an OR over the row/column of final grants), mirroring the
+    behavioural models.
+    """
+    m = len(requests)
+    n = len(requests[0]) if m else 0
+    finishers: List[Callable[[Optional[int]], None]] = []
+
+    if input_first:
+        # Stage 1: row arbiters pick a single bid per requester.
+        bids: NetMatrix = []
+        row_fins = []
+        for i in range(m):
+            g, fin = build_arbiter(nl, arbiter, requests[i])
+            bids.append(g)
+            row_fins.append(fin)
+        # Stage 2: column arbiters resolve the forwarded bids.
+        grants: NetMatrix = [[0] * n for _ in range(m)]
+        for j in range(n):
+            col = [bids[i][j] for i in range(m)]
+            g, fin = build_arbiter(nl, arbiter, col, tree_groups=col_tree_groups)
+            finishers.append(fin)
+            for i in range(m):
+                grants[i][j] = g[i]
+        # Row arbiters advance only when their bid won downstream.
+        for i in range(m):
+            success = or_reduce(nl, grants[i])
+            row_fins[i](success)
+        for fin in finishers:
+            fin(None)  # column grants are final
+    else:
+        # Stage 1: column arbiters offer each resource to one requester.
+        offers: NetMatrix = [[0] * n for _ in range(m)]
+        col_fins = []
+        for j in range(n):
+            col = [requests[i][j] for i in range(m)]
+            g, fin = build_arbiter(nl, arbiter, col, tree_groups=col_tree_groups)
+            col_fins.append(fin)
+            for i in range(m):
+                offers[i][j] = g[i]
+        # Stage 2: row arbiters accept one of the offered resources.
+        grants = []
+        for i in range(m):
+            g, fin = build_arbiter(nl, arbiter, offers[i])
+            grants.append(g)
+            finishers.append(fin)
+        for j in range(n):
+            success = or_reduce(nl, [grants[i][j] for i in range(m)])
+            col_fins[j](success)
+        for fin in finishers:
+            fin(None)  # row grants are final
+    return grants
+
+
+def build_wavefront_matrix(nl: Netlist, requests: NetMatrix) -> NetMatrix:
+    """Loop-free replicated wavefront allocator over a square net matrix.
+
+    One unrolled tile-array copy per starting diagonal; the active copy
+    is selected by a one-hot rotating diagonal pointer (DFF ring).  Tile
+    logic per Figure 2: ``gnt = req AND x AND y``; the row/column
+    availability tokens are killed downstream of a grant.
+    """
+    n = len(requests)
+    if any(len(row) != n for row in requests):
+        raise ValueError("wavefront request matrix must be square")
+    if n == 1:
+        return [[requests[0][0]]]
+
+    # Rotating one-hot diagonal pointer (pure DFF ring, no gates).
+    ptr = [nl.reg() for _ in range(n)]
+    for d in range(n):
+        nl.connect_reg(ptr[d], ptr[(d - 1) % n])
+
+    # Requests fan out to every copy through buffer trees.
+    req_leaves = [[fanout_tree(nl, requests[i][j], n) for j in range(n)] for i in range(n)]
+    # Copy-select signals drive up to n^2 AND gates each.
+    sel_leaves = [fanout_tree(nl, ptr[d], n * n) for d in range(n)]
+
+    copy_grants: List[NetMatrix] = []
+    for d in range(n):
+        # x_token[i]: availability token walking along row i, in wave
+        # order; y_token[j]: along column j.
+        x_token: List[Optional[int]] = [None] * n
+        y_token: List[Optional[int]] = [None] * n
+        gnt_d: NetMatrix = [[0] * n for _ in range(n)]
+        for k in range(n):
+            diag = (d + k) % n
+            for i in range(n):
+                j = (diag - i) % n
+                req = req_leaves[i][j][d]
+                x = x_token[i]
+                y = y_token[j]
+                if x is None and y is None:
+                    gnt = req
+                elif x is None:
+                    gnt = nl.gate("AND2", req, y)
+                elif y is None:
+                    gnt = nl.gate("AND2", req, x)
+                else:
+                    gnt = nl.gate("AND3", req, x, y)
+                gnt_d[i][j] = gnt
+                if k < n - 1:  # tokens past the last diagonal are unused
+                    ngnt = nl.gate("INV", gnt)
+                    x_token[i] = ngnt if x is None else nl.gate("AND2", x, ngnt)
+                    y_token[j] = ngnt if y is None else nl.gate("AND2", y, ngnt)
+        copy_grants.append(gnt_d)
+
+    # One-hot select of the active copy's grant matrix.
+    grants: NetMatrix = [[0] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(n):
+            sels = [sel_leaves[d][i * n + j] for d in range(n)]
+            data = [copy_grants[d][i][j] for d in range(n)]
+            grants[i][j] = onehot_mux(nl, sels, data)
+    return grants
+
+
+def build_wavefront_matrix_rotated(nl: Netlist, requests: NetMatrix) -> NetMatrix:
+    """Rotation-based loop-free wavefront allocator (Hurt et al. [9]).
+
+    The more area-efficient alternative the paper mentions in Section
+    2.2: instead of replicating the tile array per priority diagonal,
+    the request matrix is barrel-rotated so the active diagonal lands on
+    the main diagonal, a *single* fixed-priority array allocates, and
+    the grants are rotated back.  Costs ``2 n^2 log2(n)`` muxes plus one
+    ``n x n`` array instead of ``n`` arrays -- but the two barrel
+    shifters sit on the critical path, which is why the paper found the
+    replicated version faster at its design sizes (see the
+    ``ablation_wavefront_impl`` benchmark).
+
+    Functionally identical to :func:`build_wavefront_matrix`: rotating
+    rows up by the diagonal index ``d`` maps the cells with
+    ``(i + j) mod n == d`` onto the main anti-diagonal, preserving rows
+    and columns, so the greedy wave sweep grants exactly the same cells.
+    """
+    n = len(requests)
+    if any(len(row) != n for row in requests):
+        raise ValueError("wavefront request matrix must be square")
+    if n == 1:
+        return [[requests[0][0]]]
+
+    # Binary diagonal counter: log2-ceil(n) bits, incremented mod n each
+    # cycle (ripple increment + wrap detect).
+    bits = max(1, (n - 1).bit_length())
+    cnt = [nl.reg() for _ in range(bits)]
+    # increment: sum = cnt + 1
+    inc = []
+    carry = None
+    for b in range(bits):
+        if carry is None:
+            inc.append(nl.gate("INV", cnt[b]))
+            carry = cnt[b]
+        else:
+            inc.append(nl.gate("XOR2", cnt[b], carry))
+            carry = nl.gate("AND2", cnt[b], carry)
+    if n & (n - 1) == 0:
+        nxt = inc
+    else:
+        # Wrap to zero when the incremented value reaches n:
+        # wrap = AND(eq_terms), realized as NOT(OR(NOT term)).
+        eq_terms = []
+        for b in range(bits):
+            bit = (n >> b) & 1
+            eq_terms.append(inc[b] if bit else nl.gate("INV", inc[b]))
+        nwrap = or_reduce(nl, [nl.gate("INV", t) for t in eq_terms])
+        nxt = [nl.gate("AND2", inc[b], nwrap) for b in range(bits)]
+    for b in range(bits):
+        nl.connect_reg(cnt[b], nxt[b])
+
+    def barrel_rotate(matrix: NetMatrix, up: bool) -> NetMatrix:
+        """Rotate rows by the counter (up=True: row i <- row i+d)."""
+        cur = matrix
+        for b in range(bits):
+            shift = (1 << b) % n
+            sel_leaf = fanout_tree(nl, cnt[b], n * n)
+            nxt_m: NetMatrix = [[0] * n for _ in range(n)]
+            for i in range(n):
+                src = (i + shift) % n if up else (i - shift) % n
+                for j in range(n):
+                    nxt_m[i][j] = nl.gate(
+                        "MUX2", cur[i][j], cur[src][j], sel_leaf[i * n + j]
+                    )
+            cur = nxt_m
+        return cur
+
+    rotated = barrel_rotate(requests, up=True)
+
+    # Single fixed-priority array: priority injected at the main
+    # anti-diagonal (cells with (i + j) mod n == 0 see free tokens).
+    x_token = [None] * n
+    y_token = [None] * n
+    gnt_rot: NetMatrix = [[0] * n for _ in range(n)]
+    for k in range(n):
+        for i in range(n):
+            j = (k - i) % n
+            req = rotated[i][j]
+            x = x_token[i]
+            y = y_token[j]
+            if x is None and y is None:
+                gnt = req
+            elif x is None:
+                gnt = nl.gate("AND2", req, y)
+            elif y is None:
+                gnt = nl.gate("AND2", req, x)
+            else:
+                gnt = nl.gate("AND3", req, x, y)
+            gnt_rot[i][j] = gnt
+            if k < n - 1:
+                ngnt = nl.gate("INV", gnt)
+                x_token[i] = ngnt if x is None else nl.gate("AND2", x, ngnt)
+                y_token[j] = ngnt if y is None else nl.gate("AND2", y, ngnt)
+
+    return barrel_rotate(gnt_rot, up=False)
+
+
+def rotated_wavefront_gate_estimate(n: int) -> int:
+    """Gate estimate for the rotation-based wavefront."""
+    if n <= 1:
+        return 1
+    bits = max(1, (n - 1).bit_length())
+    shifters = 2 * n * n * bits
+    array = 4 * n * n
+    return shifters + array + 4 * bits
+
+
+def wavefront_gate_estimate(n: int) -> int:
+    """Gate-count estimate for the replicated wavefront array.
+
+    ~4 gates/tile across n copies of an n x n array, plus the output
+    multiplexer (~4/3 gates per (copy, cell)) and fanout buffers.
+    """
+    if n <= 1:
+        return 1
+    tiles = 4 * n * n * n
+    mux = int(n * n * (n + n / 3.0))
+    buffers = int(n * n * (n / 3.0)) + int(n * (n * n / 3.0))
+    return tiles + mux + buffers
+
+
+def separable_gate_estimate(
+    m: int,
+    n: int,
+    arbiter: str,
+    row_width: Optional[int] = None,
+    col_width: Optional[int] = None,
+    col_tree_groups: Optional[int] = None,
+) -> int:
+    """Gate-count estimate for a separable matrix allocator."""
+    from .arbiter_gates import arbiter_gate_estimate
+
+    rw = row_width if row_width is not None else n
+    cw = col_width if col_width is not None else m
+    rows = m * arbiter_gate_estimate(arbiter, rw)
+    cols = n * arbiter_gate_estimate(arbiter, cw, tree_groups=col_tree_groups)
+    glue = 2 * m * n
+    return rows + cols + glue

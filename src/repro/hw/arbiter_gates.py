@@ -1,0 +1,222 @@
+"""Gate-level arbiter netlists.
+
+Structural implementations of the arbiters from Section 2.1, matching
+the behavioural models in :mod:`repro.core.arbiters` at the architecture
+level:
+
+* fixed-priority: parallel-prefix OR network, log depth;
+* round-robin (``rr``): dual fixed-priority arbiters (masked by a
+  one-hot rotating pointer held in DFFs, and unmasked) with a per-bit
+  mux -- the classical structure;
+* matrix (``m``): n(n-1)/2 priority-state flip-flops with shallow grant
+  logic after an OR reduction -- fast but quadratic state, the
+  cost/fairness tradeoff the paper measures;
+* tree: a stage of group arbiters in parallel with a top-level arbiter
+  (only meaningful for round-robin; matrix arbiters are flat n^2
+  structures in this model, which is what makes the ``m`` variants of
+  the largest design points fail synthesis, cf. Section 4.3.1).
+
+Builders are *two-phase*: they return ``(grants, finish)`` where
+``finish(update_enable)`` emits the priority-state update logic.  The
+split exists because separable allocators gate priority updates on
+*downstream* success (grants computed later in the netlist), and gates
+may only reference already-created nets.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from .logic import fanout_tree, fixed_priority_grants, or_reduce, prefix_or
+from .netlist import Netlist
+
+__all__ = [
+    "ArbiterNets",
+    "build_fixed_priority",
+    "build_round_robin",
+    "build_matrix",
+    "build_tree_rr",
+    "build_arbiter",
+    "arbiter_gate_estimate",
+]
+
+# (grant nets, finish(update_enable_net_or_None) -> None)
+ArbiterNets = Tuple[List[int], Callable[[Optional[int]], None]]
+
+
+def _no_state(_enable: Optional[int]) -> None:
+    return None
+
+
+def build_fixed_priority(nl: Netlist, requests: Sequence[int]) -> ArbiterNets:
+    """Static-priority arbiter; stateless, so ``finish`` is a no-op."""
+    return fixed_priority_grants(nl, requests), _no_state
+
+
+def build_round_robin(nl: Netlist, requests: Sequence[int]) -> ArbiterNets:
+    """Round-robin arbiter with a registered thermometer mask.
+
+    The priority mask (1 for indices at/after the pointer) is stored
+    directly in DFFs rather than decoded from a one-hot pointer, keeping
+    the critical path to mask-AND, one prefix network and the final
+    mask-select mux -- the standard fast implementation.
+    """
+    n = len(requests)
+    if n == 1:
+        return [requests[0]], _no_state
+
+    mask = [nl.reg() for _ in range(n)]
+    masked = [nl.gate("AND2", requests[i], mask[i]) for i in range(n)]
+
+    gnt_masked = fixed_priority_grants(nl, masked)
+    gnt_unmasked = fixed_priority_grants(nl, requests)
+    any_masked = fanout_tree(nl, or_reduce(nl, masked), n)
+    grants = [
+        nl.gate("MUX2", gnt_unmasked[i], gnt_masked[i], any_masked[i])
+        for i in range(n)
+    ]
+
+    def finish(update_enable: Optional[int]) -> None:
+        # On a successful grant to i the new mask is 1 strictly after i
+        # (the winner becomes lowest priority): mask'[j] = prefix(gnt)[j-1].
+        any_grant = or_reduce(nl, grants)
+        upd = (
+            nl.gate("AND2", any_grant, update_enable)
+            if update_enable is not None
+            else any_grant
+        )
+        upd_leaf = fanout_tree(nl, upd, n)
+        pre = prefix_or(nl, grants)
+        for i in range(n):
+            nxt = nl.const(0) if i == 0 else pre[i - 1]
+            nl.connect_reg(mask[i], nl.gate("MUX2", mask[i], nxt, upd_leaf[i]))
+
+    return grants, finish
+
+
+def build_matrix(nl: Netlist, requests: Sequence[int]) -> ArbiterNets:
+    """Matrix (least-recently-served) arbiter.
+
+    Stores the strict upper triangle of the priority matrix in DFFs and
+    derives the lower triangle by inversion.
+    """
+    n = len(requests)
+    if n == 1:
+        return [requests[0]], _no_state
+
+    w_reg = {}
+    beats: List[List[Optional[int]]] = [[None] * n for _ in range(n)]
+    for i in range(n):
+        for j in range(i + 1, n):
+            q = nl.reg()
+            w_reg[(i, j)] = q
+            beats[i][j] = q
+            beats[j][i] = nl.gate("INV", q)
+
+    grants: List[int] = []
+    for i in range(n):
+        terms = [
+            nl.gate("AND2", requests[j], beats[j][i])  # type: ignore[arg-type]
+            for j in range(n)
+            if j != i
+        ]
+        deny = or_reduce(nl, terms)
+        grants.append(nl.gate("AND2", requests[i], nl.gate("INV", deny)))
+
+    def finish(update_enable: Optional[int]) -> None:
+        # Winner i loses priority to everyone:
+        # w[i][j]' = (w[i][j] AND NOT gnt[i]) OR gnt[j].
+        ngnt_leaves = [fanout_tree(nl, nl.gate("INV", g), n) for g in grants]
+        gnt_leaves = [fanout_tree(nl, g, n) for g in grants]
+        if update_enable is not None:
+            upd_leaves = fanout_tree(nl, update_enable, len(w_reg))
+        for idx, ((i, j), q) in enumerate(w_reg.items()):
+            hold = nl.gate("AND2", q, ngnt_leaves[i][j])
+            nxt = nl.gate("OR2", hold, gnt_leaves[j][i])
+            if update_enable is not None:
+                nxt = nl.gate("MUX2", q, nxt, upd_leaves[idx])
+            nl.connect_reg(q, nxt)
+
+    return grants, finish
+
+
+def build_tree_rr(
+    nl: Netlist, requests: Sequence[int], num_groups: int
+) -> ArbiterNets:
+    """Two-level round-robin tree arbiter (Section 4.1).
+
+    A stage of per-group arbiters runs in parallel with a top-level
+    arbiter across group-any signals; final grants AND the two levels.
+    """
+    n = len(requests)
+    if n % num_groups:
+        raise ValueError("group count must divide the request count")
+    gs = n // num_groups
+
+    finishers: List[Callable[[Optional[int]], None]] = []
+    group_any: List[int] = []
+    local_grants: List[List[int]] = []
+    for g in range(num_groups):
+        sub = list(requests[g * gs : (g + 1) * gs])
+        group_any.append(or_reduce(nl, sub))
+        lg, fin = build_round_robin(nl, sub)
+        local_grants.append(lg)
+        finishers.append(fin)
+    top, top_fin = build_round_robin(nl, group_any)
+    finishers.append(top_fin)
+
+    grants: List[int] = []
+    for g in range(num_groups):
+        for k in range(gs):
+            grants.append(nl.gate("AND2", local_grants[g][k], top[g]))
+
+    def finish(update_enable: Optional[int]) -> None:
+        for fin in finishers:
+            fin(update_enable)
+
+    return grants, finish
+
+
+def build_arbiter(
+    nl: Netlist,
+    kind: str,
+    requests: Sequence[int],
+    tree_groups: Optional[int] = None,
+) -> ArbiterNets:
+    """Dispatch on the paper's arbiter shorthand (``rr``/``m``/``fixed``).
+
+    ``tree_groups`` requests a two-level tree decomposition for wide
+    round-robin arbiters; matrix arbiters are always flat.
+    """
+    if kind == "fixed":
+        return build_fixed_priority(nl, requests)
+    if kind == "rr":
+        if tree_groups and tree_groups > 1 and len(requests) > tree_groups:
+            return build_tree_rr(nl, requests, tree_groups)
+        return build_round_robin(nl, requests)
+    if kind == "m":
+        return build_matrix(nl, requests)
+    raise ValueError(f"unknown arbiter kind {kind!r}")
+
+
+def arbiter_gate_estimate(kind: str, n: int, tree_groups: Optional[int] = None) -> int:
+    """Cheap gate-count estimate used by the synthesis capacity model."""
+    if n <= 1:
+        return 0
+    if kind == "fixed":
+        return int(n * math.log2(n)) + 2 * n
+    if kind == "rr":
+        if tree_groups and tree_groups > 1 and n > tree_groups:
+            gs = n // tree_groups
+            return (
+                tree_groups * arbiter_gate_estimate("rr", gs)
+                + arbiter_gate_estimate("rr", tree_groups)
+                + 2 * n
+            )
+        # two prefix networks, two priority stages, muxes, pointer DFFs.
+        return int(3 * n * math.log2(n)) + 8 * n
+    if kind == "m":
+        # n(n-1)/2 state DFFs plus ~4 gates per matrix entry.
+        return int(2.5 * n * n) + 4 * n
+    raise ValueError(f"unknown arbiter kind {kind!r}")

@@ -1,0 +1,94 @@
+"""Standard-cell library for the gate-level cost model.
+
+Stands in for the commercial 45 nm low-power library the paper
+synthesizes against (worst-case corner: 0.9 V, 125 C).  Each cell
+carries the parameters the rest of ``repro.hw`` needs:
+
+* ``logical_effort`` / ``parasitic`` -- the logical-effort delay model
+  ``d = tau * (p + g * h)`` with ``h = C_load / C_in``;
+* ``input_cap_ff`` -- input pin capacitance of a unit-sized cell;
+* ``area_um2`` -- unit-size cell area;
+* ``leakage_nw`` -- unit-size leakage power at the worst-case corner.
+
+Values are modelled on openly published 45 nm educational libraries
+(NanGate-class), derated for a low-power process at the slow corner via
+``TAU_PS``.  Absolute numbers are indicative; the reproduction targets
+orderings and scaling trends (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "Cell",
+    "CELLS",
+    "CELL_INDEX",
+    "cell_by_name",
+    "TAU_PS",
+    "VDD",
+    "WIRE_CAP_FF",
+    "MAX_SIZE",
+]
+
+# Delay unit of the logical-effort model, picoseconds.  FO4 = 5*tau.
+# 75 ps FO4 is representative of a 45 nm LP process at 0.9 V / 125 C.
+TAU_PS = 15.0
+
+# Supply voltage (V) for dynamic power.
+VDD = 0.9
+
+# Wire load added per fanout connection (fF); crude but keeps high-
+# fanout nets honest.
+WIRE_CAP_FF = 0.35
+
+# Maximum drive-strength multiplier the sizing pass may apply.
+MAX_SIZE = 16.0
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One combinational or sequential standard cell."""
+
+    name: str
+    num_inputs: int
+    logical_effort: float  # g
+    parasitic: float  # p, in units of tau
+    input_cap_ff: float  # unit-size input capacitance
+    area_um2: float  # unit-size area
+    leakage_nw: float  # unit-size leakage
+    sequential: bool = False
+
+
+# NanGate-45-class parameters.  Logical efforts follow Sutherland et al.
+# ("Logical Effort"); areas/caps/leakage are representative unit-drive
+# values.
+CELLS: Tuple[Cell, ...] = (
+    Cell("INV", 1, 1.00, 1.0, 1.2, 0.80, 8.0),
+    Cell("BUF", 1, 1.00, 2.0, 1.2, 1.06, 10.0),
+    Cell("NAND2", 2, 4 / 3, 2.0, 1.3, 1.06, 11.0),
+    Cell("NOR2", 2, 5 / 3, 2.0, 1.4, 1.06, 12.0),
+    Cell("AND2", 2, 4 / 3, 3.0, 1.3, 1.33, 13.0),
+    Cell("AND3", 3, 5 / 3, 3.6, 1.4, 1.60, 16.0),
+    Cell("AND4", 4, 2.00, 4.2, 1.5, 1.86, 19.0),
+    Cell("OR2", 2, 5 / 3, 3.0, 1.4, 1.33, 14.0),
+    Cell("OR3", 3, 7 / 3, 3.6, 1.5, 1.60, 17.0),
+    Cell("OR4", 4, 3.00, 4.2, 1.6, 1.86, 20.0),
+    Cell("XOR2", 2, 4.00, 4.0, 1.8, 1.86, 22.0),
+    Cell("MUX2", 3, 2.00, 4.0, 1.5, 2.13, 21.0),  # inputs: (d0, d1, sel)
+    # DFF: parasitic models clk-to-q; input cap is the D pin.
+    Cell("DFF", 1, 1.00, 6.0, 1.3, 4.25, 45.0, sequential=True),
+)
+
+CELL_INDEX: Dict[str, int] = {c.name: i for i, c in enumerate(CELLS)}
+
+
+def cell_by_name(name: str) -> Cell:
+    """Look up a cell; raises ``KeyError`` with the known names listed."""
+    try:
+        return CELLS[CELL_INDEX[name]]
+    except KeyError:
+        raise KeyError(
+            f"unknown cell {name!r}; known cells: {sorted(CELL_INDEX)}"
+        ) from None

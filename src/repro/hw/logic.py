@@ -1,0 +1,147 @@
+"""Generic combinational building blocks for allocator netlists.
+
+All builders append gates to an existing :class:`~repro.hw.netlist.Netlist`
+and return net ids.  They implement the structures the paper's RTL
+generator would emit: balanced reduction trees (log depth), parallel-
+prefix OR networks (for priority logic), one-hot multiplexers, and
+explicit fanout buffer trees for nets that drive many sinks (standing in
+for the buffering synthesis would insert).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .cells import CELL_INDEX
+from .netlist import Netlist
+
+__all__ = [
+    "reduce_tree",
+    "or_reduce",
+    "and_reduce",
+    "prefix_or",
+    "fixed_priority_grants",
+    "onehot_mux",
+    "fanout_tree",
+    "rotate_left",
+]
+
+_IX_AND = [None, None, CELL_INDEX["AND2"], CELL_INDEX["AND3"], CELL_INDEX["AND4"]]
+_IX_OR = [None, None, CELL_INDEX["OR2"], CELL_INDEX["OR3"], CELL_INDEX["OR4"]]
+_IX_BUF = CELL_INDEX["BUF"]
+_IX_INV = CELL_INDEX["INV"]
+_IX_OR2 = CELL_INDEX["OR2"]
+_IX_AND2 = CELL_INDEX["AND2"]
+
+
+def reduce_tree(nl: Netlist, op: str, nets: Sequence[int]) -> int:
+    """Balanced reduction of ``nets`` with 2-4 input ``AND``/``OR`` cells.
+
+    Depth is logarithmic in ``len(nets)`` -- the property that lets
+    separable allocators scale to high radix (Section 2.1).
+    """
+    table = _IX_AND if op == "AND" else _IX_OR if op == "OR" else None
+    if table is None:
+        raise ValueError(f"op must be 'AND' or 'OR', got {op!r}")
+    if not nets:
+        raise ValueError("cannot reduce zero nets")
+    level = list(nets)
+    while len(level) > 1:
+        nxt: List[int] = []
+        i = 0
+        n = len(level)
+        while i < n:
+            take = min(4, n - i)
+            if take == 1:
+                nxt.append(level[i])
+            else:
+                nxt.append(nl.gate_ix(table[take], level[i : i + take]))
+            i += take
+        level = nxt
+    return level[0]
+
+
+def or_reduce(nl: Netlist, nets: Sequence[int]) -> int:
+    return reduce_tree(nl, "OR", nets)
+
+
+def and_reduce(nl: Netlist, nets: Sequence[int]) -> int:
+    return reduce_tree(nl, "AND", nets)
+
+
+def prefix_or(nl: Netlist, nets: Sequence[int]) -> List[int]:
+    """Inclusive parallel-prefix OR (Kogge-Stone): out[i] = OR(nets[0..i]).
+
+    Log depth, ``n log n`` OR2 cells -- the priority network inside
+    fixed-priority arbiters.
+    """
+    pre = list(nets)
+    n = len(pre)
+    dist = 1
+    while dist < n:
+        nxt = list(pre)
+        for i in range(dist, n):
+            nxt[i] = nl.gate_ix(_IX_OR2, (pre[i], pre[i - dist]))
+        pre = nxt
+        dist *= 2
+    return pre
+
+
+def fixed_priority_grants(nl: Netlist, requests: Sequence[int]) -> List[int]:
+    """Grant vector of a static-priority arbiter: lowest index wins.
+
+    ``gnt[i] = req[i] AND NOT OR(req[0..i-1])`` via a prefix network.
+    """
+    n = len(requests)
+    if n == 1:
+        return [requests[0]]
+    pre = prefix_or(nl, requests)
+    grants = [requests[0]]
+    for i in range(1, n):
+        blocked = nl.gate_ix(_IX_INV, (pre[i - 1],))
+        grants.append(nl.gate_ix(_IX_AND2, (requests[i], blocked)))
+    return grants
+
+
+def onehot_mux(nl: Netlist, selects: Sequence[int], data: Sequence[int]) -> int:
+    """One-hot multiplexer: OR over AND(select_i, data_i)."""
+    if len(selects) != len(data):
+        raise ValueError("selects and data must have equal length")
+    if len(selects) == 1:
+        return nl.gate_ix(_IX_AND2, (selects[0], data[0]))
+    terms = [nl.gate_ix(_IX_AND2, (s, d)) for s, d in zip(selects, data)]
+    return or_reduce(nl, terms)
+
+
+def fanout_tree(nl: Netlist, net: int, count: int, branch: int = 4) -> List[int]:
+    """Buffer tree distributing ``net`` to ``count`` sinks.
+
+    Returns ``count`` leaf nets, each intended to drive at most a
+    handful of loads.  Models the buffering synthesis inserts on
+    high-fanout nets (e.g. requests broadcast to every replicated
+    wavefront array copy).
+    """
+    if count < 1:
+        raise ValueError("count must be >= 1")
+    if count <= branch:
+        return [net] * count
+    # Number of first-level buffers.
+    groups = (count + branch - 1) // branch
+    parents = fanout_tree(nl, net, groups, branch)
+    leaves: List[int] = []
+    remaining = count
+    for parent in parents:
+        take = min(branch, remaining)
+        buf = nl.gate_ix(_IX_BUF, (parent,))
+        leaves.extend([buf] * take)
+        remaining -= take
+        if remaining == 0:
+            break
+    return leaves
+
+
+def rotate_left(nets: Sequence[int], amount: int) -> List[int]:
+    """Cyclic rotation of a net vector (pure wiring, no gates)."""
+    n = len(nets)
+    amount %= n
+    return list(nets[amount:]) + list(nets[:amount])

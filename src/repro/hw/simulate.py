@@ -1,0 +1,128 @@
+"""Functional (cycle-level) simulation of netlists.
+
+Used to cross-validate the gate-level builders against the behavioural
+models in :mod:`repro.core` -- the structural netlists must compute the
+same grants as the Python allocators for identical stimulus.  Also used
+by the open-loop RTL quality experiments (Section 3.1), which drive the
+netlists with pseudo-random request matrices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .cells import CELL_INDEX
+from .netlist import KIND_CONST0, KIND_CONST1, KIND_INPUT, Netlist
+
+__all__ = ["NetlistSimulator"]
+
+_DFF = CELL_INDEX["DFF"]
+_INV = CELL_INDEX["INV"]
+_BUF = CELL_INDEX["BUF"]
+_NAND2 = CELL_INDEX["NAND2"]
+_NOR2 = CELL_INDEX["NOR2"]
+_AND2 = CELL_INDEX["AND2"]
+_AND3 = CELL_INDEX["AND3"]
+_AND4 = CELL_INDEX["AND4"]
+_OR2 = CELL_INDEX["OR2"]
+_OR3 = CELL_INDEX["OR3"]
+_OR4 = CELL_INDEX["OR4"]
+_XOR2 = CELL_INDEX["XOR2"]
+_MUX2 = CELL_INDEX["MUX2"]
+
+
+class NetlistSimulator:
+    """Two-valued functional simulator for a :class:`Netlist`.
+
+    Registers power up to a caller-supplied initial state (default 0;
+    round-robin masks conventionally reset to all-ones so index 0 has
+    priority, matching the behavioural arbiters' reset state).
+    """
+
+    def __init__(self, nl: Netlist, reg_init: int = 0) -> None:
+        nl.validate()
+        self.nl = nl
+        self.state: Dict[int, int] = {
+            q: reg_init for q in range(nl.num_nets) if nl.kinds[q] == _DFF
+        }
+        self._input_ids = [
+            nid for nid, k in enumerate(nl.kinds) if k == KIND_INPUT
+        ]
+
+    @property
+    def num_inputs(self) -> int:
+        return len(self._input_ids)
+
+    def set_register(self, q_net: int, value: int) -> None:
+        """Force a register's current state (e.g. arbiter priority init)."""
+        if q_net not in self.state:
+            raise ValueError(f"net {q_net} is not a register")
+        self.state[q_net] = 1 if value else 0
+
+    def evaluate(self, inputs: Sequence[int]) -> List[int]:
+        """Combinational evaluation; returns the value of every net."""
+        nl = self.nl
+        if len(inputs) != len(self._input_ids):
+            raise ValueError(
+                f"expected {len(self._input_ids)} inputs, got {len(inputs)}"
+            )
+        vals = [0] * nl.num_nets
+        for nid, v in zip(self._input_ids, inputs):
+            vals[nid] = 1 if v else 0
+        kinds = nl.kinds
+        fanins = nl.fanins
+        state = self.state
+        for nid in range(nl.num_nets):
+            k = kinds[nid]
+            if k == KIND_INPUT:
+                continue
+            if k == KIND_CONST0:
+                vals[nid] = 0
+            elif k == KIND_CONST1:
+                vals[nid] = 1
+            elif k == _DFF:
+                vals[nid] = state[nid]
+            else:
+                f = fanins[nid]
+                if k == _INV:
+                    vals[nid] = 1 - vals[f[0]]
+                elif k == _BUF:
+                    vals[nid] = vals[f[0]]
+                elif k == _AND2:
+                    vals[nid] = vals[f[0]] & vals[f[1]]
+                elif k == _AND3:
+                    vals[nid] = vals[f[0]] & vals[f[1]] & vals[f[2]]
+                elif k == _AND4:
+                    vals[nid] = vals[f[0]] & vals[f[1]] & vals[f[2]] & vals[f[3]]
+                elif k == _OR2:
+                    vals[nid] = vals[f[0]] | vals[f[1]]
+                elif k == _OR3:
+                    vals[nid] = vals[f[0]] | vals[f[1]] | vals[f[2]]
+                elif k == _OR4:
+                    vals[nid] = vals[f[0]] | vals[f[1]] | vals[f[2]] | vals[f[3]]
+                elif k == _NAND2:
+                    vals[nid] = 1 - (vals[f[0]] & vals[f[1]])
+                elif k == _NOR2:
+                    vals[nid] = 1 - (vals[f[0]] | vals[f[1]])
+                elif k == _XOR2:
+                    vals[nid] = vals[f[0]] ^ vals[f[1]]
+                elif k == _MUX2:
+                    vals[nid] = vals[f[1]] if vals[f[2]] else vals[f[0]]
+                else:  # pragma: no cover
+                    raise NotImplementedError(f"cell kind {k}")
+        return vals
+
+    def step(self, inputs: Sequence[int]) -> Dict[str, int]:
+        """One clock cycle: evaluate, capture outputs, clock registers."""
+        vals = self.evaluate(inputs)
+        outputs = {}
+        for net, name in zip(self.nl.outputs, self.nl.output_names):
+            outputs[name or f"out{net}"] = vals[net]
+        for q, d in self.nl.reg_d.items():
+            self.state[q] = vals[d]
+        return outputs
+
+    def output_values(self, inputs: Sequence[int]) -> List[int]:
+        """Evaluate and return just the primary-output values, in order."""
+        vals = self.evaluate(inputs)
+        return [vals[net] for net in self.nl.outputs]

@@ -1,0 +1,287 @@
+"""Gate-level switch allocator netlists (Figures 8 and 9).
+
+Builds complete switch allocators for a ``P``-port, ``V``-VC router.
+Runtime inputs: per (input port, VC) a one-hot P-wide output-port
+request vector.  Outputs: the P x P crossbar control matrix plus the
+per-port winning-VC vector.
+
+Speculation variants (Figure 9) wrap two identical allocator cores:
+
+* ``conventional`` masks speculative grants with the non-speculative
+  *grant* matrix: the row/column OR-reduction trees and the NOR stage
+  sit after the non-speculative allocator on the critical path;
+* ``pessimistic`` masks with the non-speculative *request* matrix: the
+  reductions are computed directly from primary inputs, in parallel
+  with allocation, leaving only the final AND (and the grant-combine OR)
+  on the critical path -- the delay saving the paper proposes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from .alloc_gates import build_wavefront_matrix, wavefront_gate_estimate
+from .arbiter_gates import arbiter_gate_estimate, build_arbiter
+from .logic import fanout_tree, fixed_priority_grants, or_reduce, prefix_or
+from .netlist import Netlist
+
+__all__ = [
+    "build_switch_allocator_netlist",
+    "estimate_switch_allocator_gates",
+]
+
+NetMatrix = List[List[int]]
+
+
+def _build_requests(nl: Netlist, P: int, V: int, tag: str) -> List[List[List[int]]]:
+    """Primary inputs: req[p][v][q]."""
+    return [
+        [nl.inputs(P, f"{tag}req_p{p}v{v}_q") for v in range(V)]
+        for p in range(P)
+    ]
+
+
+def _core(
+    nl: Netlist,
+    P: int,
+    V: int,
+    arch: str,
+    arbiter: str,
+    req: List[List[List[int]]],
+) -> Tuple[NetMatrix, List[List[int]]]:
+    """One switch allocator core; returns (crossbar, per-port VC grants)."""
+    if arch == "sep_if":
+        return _core_sep_if(nl, P, V, arbiter, req)
+    if arch == "sep_of":
+        return _core_sep_of(nl, P, V, arbiter, req)
+    if arch == "wf":
+        return _core_wf(nl, P, V, req)
+    raise ValueError(f"unknown switch allocator arch {arch!r}")
+
+
+def _core_sep_if(nl, P, V, arbiter, req):
+    # Stage 1: per input port, a V-input arbiter over active VCs.
+    vgrants: List[List[int]] = []
+    vc_fins = []
+    for p in range(P):
+        active = [or_reduce(nl, req[p][v]) for v in range(V)]
+        g, fin = build_arbiter(nl, arbiter, active)
+        vgrants.append(g)
+        vc_fins.append(fin)
+
+    # Forward the winning VC's request to its output port.
+    preq: NetMatrix = []
+    for p in range(P):
+        row = []
+        for q in range(P):
+            terms = [nl.gate("AND2", vgrants[p][v], req[p][v][q]) for v in range(V)]
+            row.append(or_reduce(nl, terms))
+        preq.append(row)
+
+    # Stage 2: per output port, a P-input arbiter.  Its grants drive the
+    # crossbar control signals directly (Figure 8a).
+    xbar: NetMatrix = [[0] * P for _ in range(P)]
+    for q in range(P):
+        g, fin = build_arbiter(nl, arbiter, [preq[p][q] for p in range(P)])
+        fin(None)
+        for p in range(P):
+            xbar[p][q] = g[p]
+
+    # Input-stage priorities advance only on downstream success.
+    vc_out: List[List[int]] = []
+    for p in range(P):
+        success = or_reduce(nl, xbar[p])
+        vc_fins[p](success)
+        vc_out.append(
+            [nl.gate("AND2", vgrants[p][v], success) for v in range(V)]
+        )
+    return xbar, vc_out
+
+
+def _core_sep_of(nl, P, V, arbiter, req):
+    # Port-level requests combine all VCs (Figure 8b).
+    preq = [
+        [or_reduce(nl, [req[p][v][q] for v in range(V)]) for q in range(P)]
+        for p in range(P)
+    ]
+
+    # Stage 1: output-port arbiters offer themselves to one input port.
+    offers: NetMatrix = [[0] * P for _ in range(P)]  # [p][q]
+    out_fins = []
+    for q in range(P):
+        g, fin = build_arbiter(nl, arbiter, [preq[p][q] for p in range(P)])
+        out_fins.append(fin)
+        for p in range(P):
+            offers[p][q] = g[p]
+
+    # Stage 2: per input port, arbitrate among VCs able to use a granted
+    # output.
+    xbar: NetMatrix = [[0] * P for _ in range(P)]
+    vc_out: List[List[int]] = []
+    for p in range(P):
+        elig = []
+        for v in range(V):
+            terms = [nl.gate("AND2", req[p][v][q], offers[p][q]) for q in range(P)]
+            elig.append(or_reduce(nl, terms))
+        g, fin = build_arbiter(nl, arbiter, elig)
+        fin(None)
+        vc_out.append(g)
+        # Crossbar controls are generated after allocation completes
+        # (the output arbiters cannot drive them directly here).
+        for q in range(P):
+            acc = or_reduce(
+                nl, [nl.gate("AND2", g[v], req[p][v][q]) for v in range(V)]
+            )
+            xbar[p][q] = nl.gate("AND2", offers[p][q], acc)
+    for q in range(P):
+        success = or_reduce(nl, [xbar[p][q] for p in range(P)])
+        out_fins[q](success)
+    return xbar, vc_out
+
+
+def _core_wf(nl, P, V, req):
+    # Port-level requests; the wavefront grants at most one output per
+    # input, so its outputs drive the crossbar directly (Figure 8c).
+    preq = [
+        [or_reduce(nl, [req[p][v][q] for v in range(V)]) for q in range(P)]
+        for p in range(P)
+    ]
+    xbar = build_wavefront_matrix(nl, preq)
+
+    # VC pre-selection in parallel with the wavefront: per input port a
+    # shared rotating-mask register, combinationally replicated per
+    # output port over the VCs requesting that output.
+    vc_out: List[List[int]] = []
+    for p in range(P):
+        if V == 1:
+            sel_by_q = [[nl.const(1)] for _ in range(P)]
+            mask = None
+        else:
+            mask = [nl.reg() for _ in range(V)]
+            sel_by_q = []
+            for q in range(P):
+                lines = [req[p][v][q] for v in range(V)]
+                masked = [nl.gate("AND2", lines[v], mask[v]) for v in range(V)]
+                gm = fixed_priority_grants(nl, masked)
+                gu = fixed_priority_grants(nl, lines)
+                anym = or_reduce(nl, masked)
+                sel_by_q.append(
+                    [nl.gate("MUX2", gu[v], gm[v], anym) for v in range(V)]
+                )
+        # Combine: VC v wins if its pre-selection fires for the granted q.
+        grants_v = []
+        for v in range(V):
+            terms = [nl.gate("AND2", sel_by_q[q][v], xbar[p][q]) for q in range(P)]
+            grants_v.append(or_reduce(nl, terms))
+        vc_out.append(grants_v)
+        if mask is not None:
+            # Rotate the shared mask past the winning VC on success.
+            any_gnt = or_reduce(nl, grants_v)
+            upd = fanout_tree(nl, any_gnt, V)
+            pre = prefix_or(nl, grants_v)
+            for v in range(V):
+                nxt = nl.const(0) if v == 0 else pre[v - 1]
+                nl.connect_reg(mask[v], nl.gate("MUX2", mask[v], nxt, upd[v]))
+    return xbar, vc_out
+
+
+# ----------------------------------------------------------------------
+def build_switch_allocator_netlist(
+    num_ports: int,
+    num_vcs: int,
+    arch: str = "sep_if",
+    arbiter: str = "rr",
+    speculation: str = "nonspec",
+) -> Netlist:
+    """Construct a switch allocator netlist for one design point.
+
+    ``speculation`` is ``"nonspec"``, ``"conventional"`` or
+    ``"pessimistic"`` (Figure 9); speculative variants instantiate two
+    allocator cores plus the masking logic.
+    """
+    P, V = num_ports, num_vcs
+    nl = Netlist(f"sw_{arch}_{arbiter}_P{P}_V{V}_{speculation}")
+
+    req_ns = _build_requests(nl, P, V, "ns_")
+    if speculation == "nonspec":
+        xbar, vc_out = _core(nl, P, V, arch, arbiter, req_ns)
+        for p in range(P):
+            for q in range(P):
+                nl.mark_output(xbar[p][q], f"xbar_{p}_{q}")
+            for v in range(V):
+                nl.mark_output(vc_out[p][v], f"vcgnt_{p}_{v}")
+        nl.validate()
+        return nl
+    if speculation not in ("conventional", "pessimistic"):
+        raise ValueError(f"unknown speculation scheme {speculation!r}")
+
+    req_sp = _build_requests(nl, P, V, "sp_")
+
+    if speculation == "pessimistic":
+        # Row/column busy bits from non-speculative REQUESTS: computed
+        # straight from inputs, in parallel with both allocators.
+        row_busy = [
+            or_reduce(nl, [req_ns[p][v][q] for v in range(V) for q in range(P)])
+            for p in range(P)
+        ]
+        col_busy = [
+            or_reduce(nl, [req_ns[p][v][q] for v in range(V) for p in range(P)])
+            for q in range(P)
+        ]
+
+    xbar_ns, vc_ns = _core(nl, P, V, arch, arbiter, req_ns)
+    xbar_sp, vc_sp = _core(nl, P, V, arch, arbiter, req_sp)
+
+    if speculation == "conventional":
+        # Row/column busy bits from non-speculative GRANTS: the
+        # reduction trees extend the critical path (Figure 9a).
+        row_busy = [or_reduce(nl, xbar_ns[p]) for p in range(P)]
+        col_busy = [
+            or_reduce(nl, [xbar_ns[p][q] for p in range(P)]) for q in range(P)
+        ]
+
+    # NOR the summaries, mask speculative grants, combine.
+    ok = [
+        [nl.gate("INV", nl.gate("OR2", row_busy[p], col_busy[q])) for q in range(P)]
+        for p in range(P)
+    ]
+    for p in range(P):
+        masked_row = []
+        for q in range(P):
+            masked = nl.gate("AND2", xbar_sp[p][q], ok[p][q])
+            masked_row.append(masked)
+            nl.mark_output(
+                nl.gate("OR2", xbar_ns[p][q], masked), f"xbar_{p}_{q}"
+            )
+        # A speculative VC grant is only valid if the port's speculative
+        # crossbar grant survived the masking.
+        surv = or_reduce(nl, masked_row)
+        for v in range(V):
+            nl.mark_output(vc_ns[p][v], f"vcgnt_ns_{p}_{v}")
+            nl.mark_output(
+                nl.gate("AND2", vc_sp[p][v], surv), f"vcgnt_sp_{p}_{v}"
+            )
+    nl.validate()
+    return nl
+
+
+def estimate_switch_allocator_gates(
+    num_ports: int,
+    num_vcs: int,
+    arch: str,
+    arbiter: str = "rr",
+    speculation: str = "nonspec",
+) -> int:
+    """Cheap gate-count estimate for the synthesis capacity model."""
+    P, V = num_ports, num_vcs
+    if arch == "wf":
+        core = wavefront_gate_estimate(P) + P * P * (3 * V + 4)
+    else:
+        core = (
+            P * arbiter_gate_estimate(arbiter, V)
+            + P * arbiter_gate_estimate(arbiter, P)
+            + 3 * P * P * V
+        )
+    if speculation == "nonspec":
+        return core
+    return 2 * core + 6 * P * P

@@ -1,0 +1,104 @@
+"""Packets and flits for the cycle-accurate network simulator.
+
+Traffic follows Section 3.2: request/reply transactions where read
+requests and write replies are single-flit packets, while read replies
+and write requests carry a head flit plus four payload flits.  Requests
+travel in message class 0, replies in message class 1 (which is what
+prevents protocol deadlock at the network boundary).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import List, Optional
+
+__all__ = ["PacketType", "Packet", "Flit", "MESSAGE_CLASS_REQUEST", "MESSAGE_CLASS_REPLY"]
+
+MESSAGE_CLASS_REQUEST = 0
+MESSAGE_CLASS_REPLY = 1
+
+_packet_ids = itertools.count()
+
+
+class PacketType(Enum):
+    """Transaction packet types with their flit counts (Section 3.2)."""
+
+    READ_REQUEST = ("read_request", 1, MESSAGE_CLASS_REQUEST)
+    WRITE_REQUEST = ("write_request", 5, MESSAGE_CLASS_REQUEST)
+    READ_REPLY = ("read_reply", 5, MESSAGE_CLASS_REPLY)
+    WRITE_REPLY = ("write_reply", 1, MESSAGE_CLASS_REPLY)
+
+    def __init__(self, label: str, size: int, message_class: int) -> None:
+        self.label = label
+        self.size = size
+        self.message_class = message_class
+
+    @property
+    def is_request(self) -> bool:
+        return self.message_class == MESSAGE_CLASS_REQUEST
+
+    @property
+    def reply_type(self) -> "PacketType":
+        """The reply generated when this request reaches its destination."""
+        if self is PacketType.READ_REQUEST:
+            return PacketType.READ_REPLY
+        if self is PacketType.WRITE_REQUEST:
+            return PacketType.WRITE_REPLY
+        raise ValueError(f"{self} is not a request type")
+
+
+@dataclass
+class Packet:
+    """One multi-flit packet travelling through the network.
+
+    ``resource_class`` is the packet's *current* deadlock-avoidance
+    phase (mutated by the routing function, e.g. when a UGAL packet
+    passes its intermediate router); ``intermediate`` holds the Valiant
+    intermediate router for non-minimally routed packets.
+    """
+
+    src: int  # source terminal id
+    dest: int  # destination terminal id
+    ptype: PacketType
+    birth_time: int
+    pid: int = field(default_factory=lambda: next(_packet_ids))
+    resource_class: int = 0
+    intermediate: Optional[int] = None  # router id for Valiant routing
+    inject_time: Optional[int] = None  # head flit entered the network
+    arrival_time: Optional[int] = None  # tail flit ejected
+
+    @property
+    def size(self) -> int:
+        return self.ptype.size
+
+    @property
+    def message_class(self) -> int:
+        return self.ptype.message_class
+
+    def make_flits(self) -> List["Flit"]:
+        """The packet's flit train (head first, tail last)."""
+        return [
+            Flit(self, index=i, is_head=(i == 0), is_tail=(i == self.size - 1))
+            for i in range(self.size)
+        ]
+
+
+@dataclass
+class Flit:
+    """One flow-control unit.
+
+    ``out_port`` is filled in by (lookahead) routing when the flit
+    enters a router and names the output port at that router.
+    """
+
+    packet: Packet
+    index: int
+    is_head: bool
+    is_tail: bool
+    out_port: int = -1
+
+    def __repr__(self) -> str:
+        kind = "H" if self.is_head else "T" if self.is_tail else "B"
+        return f"Flit({kind} pkt={self.packet.pid} idx={self.index})"

@@ -1,0 +1,133 @@
+"""Network container: routers, terminals, links and the event loop.
+
+Events (flit deliveries, credit returns) are scheduled at absolute
+cycles in a dict-of-lists calendar queue -- cheap because every event
+horizon is bounded by the largest link latency (+1 cycle of switch
+traversal).
+
+Per cycle:
+
+1. deliver this cycle's flits and credits (buffer writes),
+2. terminals generate/serialize traffic,
+3. every router runs its allocation step (VA + speculative SA) and
+   schedules departures.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .flit import Flit, Packet
+from .router import Router
+from .traffic import Terminal
+
+__all__ = ["Network"]
+
+
+class Network:
+    """A simulated NoC: routers + terminals + in-flight events."""
+
+    def __init__(self, routing) -> None:
+        self.routing = routing
+        self.routers: List[Router] = []
+        self.terminals: List[Terminal] = []
+        self.time = 0
+        self._flit_events: Dict[int, List[Tuple[str, object, int, int, Flit]]] = {}
+        self._credit_events: Dict[int, List[Tuple[str, object, int, int]]] = {}
+        # Delivery hook set by the simulator to collect statistics.
+        self.on_delivery: Optional[Callable[[Packet, int], None]] = None
+
+    # ------------------------------------------------------------------
+    # event scheduling (called by routers/terminals)
+    # ------------------------------------------------------------------
+    def schedule_flit(
+        self, when: int, kind: str, obj: object, port: int, vc: int, flit: Flit
+    ) -> None:
+        """Deliver ``flit`` into (obj, port, vc) at cycle ``when``."""
+        self._flit_events.setdefault(when, []).append((kind, obj, port, vc, flit))
+
+    def schedule_credit(
+        self, when: int, kind: str, obj: object, port: int, vc: int
+    ) -> None:
+        self._credit_events.setdefault(when, []).append((kind, obj, port, vc))
+
+    def record_delivery(self, packet: Packet, now: int) -> None:
+        if self.on_delivery is not None:
+            self.on_delivery(packet, now)
+
+    # ------------------------------------------------------------------
+    def step(self) -> None:
+        """Advance the network by one cycle."""
+        now = self.time
+
+        for kind, obj, port, vc, flit in self._flit_events.pop(now, ()):
+            if kind == "router":
+                obj.receive_flit(self, port, vc, flit)
+            else:  # terminal ejection
+                obj.receive_flit(self, vc, flit, now)
+        for kind, obj, port, vc in self._credit_events.pop(now, ()):
+            if kind == "router":
+                obj.receive_credit(port, vc)
+            else:
+                obj.receive_credit(vc)
+
+        for term in self.terminals:
+            term.step(self, now)
+        for router in self.routers:
+            router.allocation_step(self, now)
+
+        self.time = now + 1
+
+    def run(self, cycles: int) -> None:
+        for _ in range(cycles):
+            self.step()
+
+    # ------------------------------------------------------------------
+    # aggregate statistics
+    # ------------------------------------------------------------------
+    @property
+    def num_terminals(self) -> int:
+        return len(self.terminals)
+
+    def total_injected_flits(self) -> int:
+        return sum(t.injected_flits for t in self.terminals)
+
+    def total_ejected_flits(self) -> int:
+        return sum(t.ejected_flits for t in self.terminals)
+
+    def total_misspeculations(self) -> int:
+        return sum(r.misspeculations for r in self.routers)
+
+    def total_speculative_wins(self) -> int:
+        return sum(r.speculative_wins for r in self.routers)
+
+    def total_backlog(self) -> int:
+        return sum(t.backlog for t in self.terminals)
+
+    def channel_utilization(self) -> Dict[Tuple[int, int], float]:
+        """Flits per cycle sent on each router-to-router channel.
+
+        Keyed by ``(router id, output port)``; terminal channels are
+        included.  Useful for spotting load imbalance (e.g. the UGAL
+        adversarial-traffic studies).
+        """
+        if self.time == 0:
+            return {}
+        return {
+            (r.id, q): r.port_flits[q] / self.time
+            for r in self.routers
+            for q in range(r.num_ports)
+            if r.out_links[q] is not None
+        }
+
+    def in_flight_flits(self) -> int:
+        """Flits buffered in routers or on links (drain check)."""
+        buffered = sum(
+            ivc.occupancy
+            for r in self.routers
+            for port in r.input_vcs
+            for ivc in port
+        )
+        on_links = sum(len(v) for v in self._flit_events.values())
+        sending = sum(len(t._flits) for t in self.terminals)
+        return buffered + on_links + sending

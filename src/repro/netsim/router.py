@@ -1,0 +1,290 @@
+"""Input-queued VC router with a two-stage pipeline (Section 3.2).
+
+Stage 1 performs VC allocation and (speculative) switch allocation in
+parallel; stage 2 is switch traversal.  Lookahead routing is modelled
+by computing a flit's output port the moment it is written into an
+input buffer, so no pipeline stage is charged for routing.
+
+Pipeline timing: a flit granted the switch in cycle ``t`` traverses the
+crossbar in ``t+1`` and is written into the downstream input buffer at
+``t + 1 + link_latency``, becoming eligible for allocation the cycle
+after that.  Credits follow the reverse path with the same latency.
+
+Speculation (Section 5.2): a head flit waiting for an output VC bids
+for the crossbar in the same cycle as VC allocation through the
+speculative allocator; the speculative grant is *used* only if VC
+allocation succeeded in the same cycle and the granted VC has a credit,
+otherwise it counts as a misspeculation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
+
+from ..core.speculative import SpeculativeSwitchAllocator
+from ..core.vc_allocator import VCAllocator, VCRequest
+from ..core.vc_partition import VCPartition
+from .buffers import InputVC
+from .flit import Flit
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .network import Network
+
+__all__ = ["Router"]
+
+# route function: (network, router, packet) -> output port; it may
+# mutate packet.resource_class (phase transitions).
+RouteFn = Callable[["Network", "Router", object], int]
+
+
+class Router:
+    """One NoC router instance."""
+
+    def __init__(
+        self,
+        router_id: int,
+        num_ports: int,
+        partition: VCPartition,
+        route_fn: RouteFn,
+        vc_alloc_arch: str = "sep_if",
+        vc_alloc_arbiter: str = "rr",
+        sw_alloc_arch: str = "sep_if",
+        sw_alloc_arbiter: str = "rr",
+        speculation: str = "pessimistic",
+        buffer_depth: int = 8,
+        lookahead: bool = True,
+    ) -> None:
+        self.id = router_id
+        self.num_ports = num_ports
+        self.partition = partition
+        self.num_vcs = partition.num_vcs
+        self.route_fn = route_fn
+        self.buffer_depth = buffer_depth
+        #: Lookahead routing (Section 3.2): heads are routed on arrival,
+        #: keeping routing off the pipeline.  With ``lookahead=False``
+        #: a head flit spends one cycle in a routing stage before it can
+        #: request a VC (the ablation baseline).
+        self.lookahead = lookahead
+
+        P, V = num_ports, self.num_vcs
+        self.input_vcs: List[List[InputVC]] = [
+            [InputVC(buffer_depth) for _ in range(V)] for _ in range(P)
+        ]
+        # Output VC bookkeeping: holder (input p, v) or None, and the
+        # credit count for the downstream buffer.
+        self.output_holder: List[List[Optional[Tuple[int, int]]]] = [
+            [None] * V for _ in range(P)
+        ]
+        self.credits: List[List[int]] = [[buffer_depth] * V for _ in range(P)]
+
+        # out_links[q] = (neighbor kind, object, dest port, latency);
+        # wired by the topology builder via connect().
+        self.out_links: List[Optional[Tuple[str, object, int, int]]] = [None] * P
+        # upstream[p] = (kind, object, neighbor's output port, latency)
+        # for credit return.
+        self.upstream: List[Optional[Tuple[str, object, int, int]]] = [None] * P
+
+        self.vc_alloc = VCAllocator(
+            P, partition, arch=vc_alloc_arch, arbiter=vc_alloc_arbiter, sparse=True
+        )
+        self.vc_alloc.check_requests = False
+        self.sw_alloc = SpeculativeSwitchAllocator(
+            P, V, arch=sw_alloc_arch, arbiter=sw_alloc_arbiter, scheme=speculation
+        )
+        self.sw_alloc.check_requests = False
+
+        # Input VCs with at least one buffered flit, kept incrementally
+        # so the per-cycle scan touches only occupied VCs.
+        self._busy: set = set()
+
+        # Reusable request buffers (avoid per-cycle allocation).
+        self._va_requests: List[Optional[VCRequest]] = [None] * (P * V)
+        self._ns_requests: List[List[Optional[int]]] = [[None] * V for _ in range(P)]
+        self._sp_requests: List[List[Optional[int]]] = [[None] * V for _ in range(P)]
+
+        # Statistics.
+        self.misspeculations = 0
+        self.speculative_wins = 0
+        self.switch_grants = 0
+        # Flits sent per output port (channel utilization accounting).
+        self.port_flits = [0] * P
+
+    # ------------------------------------------------------------------
+    # wiring (topology builder API)
+    # ------------------------------------------------------------------
+    def connect_output(
+        self, port: int, kind: str, neighbor: object, dest_port: int, latency: int
+    ) -> None:
+        """Attach output ``port`` to a neighbor router or terminal."""
+        self.out_links[port] = (kind, neighbor, dest_port, latency)
+
+    def connect_upstream(
+        self, port: int, kind: str, neighbor: object, neighbor_port: int, latency: int
+    ) -> None:
+        """Record who feeds input ``port`` (for credit return).
+
+        ``neighbor_port`` is the *neighbor's* output port driving this
+        input, i.e. the index into its credit table.
+        """
+        self.upstream[port] = (kind, neighbor, neighbor_port, latency)
+
+    # ------------------------------------------------------------------
+    # flit/credit ingress (called by the network event loop)
+    # ------------------------------------------------------------------
+    def receive_flit(self, network: "Network", port: int, vc: int, flit: Flit) -> None:
+        """Buffer write; heads are routed on arrival (lookahead model)."""
+        if flit.is_head:
+            if self.lookahead:
+                flit.out_port = self.route_fn(network, self, flit.packet)
+            else:
+                flit.out_port = -1  # routed in a dedicated pipeline cycle
+        self.input_vcs[port][vc].push(flit)
+        self._busy.add((port, vc))
+
+    def receive_credit(self, port: int, vc: int) -> None:
+        self.credits[port][vc] += 1
+        if self.credits[port][vc] > self.buffer_depth:
+            raise RuntimeError("credit overflow: flow-control accounting bug")
+
+    # ------------------------------------------------------------------
+    # one allocation cycle
+    # ------------------------------------------------------------------
+    def allocation_step(self, network: "Network", now: int) -> None:
+        P, V = self.num_ports, self.num_vcs
+        part = self.partition
+        va_req = self._va_requests
+        ns_req = self._ns_requests
+        sp_req = self._sp_requests
+
+        if not self._busy:
+            return
+
+        any_va = False
+        any_ns = False
+        any_sp = False
+        waiting: List[Tuple[int, int]] = []
+        touched: List[Tuple[int, int]] = []
+        for p, v in self._busy:
+            ivc = self.input_vcs[p][v]
+            front = ivc.queue[0]
+            if ivc.output_vc >= 0:
+                # Active: bid non-speculatively if a credit exists.
+                if self.credits[ivc.output_port][ivc.output_vc] > 0:
+                    ns_req[p][v] = ivc.output_port
+                    any_ns = True
+                    touched.append((p, v))
+            elif front.is_head:
+                if front.out_port < 0:
+                    # Non-lookahead pipeline: this cycle is the routing
+                    # stage; VA/SA requests start next cycle.
+                    front.out_port = self.route_fn(network, self, front.packet)
+                    continue
+                # Waiting for VC allocation: request free legal VCs
+                # at the routed output port, and bid speculatively.
+                q = front.out_port
+                pkt = front.packet
+                holders = self.output_holder[q]
+                cands = tuple(
+                    u
+                    for u in part.class_vcs(pkt.message_class, pkt.resource_class)
+                    if holders[u] is None
+                )
+                if cands:
+                    va_req[p * V + v] = VCRequest(q, cands)
+                    waiting.append((p, v))
+                    any_va = True
+                    sp_req[p][v] = q
+                    any_sp = True
+                    touched.append((p, v))
+
+        # VC allocation.
+        va_grants: List[Optional[Tuple[int, int]]] = []
+        if any_va:
+            va_grants = self.vc_alloc.allocate(va_req)
+            for p, v in waiting:
+                va_req[p * V + v] = None  # reset the reusable buffer
+
+        if not (any_ns or any_sp):
+            return
+
+        # Switch allocation (both speculative and non-speculative).
+        result = self.sw_alloc.allocate(
+            ns_req, sp_req, any_nonspec=any_ns, any_spec=any_sp
+        )
+        # Reset the reusable request buffers for the next cycle.
+        for p, v in touched:
+            ns_req[p][v] = None
+            sp_req[p][v] = None
+
+        # Commit this cycle's VC grants.
+        granted_now = {}
+        if any_va:
+            for p, v in waiting:
+                g = va_grants[p * V + v]
+                if g is not None:
+                    q, u = g
+                    ivc = self.input_vcs[p][v]
+                    ivc.assign_output(q, u)
+                    self.output_holder[q][u] = (p, v)
+                    granted_now[(p, v)] = g
+
+        # Non-speculative switch winners depart.
+        for p, g in enumerate(result.nonspec):
+            if g is not None:
+                v, q = g
+                self._depart(network, now, p, v)
+
+        # Speculative winners depart only if their VC allocation also
+        # succeeded this cycle and the granted VC has a credit.
+        for p, g in enumerate(result.spec):
+            if g is None:
+                continue
+            v, q = g
+            vag = granted_now.get((p, v))
+            if vag is not None and vag[0] == q and self.credits[q][vag[1]] > 0:
+                self.speculative_wins += 1
+                self._depart(network, now, p, v)
+            else:
+                self.misspeculations += 1
+        self.misspeculations += result.spec_discarded
+
+    # ------------------------------------------------------------------
+    def _depart(self, network: "Network", now: int, p: int, v: int) -> None:
+        """Send the front flit of input VC (p, v) through the crossbar."""
+        ivc = self.input_vcs[p][v]
+        q, u = ivc.output_port, ivc.output_vc
+        flit, finished = ivc.pop_front()
+        if not ivc.queue:
+            self._busy.discard((p, v))
+        self.switch_grants += 1
+        self.port_flits[q] += 1
+
+        # Consume a downstream credit and release the output VC on tail.
+        self.credits[q][u] -= 1
+        assert self.credits[q][u] >= 0, "negative credits"
+        if finished:
+            self.output_holder[q][u] = None
+
+        # SA grant in cycle `now`, switch traversal in `now+1`, `latency`
+        # cycles on the wire; the downstream buffer write makes the flit
+        # eligible for allocation in `now + 2 + latency`.
+        kind, neighbor, dest_port, latency = self.out_links[q]
+        network.schedule_flit(now + 2 + latency, kind, neighbor, dest_port, u, flit)
+
+        # The buffer slot frees at switch traversal (`now+1`); the credit
+        # travels upstream and is usable one cycle after it lands.
+        up = self.upstream[p]
+        if up is not None:
+            up_kind, up_obj, up_port, up_lat = up
+            network.schedule_credit(now + 2 + up_lat, up_kind, up_obj, up_port, v)
+
+    # ------------------------------------------------------------------
+    def buffer_occupancy(self, port: int) -> int:
+        """Total buffered flits at one input port (UGAL congestion metric
+        uses the credit view on the *output* side; this is for stats)."""
+        return sum(ivc.occupancy for ivc in self.input_vcs[port])
+
+    def output_queue_depth(self, port: int) -> int:
+        """Credits consumed across the VCs of an output port -- the local
+        congestion estimate used by UGAL-L."""
+        return sum(self.buffer_depth - c for c in self.credits[port])

@@ -1,0 +1,229 @@
+"""Simulation driver: warm-up/measurement phases and statistics.
+
+Measures average packet latency (packet creation to tail ejection) as a
+function of offered load, following the open-loop methodology of
+Section 3.2: terminals keep generating according to the configured rate
+regardless of network state, latency is averaged over packets *born*
+during the measurement window, and the run is flagged saturated when
+source backlogs grow without bound or latency exceeds a cap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from .flit import Packet
+from .network import Network
+from .stats import LatencySummary, batch_means, summarize_latencies
+from .topology import build_fbfly, build_mesh, build_torus
+
+__all__ = ["SimulationConfig", "SimulationResult", "run_simulation", "build_network"]
+
+# Average flits per transaction (request + its reply): read = 1 + 5,
+# write = 5 + 1, so 6 either way; each transaction injects at two
+# terminals, hence offered flit load per terminal = 6 * packet_rate for
+# a 50/50 read/write mix under uniform traffic.
+FLITS_PER_TRANSACTION = 6.0
+
+
+@dataclass
+class SimulationConfig:
+    """One network-simulation design point."""
+
+    topology: str = "mesh"  # "mesh" | "fbfly" | "torus"
+    vcs_per_class: int = 1  # C; V = M*R*C
+    injection_rate: float = 0.1  # offered load, flits/cycle/terminal
+    vc_alloc_arch: str = "sep_if"
+    vc_alloc_arbiter: str = "rr"
+    sw_alloc_arch: str = "sep_if"
+    sw_alloc_arbiter: str = "rr"
+    speculation: str = "pessimistic"
+    buffer_depth: int = 8
+    seed: int = 1
+    warmup_cycles: int = 1000
+    measure_cycles: int = 4000
+    drain_cycles: int = 4000
+    latency_cap: float = 400.0
+    read_fraction: float = 0.5
+    # "uniform", "transpose", "bit_complement", "bit_reverse",
+    # "shuffle", "neighbor" or "hotspot" (see repro.netsim.patterns).
+    traffic_pattern: str = "uniform"
+    # Lookahead routing (paper default).  False adds a routing pipeline
+    # stage for head flits (ablation baseline).
+    lookahead: bool = True
+
+    @property
+    def packet_rate(self) -> float:
+        """Request-packet arrival rate per terminal."""
+        return self.injection_rate / FLITS_PER_TRANSACTION
+
+
+@dataclass
+class SimulationResult:
+    """Aggregated statistics from one run."""
+
+    config: SimulationConfig
+    avg_latency: float
+    measured_packets: int
+    delivered_packets: int
+    injected_flit_rate: float  # measured flits/cycle/terminal
+    accepted_flit_rate: float  # ejected flits/cycle/terminal
+    saturated: bool
+    misspeculations: int = 0
+    speculative_wins: int = 0
+    latency_by_class: Dict[int, float] = field(default_factory=dict)
+    latency_summary: Optional[LatencySummary] = None
+    latency_stderr: float = float("nan")
+
+    def __str__(self) -> str:
+        state = " (saturated)" if self.saturated else ""
+        return (
+            f"rate={self.config.injection_rate:.3f} -> "
+            f"latency={self.avg_latency:.1f} cycles over "
+            f"{self.measured_packets} packets{state}"
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-friendly summary (for logging sweeps to disk)."""
+        out = {
+            "topology": self.config.topology,
+            "vcs_per_class": self.config.vcs_per_class,
+            "injection_rate": self.config.injection_rate,
+            "sw_alloc_arch": self.config.sw_alloc_arch,
+            "vc_alloc_arch": self.config.vc_alloc_arch,
+            "speculation": self.config.speculation,
+            "seed": self.config.seed,
+            "avg_latency": self.avg_latency,
+            "latency_stderr": self.latency_stderr,
+            "measured_packets": self.measured_packets,
+            "injected_flit_rate": self.injected_flit_rate,
+            "accepted_flit_rate": self.accepted_flit_rate,
+            "saturated": self.saturated,
+            "misspeculations": self.misspeculations,
+            "speculative_wins": self.speculative_wins,
+        }
+        if self.latency_summary is not None:
+            out["p50"] = self.latency_summary.p50
+            out["p95"] = self.latency_summary.p95
+            out["p99"] = self.latency_summary.p99
+        return out
+
+
+def _resolve_pattern(name: str, num_terminals: int):
+    from . import patterns
+
+    if name == "uniform":
+        return None  # topology builders default to uniform random
+    makers = {
+        "transpose": patterns.transpose_pattern,
+        "bit_complement": patterns.bit_complement_pattern,
+        "bit_reverse": patterns.bit_reverse_pattern,
+        "shuffle": patterns.shuffle_pattern,
+        "neighbor": patterns.neighbor_pattern,
+    }
+    if name == "hotspot":
+        return patterns.hotspot_pattern([0, num_terminals // 2])
+    try:
+        return makers[name](num_terminals)
+    except KeyError:
+        raise ValueError(f"unknown traffic pattern {name!r}") from None
+
+
+def build_network(cfg: SimulationConfig) -> Network:
+    """Instantiate the configured topology with traffic attached."""
+    kwargs = dict(
+        dest_fn=_resolve_pattern(cfg.traffic_pattern, 64),
+        vcs_per_class=cfg.vcs_per_class,
+        packet_rate=cfg.packet_rate,
+        seed=cfg.seed,
+        vc_alloc_arch=cfg.vc_alloc_arch,
+        vc_alloc_arbiter=cfg.vc_alloc_arbiter,
+        sw_alloc_arch=cfg.sw_alloc_arch,
+        sw_alloc_arbiter=cfg.sw_alloc_arbiter,
+        speculation=cfg.speculation,
+        buffer_depth=cfg.buffer_depth,
+        read_fraction=cfg.read_fraction,
+        lookahead=cfg.lookahead,
+    )
+    if cfg.topology == "mesh":
+        return build_mesh(8, **kwargs)
+    if cfg.topology == "fbfly":
+        return build_fbfly(4, 4, 4, **kwargs)
+    if cfg.topology == "torus":
+        return build_torus(8, **kwargs)
+    raise ValueError(f"unknown topology {cfg.topology!r}")
+
+
+def run_simulation(cfg: SimulationConfig) -> SimulationResult:
+    """Warm up, measure, drain; return latency/throughput statistics."""
+    net = build_network(cfg)
+
+    measured: List[Packet] = []
+    window_start = cfg.warmup_cycles
+    window_end = cfg.warmup_cycles + cfg.measure_cycles
+
+    def on_delivery(pkt: Packet, now: int) -> None:
+        if window_start <= pkt.birth_time < window_end:
+            measured.append(pkt)
+
+    net.on_delivery = on_delivery
+
+    net.run(cfg.warmup_cycles)
+    inj0 = net.total_injected_flits()
+    ej0 = net.total_ejected_flits()
+    backlog0 = net.total_backlog()
+    net.run(cfg.measure_cycles)
+    inj1 = net.total_injected_flits()
+    ej1 = net.total_ejected_flits()
+    backlog1 = net.total_backlog()
+    net.run(cfg.drain_cycles)
+
+    n_terms = net.num_terminals
+    injected_rate = (inj1 - inj0) / (cfg.measure_cycles * n_terms)
+    accepted_rate = (ej1 - ej0) / (cfg.measure_cycles * n_terms)
+
+    if measured:
+        latencies = [p.arrival_time - p.birth_time for p in measured]
+        summary = summarize_latencies(latencies)
+        avg_latency = summary.mean
+        _, stderr = batch_means(
+            [(p.birth_time, p.arrival_time - p.birth_time) for p in measured]
+        )
+        by_class: Dict[int, List[int]] = {}
+        for p in measured:
+            by_class.setdefault(p.message_class, []).append(
+                p.arrival_time - p.birth_time
+            )
+        latency_by_class = {
+            m: sum(v) / len(v) for m, v in by_class.items()
+        }
+    else:
+        avg_latency = float("inf")
+        latency_by_class = {}
+        summary = None
+        stderr = float("nan")
+
+    # Saturation: unbounded backlog growth or capped/unmeasurable latency.
+    backlog_growth = (backlog1 - backlog0) / n_terms
+    expected_measured = cfg.packet_rate * cfg.measure_cycles * n_terms * 2
+    saturated = (
+        avg_latency > cfg.latency_cap
+        or backlog_growth > 4.0
+        or (expected_measured > 0 and len(measured) < 0.75 * expected_measured)
+    )
+
+    return SimulationResult(
+        config=cfg,
+        avg_latency=avg_latency,
+        measured_packets=len(measured),
+        delivered_packets=len(measured),
+        injected_flit_rate=injected_rate,
+        accepted_flit_rate=accepted_rate,
+        saturated=saturated,
+        misspeculations=net.total_misspeculations(),
+        speculative_wins=net.total_speculative_wins(),
+        latency_by_class=latency_by_class,
+        latency_summary=summary,
+        latency_stderr=stderr,
+    )

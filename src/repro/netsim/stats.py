@@ -1,0 +1,104 @@
+"""Latency statistics helpers for simulation results.
+
+Beyond the mean the paper plots, downstream users need distribution
+shape (tail latency) and a confidence measure.  :class:`LatencySummary`
+computes order statistics, and :func:`batch_means` implements the
+standard steady-state simulation technique: split the measurement
+window into batches, average within each, and estimate the standard
+error from the batch means (valid when batches are long relative to the
+autocorrelation time).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+__all__ = ["LatencySummary", "batch_means", "summarize_latencies"]
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of a latency sample."""
+
+    count: int
+    mean: float
+    std: float
+    minimum: float
+    p50: float
+    p95: float
+    p99: float
+    maximum: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.1f} p50={self.p50:.1f} "
+            f"p95={self.p95:.1f} p99={self.p99:.1f} max={self.maximum:.0f}"
+        )
+
+
+def _percentile(sorted_values: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile on pre-sorted data."""
+    n = len(sorted_values)
+    if n == 1:
+        return float(sorted_values[0])
+    pos = q * (n - 1)
+    lo = int(pos)
+    hi = min(lo + 1, n - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+def summarize_latencies(latencies: Sequence[float]) -> LatencySummary:
+    """Full summary of a latency sample; raises on empty input."""
+    if not latencies:
+        raise ValueError("cannot summarize an empty latency sample")
+    data = sorted(float(x) for x in latencies)
+    n = len(data)
+    mean = sum(data) / n
+    var = sum((x - mean) ** 2 for x in data) / n if n > 1 else 0.0
+    return LatencySummary(
+        count=n,
+        mean=mean,
+        std=math.sqrt(var),
+        minimum=data[0],
+        p50=_percentile(data, 0.50),
+        p95=_percentile(data, 0.95),
+        p99=_percentile(data, 0.99),
+        maximum=data[-1],
+    )
+
+
+def batch_means(
+    samples: Sequence[Tuple[float, float]],
+    num_batches: int = 10,
+) -> Tuple[float, float]:
+    """Batch-means estimate of (mean, standard error of the mean).
+
+    ``samples`` are ``(timestamp, value)`` pairs; the time axis is split
+    into ``num_batches`` equal windows and the grand mean / standard
+    error are computed over the per-batch means.  Returns
+    ``(mean, stderr)``; ``stderr`` is ``nan`` when fewer than two
+    batches contain data.
+    """
+    if not samples:
+        raise ValueError("cannot estimate from an empty sample")
+    if num_batches < 2:
+        raise ValueError("need at least 2 batches")
+    t0 = min(t for t, _ in samples)
+    t1 = max(t for t, _ in samples)
+    span = max(t1 - t0, 1e-9)
+    sums = [0.0] * num_batches
+    counts = [0] * num_batches
+    for t, v in samples:
+        b = min(int((t - t0) / span * num_batches), num_batches - 1)
+        sums[b] += v
+        counts[b] += 1
+    means: List[float] = [s / c for s, c in zip(sums, counts) if c > 0]
+    k = len(means)
+    grand = sum(means) / k
+    if k < 2:
+        return grand, float("nan")
+    var = sum((m - grand) ** 2 for m in means) / (k - 1)
+    return grand, math.sqrt(var / k)

@@ -1,0 +1,8 @@
+"""Topology builders: the paper's two 64-node networks plus a torus
+extension exercising dateline resource classes (Section 4.2)."""
+
+from .fbfly import build_fbfly
+from .mesh import build_mesh
+from .torus import build_torus
+
+__all__ = ["build_mesh", "build_fbfly", "build_torus"]

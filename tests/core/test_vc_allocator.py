@@ -1,0 +1,230 @@
+"""Unit tests for the VC allocator front-ends (Figure 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import VC_ALLOCATOR_ARCHS, VCAllocator, VCPartition, VCRequest
+
+
+def _empty(alloc):
+    return [None] * (alloc.num_ports * alloc.num_vcs)
+
+
+def _req(part, vc_in, port, resource_class=None):
+    return VCRequest(port, tuple(part.candidate_vcs(vc_in, resource_class)))
+
+
+def _grant_valid(alloc, requests, grants):
+    """Check grant-side invariants of a VC allocation."""
+    used_outputs = set()
+    for i, g in enumerate(grants):
+        if g is None:
+            continue
+        req = requests[i]
+        assert req is not None, f"grant without request at {i}"
+        port, vc = g
+        assert port == req.output_port
+        assert vc in req.candidate_vcs
+        assert (port, vc) not in used_outputs, "output VC granted twice"
+        used_outputs.add((port, vc))
+
+
+@pytest.fixture(params=VC_ALLOCATOR_ARCHS)
+def arch(request):
+    return request.param
+
+
+class TestBasics:
+    def test_invalid_arch(self):
+        with pytest.raises(ValueError):
+            VCAllocator(5, VCPartition.mesh(1), arch="maxsize")
+
+    def test_invalid_ports(self):
+        with pytest.raises(ValueError):
+            VCAllocator(0, VCPartition.mesh(1))
+
+    def test_wrong_request_length(self, arch):
+        alloc = VCAllocator(5, VCPartition.mesh(1), arch=arch)
+        with pytest.raises(ValueError, match="request slots"):
+            alloc.allocate([None] * 3)
+
+    def test_port_out_of_range(self, arch):
+        part = VCPartition.mesh(1)
+        alloc = VCAllocator(5, part, arch=arch)
+        reqs = _empty(alloc)
+        reqs[0] = VCRequest(5, (0,))
+        with pytest.raises(ValueError, match="output port"):
+            alloc.allocate(reqs)
+
+    def test_empty_candidates_rejected(self, arch):
+        alloc = VCAllocator(5, VCPartition.mesh(1), arch=arch)
+        reqs = _empty(alloc)
+        reqs[0] = VCRequest(1, ())
+        with pytest.raises(ValueError, match="empty candidate"):
+            alloc.allocate(reqs)
+
+    def test_sparse_rejects_illegal_transition(self, arch):
+        part = VCPartition.mesh(1)  # V=2, request class: VC0, reply: VC1
+        alloc = VCAllocator(5, part, arch=arch, sparse=True)
+        reqs = _empty(alloc)
+        reqs[0] = VCRequest(1, (1,))  # request-class VC asking for reply VC
+        with pytest.raises(ValueError, match="illegal"):
+            alloc.allocate(reqs)
+
+    def test_dense_allows_any_transition(self, arch):
+        part = VCPartition.mesh(1)
+        alloc = VCAllocator(5, part, arch=arch, sparse=False)
+        reqs = _empty(alloc)
+        reqs[0] = VCRequest(1, (1,))
+        grants = alloc.allocate(reqs)
+        assert grants[0] == (1, 1)
+
+    def test_no_requests(self, arch):
+        alloc = VCAllocator(5, VCPartition.mesh(2), arch=arch)
+        assert alloc.allocate(_empty(alloc)) == _empty(alloc)
+
+
+class TestAllocationSemantics:
+    def test_single_request_granted(self, arch):
+        part = VCPartition.mesh(2)
+        alloc = VCAllocator(5, part, arch=arch)
+        reqs = _empty(alloc)
+        vc_in = part.vc_index(0, 0, 0)
+        reqs[vc_in] = _req(part, vc_in, 3)
+        grants = alloc.allocate(reqs)
+        _grant_valid(alloc, reqs, grants)
+        assert grants[vc_in] is not None
+        assert grants[vc_in][0] == 3
+
+    def test_nonconflicting_requests_all_granted(self, arch):
+        # Section 4.3.2: non-conflicting requests are always granted.
+        part = VCPartition.mesh(2)
+        alloc = VCAllocator(5, part, arch=arch)
+        reqs = _empty(alloc)
+        for p_in, port_out in [(0, 1), (1, 2), (2, 3)]:
+            i = p_in * part.num_vcs + part.vc_index(0, 0, 0)
+            reqs[i] = _req(part, part.vc_index(0, 0, 0), port_out)
+        grants = alloc.allocate(reqs)
+        _grant_valid(alloc, reqs, grants)
+        assert sum(g is not None for g in grants) == 3
+
+    def test_conflicting_single_vc_class_grants_exactly_one(self, arch):
+        # C=1: two input VCs of the same class want the same output port;
+        # only one output VC exists, so exactly one grant results.
+        part = VCPartition.mesh(1)
+        alloc = VCAllocator(5, part, arch=arch)
+        reqs = _empty(alloc)
+        v0 = part.vc_index(0, 0, 0)
+        for p_in in (0, 1):
+            reqs[p_in * part.num_vcs + v0] = _req(part, v0, 4)
+        grants = alloc.allocate(reqs)
+        _grant_valid(alloc, reqs, grants)
+        assert sum(g is not None for g in grants) == 1
+
+    def test_conflicting_multi_vc_class(self, arch):
+        # C=2: two conflicting requests can both be granted on distinct
+        # VCs; the wavefront always achieves this (maximum matching).
+        part = VCPartition.mesh(2)
+        alloc = VCAllocator(5, part, arch=arch)
+        reqs = _empty(alloc)
+        v0 = part.vc_index(0, 0, 0)
+        for p_in in (0, 1):
+            reqs[p_in * part.num_vcs + v0] = _req(part, v0, 4)
+        grants = alloc.allocate(reqs)
+        _grant_valid(alloc, reqs, grants)
+        granted = sum(g is not None for g in grants)
+        if arch == "wf":
+            assert granted == 2
+        else:
+            assert granted >= 1
+
+    def test_fairness_on_persistent_conflict(self, arch):
+        part = VCPartition.mesh(1)
+        alloc = VCAllocator(5, part, arch=arch)
+        v0 = part.vc_index(0, 0, 0)
+        counts = {0: 0, 1: 0}
+        for _ in range(20):
+            reqs = _empty(alloc)
+            for p_in in (0, 1):
+                reqs[p_in * part.num_vcs + v0] = _req(part, v0, 4)
+            grants = alloc.allocate(reqs)
+            for p_in in (0, 1):
+                if grants[p_in * part.num_vcs + v0] is not None:
+                    counts[p_in] += 1
+        assert counts[0] > 0 and counts[1] > 0
+        assert counts[0] + counts[1] == 20
+
+    def test_reset_reproduces(self, arch):
+        part = VCPartition.fbfly(2)
+        alloc = VCAllocator(10, part, arch=arch)
+        rng = np.random.default_rng(0)
+
+        def random_requests():
+            reqs = _empty(alloc)
+            for p_in in range(10):
+                for v_in in range(part.num_vcs):
+                    if rng.random() < 0.3:
+                        reqs[p_in * part.num_vcs + v_in] = _req(
+                            part, v_in, int(rng.integers(10))
+                        )
+            return reqs
+
+        streams = [random_requests() for _ in range(5)]
+        first = [alloc.allocate(r) for r in streams]
+        alloc.reset()
+        second = [alloc.allocate(r) for r in streams]
+        assert first == second
+
+    def test_random_stress_valid(self, arch):
+        part = VCPartition.fbfly(2)
+        alloc = VCAllocator(10, part, arch=arch)
+        rng = np.random.default_rng(1)
+        for _ in range(30):
+            reqs = _empty(alloc)
+            for p_in in range(10):
+                for v_in in range(part.num_vcs):
+                    if rng.random() < 0.4:
+                        reqs[p_in * part.num_vcs + v_in] = _req(
+                            part, v_in, int(rng.integers(10))
+                        )
+            grants = alloc.allocate(reqs)
+            _grant_valid(alloc, reqs, grants)
+
+
+class TestSparseWavefrontPartitioning:
+    def test_sparse_wf_uses_per_message_class_blocks(self):
+        part = VCPartition.fbfly(2)
+        sparse = VCAllocator(10, part, arch="wf", sparse=True)
+        dense = VCAllocator(10, part, arch="wf", sparse=False)
+        assert len(sparse._wavefronts) == 2
+        assert len(dense._wavefronts) == 1
+        block = 10 * part.num_resource_classes * part.vcs_per_class
+        assert sparse._wavefronts[0].shape == (block, block)
+
+    def test_sparse_and_dense_grant_counts_match(self):
+        # Message classes never interact, so splitting the wavefront into
+        # per-class blocks must not change the number of grants.
+        part = VCPartition.mesh(2)
+        sparse = VCAllocator(5, part, arch="wf", sparse=True)
+        dense = VCAllocator(5, part, arch="wf", sparse=False)
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            reqs = [None] * (5 * part.num_vcs)
+            for p_in in range(5):
+                for v_in in range(part.num_vcs):
+                    if rng.random() < 0.5:
+                        reqs[p_in * part.num_vcs + v_in] = _req(
+                            part, v_in, int(rng.integers(5))
+                        )
+            g_sparse = sparse.allocate(reqs)
+            g_dense = dense.allocate(reqs)
+            assert sum(g is not None for g in g_sparse) == sum(
+                g is not None for g in g_dense
+            )
+
+    def test_mesh_single_message_class_grants_cross_check(self):
+        # Within one class the sparse/dense wavefronts see identical
+        # request matrices.
+        part = VCPartition(1, 1, 4)
+        alloc = VCAllocator(5, part, arch="wf", sparse=True)
+        assert len(alloc._wavefronts) == 1

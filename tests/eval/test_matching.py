@@ -1,0 +1,100 @@
+"""Tests for the matching-quality experiment harness (Figs 7 & 12)."""
+
+import pytest
+
+from repro.eval.design_points import DesignPoint
+from repro.eval.matching import (
+    QualityCurve,
+    switch_matching_quality,
+    vc_matching_quality,
+)
+
+# Small sample counts keep the suite fast; trends are robust at n=200.
+N = 200
+RATES = (0.2, 0.6, 1.0)
+
+MESH1 = DesignPoint("mesh", 5, 1)
+MESH4 = DesignPoint("mesh", 5, 4)
+FBFLY2 = DesignPoint("fbfly", 10, 2)
+
+
+class TestQualityCurve:
+    def test_at(self):
+        c = QualityCurve("x", [0.1, 0.2], [1.0, 0.9])
+        assert c.at(0.2) == 0.9
+        with pytest.raises(ValueError):
+            c.at(0.3)
+
+
+class TestVCQuality:
+    def test_single_vc_per_class_all_perfect(self):
+        # Section 4.3.2: with C=1 all three allocators produce maximum
+        # matchings (quality identically 1).
+        curves = vc_matching_quality(MESH1, rates=RATES, num_samples=N)
+        for arch, curve in curves.items():
+            assert all(q == pytest.approx(1.0) for q in curve.quality), arch
+
+    def test_wavefront_always_maximum(self):
+        # Class-interchangeable candidates make maximal == maximum, so
+        # the wavefront stays at quality 1 even for C > 1.
+        curves = vc_matching_quality(MESH4, rates=RATES, num_samples=N)
+        assert all(q == pytest.approx(1.0) for q in curves["wf"].quality)
+
+    def test_separable_degrades_with_rate(self):
+        curves = vc_matching_quality(MESH4, rates=(0.1, 1.0), num_samples=N)
+        for arch in ("sep_if", "sep_of"):
+            c = curves[arch]
+            assert c.at(1.0) < c.at(0.1) < 1.0 + 1e-9
+
+    def test_input_first_beats_output_first(self):
+        # Section 4.3.2: input-first propagates more requests to the
+        # wide arbitration stage.
+        curves = vc_matching_quality(FBFLY2, rates=(0.8,), num_samples=400)
+        assert curves["sep_if"].at(0.8) > curves["sep_of"].at(0.8)
+
+    def test_more_vcs_per_class_hurt_separable(self):
+        m2 = vc_matching_quality(
+            DesignPoint("mesh", 5, 2), rates=(1.0,), num_samples=N
+        )
+        m4 = vc_matching_quality(MESH4, rates=(1.0,), num_samples=N)
+        assert m4["sep_if"].at(1.0) < m2["sep_if"].at(1.0)
+
+    def test_deterministic_given_seed(self):
+        a = vc_matching_quality(MESH1, rates=(0.5,), num_samples=50, seed=7)
+        b = vc_matching_quality(MESH1, rates=(0.5,), num_samples=50, seed=7)
+        assert a["wf"].quality == b["wf"].quality
+
+
+class TestSwitchQuality:
+    def test_near_perfect_at_low_load(self):
+        curves = switch_matching_quality(MESH1, rates=(0.05,), num_samples=400)
+        for arch, c in curves.items():
+            assert c.at(0.05) > 0.97, arch
+
+    def test_wavefront_dominates_at_high_load(self):
+        curves = switch_matching_quality(FBFLY2, rates=(1.0,), num_samples=N)
+        assert curves["wf"].at(1.0) > curves["sep_of"].at(1.0)
+        assert curves["wf"].at(1.0) > curves["sep_if"].at(1.0)
+
+    def test_wavefront_recovers_at_high_rate_with_many_vcs(self):
+        # Section 5.3.2: with dense request matrices the wavefront's
+        # quality climbs back toward 1 as the maximum-size bound
+        # saturates.
+        curves = switch_matching_quality(
+            DesignPoint("fbfly", 10, 4), rates=(0.3, 1.0), num_samples=N
+        )
+        wf = curves["wf"]
+        assert wf.at(1.0) > wf.at(0.3)
+        assert wf.at(1.0) > 0.9
+
+    def test_sep_if_flattens_below_sep_of(self):
+        # Section 5.3.2: single-request-per-port limits input-first.
+        curves = switch_matching_quality(
+            DesignPoint("fbfly", 10, 4), rates=(1.0,), num_samples=N
+        )
+        assert curves["sep_if"].at(1.0) < curves["sep_of"].at(1.0)
+
+    def test_quality_never_exceeds_one(self):
+        curves = switch_matching_quality(MESH4, rates=RATES, num_samples=100)
+        for c in curves.values():
+            assert all(q <= 1.0 + 1e-9 for q in c.quality)

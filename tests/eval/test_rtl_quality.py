@@ -1,0 +1,37 @@
+"""RTL-vs-behavioural quality agreement (the Section 3.1 method)."""
+
+import pytest
+
+from repro.eval.design_points import DesignPoint
+from repro.eval.matching import switch_matching_quality
+from repro.eval.rtl_quality import rtl_switch_matching_quality
+
+
+class TestRTLQuality:
+    @pytest.mark.parametrize("arch", ["sep_if", "sep_of", "wf"])
+    def test_rtl_matches_behavioural_exactly(self, arch):
+        # Same seed => same request stream; the gate-level switch
+        # allocators are cycle-exact replicas of the behavioural models,
+        # so the quality numbers must agree to the last grant.
+        point = DesignPoint("mesh", 5, 1)
+        rates = (0.3, 0.8)
+        rtl = rtl_switch_matching_quality(
+            5, 2, archs=(arch,), rates=rates, num_samples=120, seed=3
+        )
+        beh = switch_matching_quality(
+            point, archs=(arch,), rates=rates, num_samples=120, seed=3
+        )
+        assert rtl[arch].quality == pytest.approx(beh[arch].quality, abs=1e-12)
+
+    def test_rtl_quality_ordering_under_load(self):
+        curves = rtl_switch_matching_quality(
+            5, 2, rates=(1.0,), num_samples=150, seed=1
+        )
+        assert curves["wf"].at(1.0) >= curves["sep_if"].at(1.0) - 0.02
+
+    def test_quality_bounded(self):
+        curves = rtl_switch_matching_quality(
+            4, 1, rates=(0.5,), num_samples=100
+        )
+        for c in curves.values():
+            assert 0.0 < c.at(0.5) <= 1.0 + 1e-9

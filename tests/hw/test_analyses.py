@@ -1,0 +1,292 @@
+"""Unit tests for timing, area, power and sizing analyses."""
+
+import pytest
+
+from repro.hw.area import area_by_cell, total_area
+from repro.hw.cells import TAU_PS, cell_by_name
+from repro.hw.netlist import Netlist
+from repro.hw.power import analyze_power, signal_probabilities
+from repro.hw.sizing import recover_timing
+from repro.hw.timing import SETUP_PS, analyze_timing, compute_arrivals, compute_loads
+
+
+def _inv_chain(n):
+    nl = Netlist("chain")
+    x = nl.input("a")
+    for _ in range(n):
+        x = nl.gate("INV", x)
+    nl.mark_output(x, "y")
+    return nl
+
+
+class TestTiming:
+    def test_chain_delay_monotone_in_length(self):
+        d = [analyze_timing(_inv_chain(n)).delay_ps for n in (1, 2, 4, 8)]
+        assert d[0] < d[1] < d[2] < d[3]
+        # Roughly linear: doubling length roughly doubles combinational
+        # delay (minus the constant setup allowance).
+        comb = [x - SETUP_PS for x in d]
+        assert 1.7 < comb[3] / comb[2] < 2.3
+
+    def test_single_inv_delay_value(self):
+        # d = tau * (p + g*h) with h = load/cin; output load is 4x INV.
+        nl = _inv_chain(1)
+        t = analyze_timing(nl)
+        inv = cell_by_name("INV")
+        h = (4 * inv.input_cap_ff) / inv.input_cap_ff
+        expected = TAU_PS * (inv.parasitic + inv.logical_effort * h) + SETUP_PS
+        assert t.delay_ps == pytest.approx(expected)
+
+    def test_fanout_increases_delay(self):
+        def fan(n):
+            nl = Netlist()
+            a = nl.input()
+            x = nl.gate("INV", a)
+            sinks = [nl.gate("INV", x) for _ in range(n)]
+            for s_ in sinks:
+                nl.mark_output(s_)
+            return analyze_timing(nl).delay_ps
+
+        assert fan(1) < fan(4) < fan(16)
+
+    def test_critical_path_backtrack(self):
+        nl = Netlist()
+        a = nl.input()
+        short = nl.gate("INV", a)
+        long = nl.gate("INV", nl.gate("INV", nl.gate("INV", a)))
+        y = nl.gate("AND2", short, long)
+        nl.mark_output(y)
+        t = analyze_timing(nl)
+        assert t.critical_endpoint == y
+        assert len(t.critical_path) == 5  # input + 3 INV + AND2
+        assert t.critical_path[0] == a
+
+    def test_register_paths(self):
+        # reg -> logic -> reg: delay includes clk-to-q and setup.
+        nl = Netlist()
+        q = nl.reg()
+        d = nl.gate("INV", q)
+        nl.connect_reg(q, d)
+        t = analyze_timing(nl)
+        dff = cell_by_name("DFF")
+        assert t.delay_ps > TAU_PS * dff.parasitic
+
+    def test_upsizing_reduces_gate_delay(self):
+        nl = _inv_chain(4)
+        base = analyze_timing(nl).delay_ps
+        for nid, k in enumerate(nl.kinds):
+            if k >= 0:
+                nl.sizes[nid] = 4.0
+        assert analyze_timing(nl).delay_ps < base
+
+    def test_loads_include_wire_cap(self):
+        nl = Netlist()
+        a = nl.input()
+        nl.mark_output(nl.gate("INV", a))
+        loads = compute_loads(nl)
+        inv = cell_by_name("INV")
+        assert loads[a] > inv.input_cap_ff  # pin + wire
+
+    def test_no_endpoints_raises(self):
+        nl = Netlist()
+        nl.input()
+        with pytest.raises(ValueError):
+            analyze_timing(nl)
+
+    def test_arrivals_zero_at_inputs(self):
+        nl = _inv_chain(3)
+        arr = compute_arrivals(nl)
+        assert arr[0] == 0.0
+
+
+class TestArea:
+    def test_sums_unit_areas(self):
+        nl = Netlist()
+        a, b = nl.inputs(2)
+        nl.mark_output(nl.gate("AND2", a, b))
+        assert total_area(nl) == pytest.approx(cell_by_name("AND2").area_um2)
+
+    def test_scales_with_size(self):
+        nl = Netlist()
+        a, b = nl.inputs(2)
+        g = nl.gate("AND2", a, b)
+        nl.mark_output(g)
+        base = total_area(nl)
+        nl.sizes[g] = 2.0
+        assert total_area(nl) == pytest.approx(2 * base)
+
+    def test_breakdown(self):
+        nl = Netlist()
+        a, b = nl.inputs(2)
+        nl.mark_output(nl.gate("AND2", a, b))
+        nl.mark_output(nl.gate("INV", a))
+        by = area_by_cell(nl)
+        assert set(by) == {"AND2", "INV"}
+        assert sum(by.values()) == pytest.approx(total_area(nl))
+
+    def test_inputs_are_free(self):
+        nl = Netlist()
+        nl.inputs(10)
+        a = nl.input()
+        nl.mark_output(nl.gate("INV", a))
+        assert total_area(nl) == pytest.approx(cell_by_name("INV").area_um2)
+
+
+class TestPower:
+    def test_input_probability_default(self):
+        nl = Netlist()
+        a, b = nl.inputs(2)
+        g = nl.gate("AND2", a, b)
+        nl.mark_output(g)
+        p = signal_probabilities(nl)
+        assert p[a] == 0.5
+        assert p[g] == pytest.approx(0.25)
+
+    def test_gate_probability_models(self):
+        nl = Netlist()
+        a, b = nl.inputs(2)
+        nets = {
+            "AND2": (nl.gate("AND2", a, b), 0.25),
+            "OR2": (nl.gate("OR2", a, b), 0.75),
+            "NAND2": (nl.gate("NAND2", a, b), 0.75),
+            "NOR2": (nl.gate("NOR2", a, b), 0.25),
+            "XOR2": (nl.gate("XOR2", a, b), 0.5),
+            "INV": (nl.gate("INV", a), 0.5),
+        }
+        for net, _ in nets.values():
+            nl.mark_output(net)
+        p = signal_probabilities(nl)
+        for name, (net, expected) in nets.items():
+            assert p[net] == pytest.approx(expected), name
+
+    def test_mux_probability(self):
+        nl = Netlist()
+        d0, d1, s = nl.inputs(3)
+        g = nl.gate("MUX2", d0, d1, s)
+        nl.mark_output(g)
+        assert signal_probabilities(nl)[g] == pytest.approx(0.5)
+
+    def test_const_probability(self):
+        nl = Netlist()
+        one = nl.const(1)
+        a = nl.input()
+        g = nl.gate("AND2", a, one)
+        nl.mark_output(g)
+        p = signal_probabilities(nl)
+        assert p[one] == 1.0
+        assert p[g] == pytest.approx(0.5)
+
+    def test_register_fixed_point(self):
+        # q' = NOT q: probability converges to 0.5.
+        nl = Netlist()
+        q = nl.reg()
+        nl.connect_reg(q, nl.gate("INV", q))
+        p = signal_probabilities(nl)
+        assert p[q] == pytest.approx(0.5, abs=0.05)
+
+    def test_power_positive_and_scales_with_frequency(self):
+        nl = _inv_chain_with_output()
+        p1 = analyze_power(nl, frequency_ghz=1.0)
+        p2 = analyze_power(nl, frequency_ghz=2.0)
+        assert p1.dynamic_mw > 0
+        assert p2.dynamic_mw == pytest.approx(2 * p1.dynamic_mw)
+        assert p2.leakage_mw == pytest.approx(p1.leakage_mw)
+
+    def test_default_frequency_is_min_cycle(self):
+        nl = _inv_chain_with_output()
+        from repro.hw.timing import analyze_timing as at
+
+        p = analyze_power(nl)
+        assert p.frequency_ghz == pytest.approx(at(nl).min_cycle_ghz)
+
+    def test_constant_nets_consume_no_dynamic_power(self):
+        nl = Netlist()
+        one = nl.const(1)
+        a = nl.input()
+        g = nl.gate("AND2", a, one)
+        nl.mark_output(g)
+        p = analyze_power(nl, frequency_ghz=1.0)
+        assert p.dynamic_mw > 0  # from a and g, not the constant
+
+
+def _inv_chain_with_output():
+    nl = Netlist()
+    x = nl.input()
+    for _ in range(4):
+        x = nl.gate("INV", x)
+    nl.mark_output(x)
+    return nl
+
+
+class TestSizing:
+    def test_improves_or_preserves_delay(self):
+        from repro.hw.arbiter_gates import build_arbiter
+
+        nl = Netlist()
+        reqs = nl.inputs(16)
+        g, fin = build_arbiter(nl, "rr", reqs)
+        fin(None)
+        for x in g:
+            nl.mark_output(x)
+        before = analyze_timing(nl).delay_ps
+        result = recover_timing(nl)
+        assert result.final_delay_ps <= before
+        assert result.initial_delay_ps == pytest.approx(before)
+
+    def test_area_grows_when_resizing(self):
+        from repro.hw.arbiter_gates import build_arbiter
+
+        nl = Netlist()
+        reqs = nl.inputs(16)
+        g, fin = build_arbiter(nl, "rr", reqs)
+        fin(None)
+        for x in g:
+            nl.mark_output(x)
+        a0 = total_area(nl)
+        result = recover_timing(nl)
+        if result.gates_resized:
+            assert total_area(nl) > a0
+
+    def test_respects_max_size(self):
+        from repro.hw.cells import MAX_SIZE
+
+        nl = _inv_chain_with_output()
+        recover_timing(nl, max_iterations=50)
+        assert max(nl.sizes) <= MAX_SIZE
+
+    def test_registers_not_resized(self):
+        nl = Netlist()
+        q = nl.reg()
+        d = nl.gate("INV", q)
+        nl.connect_reg(q, d)
+        recover_timing(nl, max_iterations=5)
+        assert nl.sizes[q] == 1.0
+
+
+class TestCriticalPathReport:
+    def test_format_contains_stages(self):
+        from repro.hw.timing import format_critical_path
+
+        nl = Netlist("demo")
+        a = nl.input("a")
+        x = nl.gate("INV", a)
+        y = nl.gate("AND2", x, a)
+        nl.mark_output(y)
+        text = format_critical_path(nl)
+        assert "demo" in text
+        assert "INPUT" in text
+        assert "AND2" in text
+        assert "setup" in text
+
+    def test_increments_sum_to_delay(self):
+        from repro.hw.timing import SETUP_PS, analyze_timing, format_critical_path
+
+        nl = Netlist()
+        x = nl.input()
+        for _ in range(5):
+            x = nl.gate("INV", x)
+        nl.mark_output(x)
+        rep = analyze_timing(nl)
+        # Last node's arrival + setup equals the reported delay.
+        assert rep.arrivals[rep.critical_path[-1]] + SETUP_PS == rep.delay_ps
+        assert format_critical_path(nl, rep)  # renders without error

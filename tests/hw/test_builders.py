@@ -1,0 +1,277 @@
+"""Tests for logic builders, allocator netlist builders, and the
+synthesis driver (capacity model, scaling trends)."""
+
+import pytest
+
+from repro.core import VCPartition
+from repro.hw import (
+    SynthesisCapacityError,
+    analyze_timing,
+    synthesize,
+    synthesize_switch_allocator,
+    synthesize_vc_allocator,
+    total_area,
+)
+from repro.hw.alloc_gates import (
+    build_separable_matrix,
+    build_wavefront_matrix,
+    wavefront_gate_estimate,
+)
+from repro.hw.logic import (
+    and_reduce,
+    fanout_tree,
+    fixed_priority_grants,
+    onehot_mux,
+    or_reduce,
+    prefix_or,
+    rotate_left,
+)
+from repro.hw.netlist import Netlist
+from repro.hw.simulate import NetlistSimulator
+from repro.hw.vc_alloc_gates import estimate_vc_allocator_gates
+
+
+class TestLogicBuilders:
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 9, 17])
+    def test_or_reduce_function(self, n):
+        nl = Netlist()
+        ins = nl.inputs(n)
+        nl.mark_output(or_reduce(nl, ins))
+        sim = NetlistSimulator(nl)
+        for pattern in range(min(2**n, 64)):
+            bits = [(pattern >> i) & 1 for i in range(n)]
+            assert sim.output_values(bits)[0] == (1 if any(bits) else 0)
+
+    @pytest.mark.parametrize("n", [2, 4, 7])
+    def test_and_reduce_function(self, n):
+        nl = Netlist()
+        ins = nl.inputs(n)
+        nl.mark_output(and_reduce(nl, ins))
+        sim = NetlistSimulator(nl)
+        for pattern in range(2**n):
+            bits = [(pattern >> i) & 1 for i in range(n)]
+            assert sim.output_values(bits)[0] == (1 if all(bits) else 0)
+
+    def test_reduce_rejects_empty(self):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            or_reduce(nl, [])
+
+    def test_reduce_rejects_bad_op(self):
+        nl = Netlist()
+        a = nl.input()
+        from repro.hw.logic import reduce_tree
+
+        with pytest.raises(ValueError):
+            reduce_tree(nl, "XOR", [a])
+
+    def test_reduce_depth_logarithmic(self):
+        # 64-input OR: depth must be ceil(log4(64)) = 3 gate levels.
+        nl = Netlist()
+        ins = nl.inputs(64)
+        nl.mark_output(or_reduce(nl, ins))
+        t = analyze_timing(nl)
+        # path: input + 3 OR4 levels
+        assert len(t.critical_path) == 4
+
+    @pytest.mark.parametrize("n", [2, 3, 8])
+    def test_prefix_or_function(self, n):
+        nl = Netlist()
+        ins = nl.inputs(n)
+        for net in prefix_or(nl, ins):
+            nl.mark_output(net)
+        sim = NetlistSimulator(nl)
+        for pattern in range(2**n):
+            bits = [(pattern >> i) & 1 for i in range(n)]
+            outs = sim.output_values(bits)
+            acc = 0
+            for i in range(n):
+                acc |= bits[i]
+                assert outs[i] == acc
+
+    @pytest.mark.parametrize("n", [1, 2, 5, 8])
+    def test_fixed_priority_grants_function(self, n):
+        nl = Netlist()
+        ins = nl.inputs(n)
+        for net in fixed_priority_grants(nl, ins):
+            nl.mark_output(net)
+        sim = NetlistSimulator(nl)
+        for pattern in range(2**n):
+            bits = [(pattern >> i) & 1 for i in range(n)]
+            outs = sim.output_values(bits)
+            first = next((i for i, b in enumerate(bits) if b), None)
+            expected = [1 if i == first else 0 for i in range(n)]
+            assert outs == expected
+
+    def test_onehot_mux_function(self):
+        nl = Netlist()
+        sels = nl.inputs(3)
+        data = nl.inputs(3)
+        nl.mark_output(onehot_mux(nl, sels, data))
+        sim = NetlistSimulator(nl)
+        assert sim.output_values([0, 1, 0, 1, 1, 0])[0] == 1
+        assert sim.output_values([0, 1, 0, 1, 0, 1])[0] == 0
+        assert sim.output_values([0, 0, 0, 1, 1, 1])[0] == 0
+
+    def test_onehot_mux_length_mismatch(self):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            onehot_mux(nl, nl.inputs(2), nl.inputs(3))
+
+    def test_fanout_tree_leaf_count_and_function(self):
+        nl = Netlist()
+        a = nl.input()
+        leaves = fanout_tree(nl, a, 37)
+        assert len(leaves) == 37
+        for leaf in leaves[:: 7]:
+            nl.mark_output(leaf)
+        sim = NetlistSimulator(nl)
+        assert all(v == 1 for v in sim.output_values([1]))
+        assert all(v == 0 for v in sim.output_values([0]))
+
+    def test_fanout_tree_small_passthrough(self):
+        nl = Netlist()
+        a = nl.input()
+        assert fanout_tree(nl, a, 3) == [a, a, a]
+        assert nl.num_gates == 0
+
+    def test_fanout_tree_rejects_zero(self):
+        nl = Netlist()
+        a = nl.input()
+        with pytest.raises(ValueError):
+            fanout_tree(nl, a, 0)
+
+    def test_rotate_left(self):
+        assert rotate_left([1, 2, 3, 4], 1) == [2, 3, 4, 1]
+        assert rotate_left([1, 2, 3], 0) == [1, 2, 3]
+        assert rotate_left([1, 2, 3], 4) == [2, 3, 1]
+
+
+class TestAllocGateBuilders:
+    def test_wavefront_rejects_non_square(self):
+        nl = Netlist()
+        req = [nl.inputs(3), nl.inputs(3)]
+        with pytest.raises(ValueError, match="square"):
+            build_wavefront_matrix(nl, req)
+
+    def test_wavefront_size_one(self):
+        nl = Netlist()
+        req = [[nl.input()]]
+        g = build_wavefront_matrix(nl, req)
+        assert g == req
+
+    def test_wavefront_area_scales_cubically(self):
+        areas = []
+        for n in (8, 16):
+            nl = Netlist()
+            req = [nl.inputs(n) for _ in range(n)]
+            for row in build_wavefront_matrix(nl, req):
+                for x in row:
+                    nl.mark_output(x)
+            areas.append(total_area(nl))
+        ratio = areas[1] / areas[0]
+        assert 6 < ratio < 10  # ~2^3 for doubling n
+
+    def test_wavefront_delay_scales_linearly(self):
+        delays = []
+        for n in (8, 16):
+            nl = Netlist()
+            req = [nl.inputs(n) for _ in range(n)]
+            for row in build_wavefront_matrix(nl, req):
+                for x in row:
+                    nl.mark_output(x)
+            delays.append(analyze_timing(nl).delay_ps)
+        ratio = delays[1] / delays[0]
+        assert 1.5 < ratio < 2.5
+
+    def test_wavefront_estimate_tracks_actual(self):
+        for n in (5, 10, 20):
+            nl = Netlist()
+            req = [nl.inputs(n) for _ in range(n)]
+            for row in build_wavefront_matrix(nl, req):
+                for x in row:
+                    nl.mark_output(x)
+            est = wavefront_gate_estimate(n)
+            assert 0.5 * est <= nl.num_gates <= 1.5 * est
+
+    @pytest.mark.parametrize("input_first", [True, False])
+    def test_separable_matrix_valid_matching_function(self, input_first):
+        import numpy as np
+
+        n = 4
+        nl = Netlist()
+        req = [nl.inputs(n) for _ in range(n)]
+        g = build_separable_matrix(nl, req, input_first, "rr")
+        for row in g:
+            for x in row:
+                nl.mark_output(x)
+        sim = NetlistSimulator(nl, reg_init=1)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            mat = (rng.random((n, n)) < 0.5).astype(int)
+            out = np.array(sim.output_values(mat.ravel().tolist())).reshape(n, n)
+            assert ((out == 1) & (mat == 0)).sum() == 0  # subset of requests
+            assert (out.sum(axis=0) <= 1).all()
+            assert (out.sum(axis=1) <= 1).all()
+
+
+class TestSynthesisDriver:
+    def test_vc_report_fields(self):
+        r = synthesize_vc_allocator(5, VCPartition.mesh(1), "sep_if", "rr", True)
+        assert r.delay_ns > 0
+        assert r.area_um2 > 0
+        assert r.power_mw > 0
+        assert r.num_cells > 0
+        assert r.meta["sparse"] is True
+        assert "sep_if" in r.name
+
+    def test_switch_report_fields(self):
+        r = synthesize_switch_allocator(5, 2, "sep_if", "rr", "pessimistic")
+        assert r.delay_ns > 0
+        assert r.meta["speculation"] == "pessimistic"
+
+    def test_capacity_error_on_large_wavefront(self):
+        with pytest.raises(SynthesisCapacityError) as exc:
+            synthesize_vc_allocator(10, VCPartition.fbfly(4), "wf", "rr", True)
+        assert exc.value.cells > exc.value.budget
+
+    def test_capacity_error_on_large_matrix_arbiters(self):
+        with pytest.raises(SynthesisCapacityError):
+            synthesize_vc_allocator(10, VCPartition.fbfly(4), "sep_if", "m", True)
+
+    def test_largest_point_rr_separable_succeeds(self):
+        r = synthesize_vc_allocator(10, VCPartition.fbfly(4), "sep_if", "rr", True)
+        assert r.num_cells < 500_000
+
+    def test_sparse_cheaper_than_dense(self):
+        dense = synthesize_vc_allocator(5, VCPartition.mesh(2), "sep_if", "rr", False)
+        sparse = synthesize_vc_allocator(5, VCPartition.mesh(2), "sep_if", "rr", True)
+        assert sparse.area_um2 < dense.area_um2
+        assert sparse.delay_ns < dense.delay_ns
+        assert sparse.power_mw < dense.power_mw
+
+    def test_pessimistic_faster_than_conventional(self):
+        conv = synthesize_switch_allocator(5, 2, "sep_if", "rr", "conventional")
+        pess = synthesize_switch_allocator(5, 2, "sep_if", "rr", "pessimistic")
+        nonspec = synthesize_switch_allocator(5, 2, "sep_if", "rr", "nonspec")
+        assert pess.delay_ns < conv.delay_ns
+        assert nonspec.delay_ns <= pess.delay_ns * 1.05
+
+    def test_speculation_roughly_doubles_area(self):
+        nonspec = synthesize_switch_allocator(5, 2, "sep_if", "rr", "nonspec")
+        pess = synthesize_switch_allocator(5, 2, "sep_if", "rr", "pessimistic")
+        assert 1.6 < pess.area_um2 / nonspec.area_um2 < 2.8
+
+    def test_unknown_arch_rejected(self):
+        with pytest.raises(ValueError):
+            synthesize_switch_allocator(5, 2, "foo", "rr")
+        with pytest.raises(ValueError):
+            estimate_vc_allocator_gates(5, VCPartition.mesh(1), "sep_if", "lru")
+
+    def test_synthesize_plain_netlist(self):
+        nl = Netlist("plain")
+        a, b = nl.inputs(2)
+        nl.mark_output(nl.gate("AND2", a, b))
+        r = synthesize(nl)
+        assert r.name == "plain"
+        assert r.num_cells == 1

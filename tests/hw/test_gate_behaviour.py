@@ -1,0 +1,254 @@
+"""Cross-validation: gate-level netlists vs behavioural models.
+
+The structural netlists in ``repro.hw`` must compute the same functions
+as the behavioural allocators in ``repro.core``.  Arbiters are compared
+cycle-by-cycle (state evolution included); allocators are compared
+single-cycle from reset (the behavioural front-ends and the netlists
+use slightly different internal arbiter decompositions, so priority
+trajectories may legally diverge after the first conflict, but the
+reset-state combinational function must agree exactly).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MatrixArbiter,
+    RoundRobinArbiter,
+    SwitchAllocator,
+    VCAllocator,
+    VCPartition,
+    VCRequest,
+    WavefrontAllocator,
+)
+from repro.hw.alloc_gates import build_wavefront_matrix
+from repro.hw.arbiter_gates import build_arbiter
+from repro.hw.netlist import Netlist
+from repro.hw.simulate import NetlistSimulator
+from repro.hw.sw_alloc_gates import build_switch_allocator_netlist
+from repro.hw.vc_alloc_gates import build_vc_allocator_netlist
+
+CELL_DFF = "DFF"
+
+
+def _reg_ids(nl):
+    from repro.hw.cells import CELL_INDEX
+
+    dff = CELL_INDEX[CELL_DFF]
+    return [nid for nid, k in enumerate(nl.kinds) if k == dff]
+
+
+def _arbiter_sim(kind, n):
+    nl = Netlist()
+    reqs = nl.inputs(n)
+    grants, fin = build_arbiter(nl, kind, reqs)
+    fin(None)
+    for g in grants:
+        nl.mark_output(g)
+    # rr masks and matrix upper-triangle state reset to 1 (index 0 has
+    # priority), matching the behavioural arbiters.
+    return NetlistSimulator(nl, reg_init=1)
+
+
+class TestArbiterEquivalence:
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_round_robin_matches_behavioural(self, n):
+        rng = np.random.default_rng(20 + n)
+        sim = _arbiter_sim("rr", n)
+        beh = RoundRobinArbiter(n)
+        for _ in range(60):
+            reqs = (rng.random(n) < 0.5).astype(int).tolist()
+            gate_grants = sim.step(reqs)
+            gate_winner = [i for i, name in enumerate(range(n)) if list(gate_grants.values())[i]]
+            w = beh.arbitrate(reqs)
+            expected = [] if w is None else [w]
+            assert gate_winner == expected, (reqs, gate_winner, w)
+
+    @pytest.mark.parametrize("n", [2, 3, 5, 8])
+    def test_matrix_matches_behavioural(self, n):
+        rng = np.random.default_rng(40 + n)
+        sim = _arbiter_sim("m", n)
+        beh = MatrixArbiter(n)
+        for _ in range(60):
+            reqs = (rng.random(n) < 0.5).astype(int).tolist()
+            gate = sim.step(reqs)
+            gate_winner = [i for i in range(n) if list(gate.values())[i]]
+            w = beh.arbitrate(reqs)
+            expected = [] if w is None else [w]
+            assert gate_winner == expected, (reqs, gate_winner, w)
+
+    @pytest.mark.parametrize("kind", ["rr", "m", "fixed"])
+    def test_at_most_one_grant(self, kind):
+        rng = np.random.default_rng(3)
+        sim = _arbiter_sim(kind, 6)
+        for _ in range(40):
+            reqs = (rng.random(6) < 0.6).astype(int).tolist()
+            outs = list(sim.step(reqs).values())
+            assert sum(outs) <= 1
+            for i, o in enumerate(outs):
+                if o:
+                    assert reqs[i]
+
+    def test_tree_rr_one_grant_from_requester(self):
+        nl = Netlist()
+        reqs = nl.inputs(12)
+        grants, fin = build_arbiter(nl, "rr", reqs, tree_groups=3)
+        fin(None)
+        for g in grants:
+            nl.mark_output(g)
+        sim = NetlistSimulator(nl, reg_init=1)
+        rng = np.random.default_rng(4)
+        for _ in range(40):
+            r = (rng.random(12) < 0.5).astype(int).tolist()
+            outs = list(sim.step(r).values())
+            assert sum(outs) <= 1
+            if any(r):
+                assert sum(outs) == 1
+            for i, o in enumerate(outs):
+                if o:
+                    assert r[i]
+
+
+def _wavefront_sim(n):
+    nl = Netlist()
+    req = [nl.inputs(n) for _ in range(n)]
+    grants = build_wavefront_matrix(nl, req)
+    for row in grants:
+        for g in row:
+            nl.mark_output(g)
+    sim = NetlistSimulator(nl, reg_init=0)
+    regs = _reg_ids(nl)
+    sim.set_register(regs[0], 1)  # diagonal pointer one-hot at 0
+    return sim
+
+
+class TestWavefrontEquivalence:
+    @pytest.mark.parametrize("n", [2, 4, 6])
+    def test_matches_behavioural_over_cycles(self, n):
+        rng = np.random.default_rng(50 + n)
+        sim = _wavefront_sim(n)
+        beh = WavefrontAllocator(n, n)
+        for _ in range(4 * n):
+            req = rng.random((n, n)) < 0.4
+            flat = req.astype(int).ravel().tolist()
+            gate = np.array(list(sim.step(flat).values())).reshape(n, n)
+            expected = beh.allocate(req)
+            assert np.array_equal(gate.astype(bool), expected), (
+                req,
+                gate,
+                expected,
+            )
+
+
+class TestVCAllocatorNetlistFunction:
+    @pytest.mark.parametrize("arch", ["sep_if", "sep_of", "wf"])
+    @pytest.mark.parametrize("C", [1, 2])
+    def test_single_cycle_matches_behavioural(self, arch, C):
+        P = 3
+        part = VCPartition.mesh(C)
+        V = part.num_vcs
+        rng = np.random.default_rng(hash((arch, C)) % 2**32)
+
+        for trial in range(15):
+            # Fresh instances: compare the reset-state function.
+            beh = VCAllocator(P, part, arch=arch, sparse=True)
+            nl = build_vc_allocator_netlist(P, part, arch, "rr", sparse=True)
+            sim = NetlistSimulator(nl, reg_init=1)
+            if arch == "wf":
+                # Wavefront blocks: zero all pointer regs, then set the
+                # first of each block's diagonal ring.
+                regs = _reg_ids(nl)
+                block = P * part.num_resource_classes * part.vcs_per_class
+                for r in regs:
+                    sim.set_register(r, 0)
+                for b in range(part.num_message_classes):
+                    sim.set_register(regs[b * block], 1)
+
+            # Random requests.
+            requests = []
+            for p in range(P):
+                for v in range(V):
+                    if rng.random() < 0.5:
+                        requests.append(
+                            VCRequest(
+                                int(rng.integers(P)),
+                                tuple(part.candidate_vcs(v)),
+                            )
+                        )
+                    else:
+                        requests.append(None)
+
+            # Drive the netlist: per input VC, one request line per
+            # successor class, then the P-wide one-hot destination.
+            stim = []
+            for p in range(P):
+                for v in range(V):
+                    req = requests[p * V + v]
+                    m_in, r_in, _ = part.vc_fields(v)
+                    n_classes = len(part.successor_classes(r_in))
+                    if req is None:
+                        stim.extend([0] * n_classes)
+                        stim.extend([0] * P)
+                    else:
+                        stim.extend([1] * n_classes)
+                        stim.extend(
+                            [1 if q == req.output_port else 0 for q in range(P)]
+                        )
+
+            gate_out = sim.output_values(stim)
+            beh_grants = beh.allocate(requests)
+
+            # Netlist output: V-wide grant vector per input VC.
+            for i in range(P * V):
+                vec = gate_out[i * V : (i + 1) * V]
+                g = beh_grants[i]
+                expected = [0] * V
+                if g is not None:
+                    expected[g[1]] = 1
+                assert vec == expected, (trial, i, vec, g)
+
+
+class TestSwitchAllocatorNetlistFunction:
+    @pytest.mark.parametrize("arch", ["sep_if", "sep_of", "wf"])
+    def test_single_cycle_matches_behavioural(self, arch):
+        P, V = 4, 2
+        rng = np.random.default_rng(hash(arch) % 2**32)
+        for trial in range(15):
+            beh = SwitchAllocator(P, V, arch=arch)
+            nl = build_switch_allocator_netlist(P, V, arch, "rr", "nonspec")
+            sim = NetlistSimulator(nl, reg_init=1)
+            if arch == "wf":
+                regs = _reg_ids(nl)
+                for r in regs[:P]:
+                    sim.set_register(r, 0)
+                sim.set_register(regs[0], 1)
+
+            requests = [
+                [
+                    int(rng.integers(P)) if rng.random() < 0.5 else None
+                    for _ in range(V)
+                ]
+                for _ in range(P)
+            ]
+            stim = []
+            for p in range(P):
+                for v in range(V):
+                    q = requests[p][v]
+                    stim.extend([1 if q == qq else 0 for qq in range(P)])
+
+            out = sim.output_values(stim)
+            # Outputs interleave per port: P crossbar bits, then V VC bits.
+            per_port = np.array(out).reshape(P, P + V)
+            xbar = per_port[:, :P]
+            vcg = per_port[:, P:]
+
+            grants = beh.allocate(requests)
+            exp_xbar = np.zeros((P, P), dtype=int)
+            exp_vcg = np.zeros((P, V), dtype=int)
+            for p, g in enumerate(grants):
+                if g is not None:
+                    vc, q = g
+                    exp_xbar[p][q] = 1
+                    exp_vcg[p][vc] = 1
+            assert np.array_equal(xbar, exp_xbar), (trial, requests, xbar, exp_xbar)
+            assert np.array_equal(vcg, exp_vcg), (trial, requests, vcg, exp_vcg)

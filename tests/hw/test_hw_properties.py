@@ -1,0 +1,114 @@
+"""Property-based tests (hypothesis) for the hardware cost model."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hw.area import total_area
+from repro.hw.cells import CELLS
+from repro.hw.logic import fixed_priority_grants, or_reduce, prefix_or
+from repro.hw.netlist import Netlist
+from repro.hw.power import analyze_power, signal_probabilities
+from repro.hw.simulate import NetlistSimulator
+from repro.hw.sizing import recover_timing
+from repro.hw.timing import analyze_timing, compute_arrivals
+
+
+@st.composite
+def random_netlists(draw):
+    """A random combinational DAG over a handful of inputs."""
+    nl = Netlist()
+    num_inputs = draw(st.integers(2, 6))
+    nets = nl.inputs(num_inputs)
+    combinational = [
+        c.name
+        for c in CELLS
+        if not c.sequential
+    ]
+    for _ in range(draw(st.integers(1, 25))):
+        cell = draw(st.sampled_from(combinational))
+        arity = next(c.num_inputs for c in CELLS if c.name == cell)
+        ins = [nets[draw(st.integers(0, len(nets) - 1))] for _ in range(arity)]
+        nets.append(nl.gate(cell, *ins))
+    # Mark a few outputs, always including the last net.
+    nl.mark_output(nets[-1])
+    for _ in range(draw(st.integers(0, 3))):
+        nl.mark_output(nets[draw(st.integers(0, len(nets) - 1))])
+    return nl
+
+
+@given(nl=random_netlists())
+@settings(max_examples=80, deadline=None)
+def test_arrivals_monotone_along_fanin(nl):
+    arrivals = compute_arrivals(nl)
+    for nid, fanin in enumerate(nl.fanins):
+        if nl.kinds[nid] >= 0:
+            for f in fanin:
+                assert arrivals[nid] > arrivals[f]
+
+
+@given(nl=random_netlists())
+@settings(max_examples=80, deadline=None)
+def test_probabilities_in_unit_interval(nl):
+    for p in signal_probabilities(nl):
+        assert -1e-9 <= p <= 1 + 1e-9
+
+
+@given(nl=random_netlists())
+@settings(max_examples=50, deadline=None)
+def test_power_and_area_positive(nl):
+    assert total_area(nl) > 0
+    rep = analyze_power(nl, frequency_ghz=1.0)
+    assert rep.dynamic_mw >= 0
+    assert rep.leakage_mw > 0
+
+
+@given(nl=random_netlists())
+@settings(max_examples=40, deadline=None)
+def test_sizing_never_worsens_delay(nl):
+    before = analyze_timing(nl).delay_ps
+    recover_timing(nl, max_iterations=4)
+    assert analyze_timing(nl).delay_ps <= before + 1e-9
+
+
+@given(nl=random_netlists(), data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_simulation_agrees_with_probability_extremes(nl, data):
+    # Deterministic all-zero / all-one stimulation must match the
+    # probability model evaluated at p=0 / p=1.
+    sim = NetlistSimulator(nl)
+    n = sim.num_inputs
+    for value, prob in ((0, 0.0), (1, 1.0)):
+        vals = sim.evaluate([value] * n)
+        probs = signal_probabilities(nl, input_probability=prob)
+        for nid in range(nl.num_nets):
+            if nl.kinds[nid] >= 0 or nl.kinds[nid] == -1:
+                assert abs(probs[nid] - vals[nid]) < 1e-9, nid
+
+
+@given(
+    n=st.integers(1, 12),
+    bits=st.lists(st.booleans(), min_size=12, max_size=12),
+)
+@settings(max_examples=80, deadline=None)
+def test_priority_network_matches_python_semantics(n, bits):
+    nl = Netlist()
+    ins = nl.inputs(n)
+    grants = fixed_priority_grants(nl, ins)
+    pre = prefix_or(nl, ins)
+    any_net = or_reduce(nl, ins)
+    for g in grants:
+        nl.mark_output(g)
+    for p in pre:
+        nl.mark_output(p)
+    nl.mark_output(any_net)
+    sim = NetlistSimulator(nl)
+    stim = [1 if b else 0 for b in bits[:n]]
+    out = sim.output_values(stim)
+    gnt, prefix, any_out = out[:n], out[n : 2 * n], out[-1]
+    first = next((i for i, b in enumerate(stim) if b), None)
+    assert gnt == [1 if i == first else 0 for i in range(n)]
+    acc = 0
+    for i in range(n):
+        acc |= stim[i]
+        assert prefix[i] == acc
+    assert any_out == (1 if any(stim) else 0)

@@ -1,0 +1,138 @@
+"""Unit tests for the netlist representation and cell library."""
+
+import pytest
+
+from repro.hw.cells import CELLS, CELL_INDEX, cell_by_name
+from repro.hw.netlist import KIND_INPUT, Netlist
+
+
+class TestCells:
+    def test_lookup(self):
+        assert cell_by_name("INV").num_inputs == 1
+        assert cell_by_name("AND3").num_inputs == 3
+        assert cell_by_name("MUX2").num_inputs == 3
+
+    def test_unknown_cell(self):
+        with pytest.raises(KeyError, match="known cells"):
+            cell_by_name("XNOR3")
+
+    def test_index_consistent(self):
+        for name, ix in CELL_INDEX.items():
+            assert CELLS[ix].name == name
+
+    def test_dff_is_sequential(self):
+        assert cell_by_name("DFF").sequential
+        assert not cell_by_name("INV").sequential
+
+    def test_positive_parameters(self):
+        for c in CELLS:
+            assert c.logical_effort > 0
+            assert c.parasitic > 0
+            assert c.input_cap_ff > 0
+            assert c.area_um2 > 0
+            assert c.leakage_nw > 0
+
+
+class TestNetlistConstruction:
+    def test_inputs_and_gates(self):
+        nl = Netlist("t")
+        a = nl.input("a")
+        b = nl.input("b")
+        g = nl.gate("AND2", a, b)
+        nl.mark_output(g, "y")
+        assert nl.num_nets == 3
+        assert nl.num_gates == 1
+        assert nl.num_inputs == 2
+        assert nl.kinds[a] == KIND_INPUT
+
+    def test_gate_arity_checked(self):
+        nl = Netlist()
+        a = nl.input()
+        with pytest.raises(ValueError, match="needs 2 inputs"):
+            nl.gate("AND2", a)
+
+    def test_forward_reference_rejected(self):
+        nl = Netlist()
+        a = nl.input()
+        with pytest.raises(ValueError, match="does not exist"):
+            nl.gate("INV", a + 5)
+
+    def test_sequential_via_gate_rejected(self):
+        nl = Netlist()
+        a = nl.input()
+        with pytest.raises(ValueError, match="sequential"):
+            nl.gate("DFF", a)
+
+    def test_register_connection(self):
+        nl = Netlist()
+        q = nl.reg()
+        d = nl.gate("INV", q)  # toggle flop: sequential feedback is fine
+        nl.connect_reg(q, d)
+        nl.validate()
+        assert nl.num_registers == 1
+
+    def test_register_double_connect_rejected(self):
+        nl = Netlist()
+        q = nl.reg()
+        a = nl.input()
+        nl.connect_reg(q, a)
+        with pytest.raises(ValueError, match="already connected"):
+            nl.connect_reg(q, a)
+
+    def test_connect_non_register_rejected(self):
+        nl = Netlist()
+        a = nl.input()
+        b = nl.input()
+        with pytest.raises(ValueError, match="not a register"):
+            nl.connect_reg(a, b)
+
+    def test_unconnected_register_fails_validation(self):
+        nl = Netlist()
+        nl.reg()
+        with pytest.raises(ValueError, match="unconnected"):
+            nl.validate()
+
+    def test_no_endpoints_fails_validation(self):
+        nl = Netlist()
+        nl.input()
+        with pytest.raises(ValueError, match="endpoints"):
+            nl.validate()
+
+    def test_const_deduplicated(self):
+        nl = Netlist()
+        assert nl.const(0) == nl.const(0)
+        assert nl.const(1) == nl.const(1)
+        assert nl.const(0) != nl.const(1)
+
+    def test_mark_output_validates(self):
+        nl = Netlist()
+        with pytest.raises(ValueError):
+            nl.mark_output(7)
+
+    def test_cell_histogram(self):
+        nl = Netlist()
+        a, b = nl.inputs(2)
+        nl.gate("AND2", a, b)
+        nl.gate("AND2", a, b)
+        nl.gate("INV", a)
+        hist = nl.cell_histogram()
+        assert hist["AND2"] == 2
+        assert hist["INV"] == 1
+
+    def test_consumers(self):
+        nl = Netlist()
+        a = nl.input()
+        x = nl.gate("INV", a)
+        y = nl.gate("INV", a)
+        q = nl.reg()
+        nl.connect_reg(q, x)
+        cons = nl.consumers()
+        assert set(cons[a]) == {x, y}
+        assert cons[x] == [q]
+
+    def test_repr(self):
+        nl = Netlist("demo")
+        a = nl.input()
+        nl.mark_output(nl.gate("INV", a))
+        assert "demo" in repr(nl)
+        assert "gates=1" in repr(nl)

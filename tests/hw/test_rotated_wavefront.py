@@ -1,0 +1,92 @@
+"""Tests for the rotation-based wavefront implementation (Hurt et al.,
+the area-efficient alternative mentioned in Section 2.2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import WavefrontAllocator
+from repro.hw.alloc_gates import (
+    build_wavefront_matrix,
+    build_wavefront_matrix_rotated,
+    rotated_wavefront_gate_estimate,
+)
+from repro.hw.area import total_area
+from repro.hw.netlist import Netlist
+from repro.hw.simulate import NetlistSimulator
+from repro.hw.timing import analyze_timing
+
+
+def _build(n, builder):
+    nl = Netlist()
+    req = [nl.inputs(n) for _ in range(n)]
+    grants = builder(nl, req)
+    for row in grants:
+        for x in row:
+            nl.mark_output(x)
+    nl.validate()
+    return nl
+
+
+class TestRotatedWavefront:
+    @pytest.mark.parametrize("n", [2, 3, 4, 5, 7, 8])
+    def test_matches_behavioural_over_cycles(self, n):
+        # Includes non-power-of-two sizes (exercises the counter wrap).
+        nl = _build(n, build_wavefront_matrix_rotated)
+        sim = NetlistSimulator(nl, reg_init=0)
+        beh = WavefrontAllocator(n, n)
+        rng = np.random.default_rng(100 + n)
+        for _ in range(3 * n + 2):
+            req = rng.random((n, n)) < 0.4
+            out = np.array(
+                list(sim.step(req.astype(int).ravel().tolist()).values())
+            ).reshape(n, n)
+            assert np.array_equal(out.astype(bool), beh.allocate(req))
+
+    def test_matches_replicated_implementation(self):
+        n = 5
+        a = NetlistSimulator(_build(n, build_wavefront_matrix), reg_init=0)
+        b = NetlistSimulator(_build(n, build_wavefront_matrix_rotated), reg_init=0)
+        # Replicated variant keeps a one-hot ring: set its first bit.
+        from repro.hw.cells import CELL_INDEX
+
+        dff = CELL_INDEX["DFF"]
+        regs = [i for i, k in enumerate(a.nl.kinds) if k == dff]
+        a.set_register(regs[0], 1)
+        rng = np.random.default_rng(0)
+        for _ in range(12):
+            req = (rng.random((n, n)) < 0.5).astype(int).ravel().tolist()
+            out_a = a.output_values(req)
+            out_b = b.output_values(req)
+            a.step(req)
+            b.step(req)
+            assert out_a == out_b
+
+    def test_area_much_smaller_than_replicated(self):
+        n = 16
+        rep = _build(n, build_wavefront_matrix)
+        rot = _build(n, build_wavefront_matrix_rotated)
+        assert total_area(rot) < 0.4 * total_area(rep)
+
+    def test_delay_higher_than_replicated(self):
+        # The paper's reason for preferring the replicated version.
+        n = 16
+        rep = _build(n, build_wavefront_matrix)
+        rot = _build(n, build_wavefront_matrix_rotated)
+        assert analyze_timing(rot).delay_ps > analyze_timing(rep).delay_ps
+
+    def test_estimate_tracks_actual(self):
+        for n in (4, 8, 16):
+            nl = _build(n, build_wavefront_matrix_rotated)
+            est = rotated_wavefront_gate_estimate(n)
+            assert 0.5 * est <= nl.num_gates <= 1.6 * est
+
+    def test_rejects_non_square(self):
+        nl = Netlist()
+        req = [nl.inputs(3), nl.inputs(3)]
+        with pytest.raises(ValueError):
+            build_wavefront_matrix_rotated(nl, req)
+
+    def test_size_one_passthrough(self):
+        nl = Netlist()
+        req = [[nl.input()]]
+        assert build_wavefront_matrix_rotated(nl, req) == req

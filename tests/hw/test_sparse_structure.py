@@ -1,0 +1,82 @@
+"""Structural checks that sparse VC allocation shrinks the hardware the
+way Section 4.2 predicts (arbiter ports reduced by the message-class
+factor and by successor/predecessor class counts)."""
+
+import pytest
+
+from repro.core import VCPartition
+from repro.hw.netlist import Netlist
+from repro.hw.vc_alloc_gates import (
+    build_vc_allocator_netlist,
+    estimate_vc_allocator_gates,
+)
+
+
+def _counts(nl: Netlist):
+    return nl.num_gates, nl.num_registers, nl.num_inputs
+
+
+class TestSparseStructure:
+    def test_input_count_reduced_by_class_granularity(self):
+        # Dense: one request line per candidate output VC (V per input
+        # VC).  Sparse: one per candidate *class* (successors(r)).
+        part = VCPartition.fbfly(4)  # V=16
+        P = 10
+        dense = build_vc_allocator_netlist(P, part, "sep_if", "rr", False)
+        sparse = build_vc_allocator_netlist(P, part, "sep_if", "rr", True)
+        V = part.num_vcs
+        # Dense: V request lines + P dest lines per input VC.
+        assert dense.num_inputs == P * V * (V + P)
+        # Sparse: nonmin VCs have 2 successor classes, min VCs 1; per
+        # message class half the VCs are in each resource class.
+        per_port = (V // 2) * 2 + (V // 2) * 1
+        assert sparse.num_inputs == P * (per_port + V * P)
+
+    def test_register_reduction_tracks_arbiter_width(self):
+        # Round-robin arbiters keep one mask DFF per input: output-stage
+        # width drops from P*V (dense) to P*preds*C (sparse).
+        part = VCPartition.mesh(2)  # V=4, 1 resource class
+        P = 5
+        dense = build_vc_allocator_netlist(P, part, "sep_if", "rr", False)
+        sparse = build_vc_allocator_netlist(P, part, "sep_if", "rr", True)
+        assert sparse.num_registers < 0.6 * dense.num_registers
+
+    def test_matrix_state_quadratic_reduction(self):
+        # Matrix arbiter state is quadratic in width, so sparse saves
+        # far more registers for the m variants than for rr.
+        part = VCPartition.mesh(2)
+        P = 5
+
+        def reg_ratio(arbiter):
+            dense = build_vc_allocator_netlist(P, part, "sep_if", arbiter, False)
+            sparse = build_vc_allocator_netlist(P, part, "sep_if", arbiter, True)
+            return sparse.num_registers / dense.num_registers
+
+        assert reg_ratio("m") < reg_ratio("rr")
+
+    @pytest.mark.parametrize("arch", ["sep_if", "sep_of"])
+    @pytest.mark.parametrize("sparse", [True, False])
+    def test_estimates_track_actuals(self, arch, sparse):
+        part = VCPartition.fbfly(1)
+        nl = build_vc_allocator_netlist(10, part, arch, "rr", sparse)
+        est = estimate_vc_allocator_gates(10, part, arch, "rr", sparse)
+        assert 0.4 * est <= nl.num_gates <= 2.0 * est
+
+    def test_wavefront_message_class_split(self):
+        # Sparse wavefront: M blocks of (P*R*C)^2 tiles instead of one
+        # (P*V)^2 block -- a 1/M area factor before the output muxes.
+        part = VCPartition.mesh(1)  # M=2, R=1, C=1; V=2
+        P = 5
+        dense = build_vc_allocator_netlist(P, part, "wf", "rr", False)
+        sparse = build_vc_allocator_netlist(P, part, "wf", "rr", True)
+        # n^3 scaling: dense block (PV=10)^3 vs 2 sparse blocks (5)^3
+        # => roughly a 4x tile reduction.
+        assert sparse.num_gates < 0.45 * dense.num_gates
+
+    def test_single_message_class_sparse_equals_dense_structure(self):
+        # With M=R=1 there is nothing to exploit: gate counts match to
+        # within the request-line granularity difference.
+        part = VCPartition(1, 1, 2)
+        dense = build_vc_allocator_netlist(4, part, "sep_if", "rr", False)
+        sparse = build_vc_allocator_netlist(4, part, "sep_if", "rr", True)
+        assert sparse.num_registers == dense.num_registers

@@ -1,0 +1,125 @@
+"""Unit tests for packets, flits and input-VC buffers."""
+
+import pytest
+
+from repro.netsim.buffers import InputVC
+from repro.netsim.flit import (
+    MESSAGE_CLASS_REPLY,
+    MESSAGE_CLASS_REQUEST,
+    Packet,
+    PacketType,
+)
+
+
+class TestPacketTypes:
+    def test_sizes(self):
+        assert PacketType.READ_REQUEST.size == 1
+        assert PacketType.WRITE_REQUEST.size == 5
+        assert PacketType.READ_REPLY.size == 5
+        assert PacketType.WRITE_REPLY.size == 1
+
+    def test_message_classes(self):
+        assert PacketType.READ_REQUEST.message_class == MESSAGE_CLASS_REQUEST
+        assert PacketType.WRITE_REQUEST.message_class == MESSAGE_CLASS_REQUEST
+        assert PacketType.READ_REPLY.message_class == MESSAGE_CLASS_REPLY
+        assert PacketType.WRITE_REPLY.message_class == MESSAGE_CLASS_REPLY
+
+    def test_reply_types(self):
+        assert PacketType.READ_REQUEST.reply_type == PacketType.READ_REPLY
+        assert PacketType.WRITE_REQUEST.reply_type == PacketType.WRITE_REPLY
+
+    def test_reply_of_reply_rejected(self):
+        with pytest.raises(ValueError):
+            PacketType.READ_REPLY.reply_type
+
+    def test_transaction_flit_total_is_six(self):
+        # Section 4.3.3: "a request-reply packet pair ... always
+        # comprises a total of six flits".
+        for req in (PacketType.READ_REQUEST, PacketType.WRITE_REQUEST):
+            assert req.size + req.reply_type.size == 6
+
+
+class TestPacket:
+    def test_make_flits_structure(self):
+        pkt = Packet(src=0, dest=5, ptype=PacketType.WRITE_REQUEST, birth_time=3)
+        flits = pkt.make_flits()
+        assert len(flits) == 5
+        assert flits[0].is_head and not flits[0].is_tail
+        assert flits[-1].is_tail and not flits[-1].is_head
+        assert all(not f.is_head and not f.is_tail for f in flits[1:-1])
+        assert [f.index for f in flits] == list(range(5))
+        assert all(f.packet is pkt for f in flits)
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        pkt = Packet(src=0, dest=1, ptype=PacketType.READ_REQUEST, birth_time=0)
+        (flit,) = pkt.make_flits()
+        assert flit.is_head and flit.is_tail
+
+    def test_unique_ids(self):
+        a = Packet(0, 1, PacketType.READ_REQUEST, 0)
+        b = Packet(0, 1, PacketType.READ_REQUEST, 0)
+        assert a.pid != b.pid
+
+    def test_repr_tags(self):
+        pkt = Packet(0, 1, PacketType.WRITE_REQUEST, 0)
+        flits = pkt.make_flits()
+        assert repr(flits[0]).startswith("Flit(H")
+        assert repr(flits[1]).startswith("Flit(B")
+        assert repr(flits[-1]).startswith("Flit(T")
+
+
+class TestInputVC:
+    def _head(self):
+        pkt = Packet(0, 1, PacketType.READ_REQUEST, 0)
+        return pkt.make_flits()[0]
+
+    def test_empty_state(self):
+        ivc = InputVC(4)
+        assert ivc.front is None
+        assert not ivc.waiting_for_vc
+        assert not ivc.active
+        assert ivc.occupancy == 0
+
+    def test_waiting_for_vc_when_head_at_front(self):
+        ivc = InputVC(4)
+        ivc.push(self._head())
+        assert ivc.waiting_for_vc
+        assert not ivc.active
+
+    def test_active_after_assignment(self):
+        ivc = InputVC(4)
+        ivc.push(self._head())
+        ivc.assign_output(2, 1)
+        assert not ivc.waiting_for_vc
+        assert ivc.active
+        assert (ivc.output_port, ivc.output_vc) == (2, 1)
+
+    def test_pop_tail_resets_state(self):
+        ivc = InputVC(4)
+        ivc.push(self._head())  # single-flit packet: head is tail
+        ivc.assign_output(2, 1)
+        flit, finished = ivc.pop_front()
+        assert finished
+        assert ivc.output_vc == -1
+        assert ivc.output_port == -1
+
+    def test_pop_body_keeps_state(self):
+        pkt = Packet(0, 1, PacketType.WRITE_REQUEST, 0)
+        flits = pkt.make_flits()
+        ivc = InputVC(8)
+        for f in flits:
+            ivc.push(f)
+        ivc.assign_output(1, 0)
+        for i in range(4):
+            _, finished = ivc.pop_front()
+            assert not finished
+            assert ivc.output_vc == 0
+        _, finished = ivc.pop_front()
+        assert finished
+
+    def test_overflow_raises(self):
+        ivc = InputVC(2)
+        ivc.push(self._head())
+        ivc.push(self._head())
+        with pytest.raises(RuntimeError, match="overflow"):
+            ivc.push(self._head())

@@ -1,0 +1,105 @@
+"""Tests for the synthetic traffic patterns."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.patterns import (
+    bit_complement_pattern,
+    bit_reverse_pattern,
+    hotspot_pattern,
+    neighbor_pattern,
+    shuffle_pattern,
+    transpose_pattern,
+)
+from repro.netsim.simulator import SimulationConfig, build_network, run_simulation
+
+RNG = np.random.default_rng(0)
+
+
+class TestPermutations:
+    def test_transpose(self):
+        fn = transpose_pattern(64)  # 6 bits: swap high/low 3 bits
+        assert fn(RNG, 0b000001, 64) == 0b001000
+        assert fn(RNG, 0b101011, 64) == 0b011101
+
+    def test_transpose_requires_even_bits(self):
+        with pytest.raises(ValueError):
+            transpose_pattern(32)
+
+    def test_bit_complement(self):
+        fn = bit_complement_pattern(64)
+        assert fn(RNG, 0, 64) == 63
+        assert fn(RNG, 0b101010, 64) == 0b010101
+
+    def test_bit_reverse(self):
+        fn = bit_reverse_pattern(64)
+        assert fn(RNG, 0b100000, 64) == 0b000001
+        assert fn(RNG, 0b110010, 64) == 0b010011
+
+    def test_shuffle(self):
+        fn = shuffle_pattern(64)
+        assert fn(RNG, 0b100001, 64) == 0b000011
+
+    def test_neighbor(self):
+        fn = neighbor_pattern(64)
+        assert fn(RNG, 5, 64) == 6
+        assert fn(RNG, 63, 64) == 0
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            bit_reverse_pattern(60)
+
+    def test_self_addressed_falls_back_to_random(self):
+        # Terminal 0 maps to itself under transpose; must not self-send.
+        fn = transpose_pattern(64)
+        for _ in range(50):
+            assert fn(RNG, 0, 64) != 0
+
+    def test_permutations_are_valid_destinations(self):
+        for maker in (transpose_pattern, bit_complement_pattern,
+                      bit_reverse_pattern, shuffle_pattern, neighbor_pattern):
+            fn = maker(64)
+            for src in range(64):
+                dest = fn(RNG, src, 64)
+                assert 0 <= dest < 64
+                assert dest != src
+
+
+class TestHotspot:
+    def test_hot_fraction_targets_hotspots(self):
+        fn = hotspot_pattern([7], hot_fraction=1.0)
+        rng = np.random.default_rng(1)
+        assert all(fn(rng, 3, 64) == 7 for _ in range(20))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            hotspot_pattern([])
+        with pytest.raises(ValueError):
+            hotspot_pattern([1], hot_fraction=0.0)
+
+    def test_hotspot_self_skipped(self):
+        fn = hotspot_pattern([7], hot_fraction=1.0)
+        rng = np.random.default_rng(2)
+        for _ in range(50):
+            assert fn(rng, 7, 64) != 7
+
+
+class TestSimulationIntegration:
+    def test_unknown_pattern_rejected(self):
+        with pytest.raises(ValueError, match="unknown traffic pattern"):
+            build_network(SimulationConfig(traffic_pattern="tornado"))
+
+    @pytest.mark.parametrize("pattern", ["transpose", "bit_complement", "hotspot"])
+    def test_patterns_run_clean(self, pattern):
+        cfg = SimulationConfig(
+            topology="mesh",
+            injection_rate=0.05,
+            traffic_pattern=pattern,
+            warmup_cycles=100,
+            measure_cycles=300,
+            drain_cycles=400,
+        )
+        res = run_simulation(cfg)
+        assert res.measured_packets > 0
+        assert res.avg_latency > 0
+        assert not res.saturated

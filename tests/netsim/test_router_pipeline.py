@@ -1,0 +1,231 @@
+"""Deterministic single-packet tests of the router pipeline timing,
+credit conservation, and speculation semantics."""
+
+import pytest
+
+from repro.netsim.flit import Packet, PacketType
+from repro.netsim.simulator import SimulationConfig, build_network, run_simulation
+from repro.netsim.topology import build_mesh
+
+
+def _inject_one(net, src, dest, ptype=PacketType.READ_REQUEST):
+    pkt = Packet(src=src, dest=dest, ptype=ptype, birth_time=0)
+    net.terminals[src].request_queue.append(pkt)
+    return pkt
+
+
+def _drain(net, cycles=200):
+    net.run(cycles)
+
+
+class TestZeroLoadTiming:
+    """Hand-computed pipeline latencies for single packets.
+
+    Timeline for a 1-flit packet over one hop (all links latency 1,
+    speculative router): terminal sends the head at t=0 (arrives t=2);
+    router A allocates at t=2 (VA + speculative SA in one cycle, ST at
+    t=3, link) so router B sees it at t=5; B ejects likewise, and the
+    terminal receives it at t=8.
+    """
+
+    def test_one_hop_read_request_speculative(self):
+        net = build_mesh(4, speculation="pessimistic")
+        pkt = _inject_one(net, 0, 1)
+        _drain(net)
+        assert pkt.arrival_time - pkt.birth_time == 8
+
+    def test_one_hop_read_request_nonspeculative(self):
+        # Without speculation each router adds one cycle (VA then SA).
+        net = build_mesh(4, speculation="nonspec")
+        pkt = _inject_one(net, 0, 1)
+        _drain(net)
+        assert pkt.arrival_time - pkt.birth_time == 10
+
+    def test_per_hop_cost_is_three_cycles(self):
+        # Each extra hop adds 3 cycles (allocation, ST, link).
+        latencies = []
+        for dest in (1, 2, 3):
+            net = build_mesh(4, speculation="pessimistic")
+            pkt = _inject_one(net, 0, dest)
+            _drain(net)
+            latencies.append(pkt.arrival_time - pkt.birth_time)
+        assert latencies == [8, 11, 14]
+
+    def test_serialization_adds_packet_length(self):
+        # A 5-flit write request's tail trails the head by 4 cycles.
+        net = build_mesh(4, speculation="pessimistic")
+        pkt = _inject_one(net, 0, 1, PacketType.WRITE_REQUEST)
+        _drain(net)
+        assert pkt.arrival_time - pkt.birth_time == 8 + 4
+
+    def test_conventional_matches_pessimistic_at_zero_load(self):
+        # Section 5.3.3: identical at low load.
+        lat = {}
+        for scheme in ("pessimistic", "conventional"):
+            net = build_mesh(4, speculation=scheme)
+            pkt = _inject_one(net, 0, 5)
+            _drain(net)
+            lat[scheme] = pkt.arrival_time - pkt.birth_time
+        assert lat["pessimistic"] == lat["conventional"]
+
+    def test_reply_generated_next_cycle(self):
+        net = build_mesh(4, speculation="pessimistic")
+        pkt = _inject_one(net, 0, 1)
+        delivered = []
+        net.on_delivery = lambda p, now: delivered.append((p, now))
+        _drain(net)
+        # Request delivered at t=8; reply (5-flit read reply) born at 9.
+        assert delivered[0][0] is pkt
+        reply = delivered[1][0]
+        assert reply.ptype == PacketType.READ_REPLY
+        assert reply.birth_time == delivered[0][1] + 1
+        assert reply.dest == 0 and reply.src == 1
+
+
+class TestConservation:
+    def test_credits_and_buffers_restored_after_drain(self):
+        cfg = SimulationConfig(
+            topology="mesh",
+            injection_rate=0.1,
+            warmup_cycles=0,
+            measure_cycles=400,
+            drain_cycles=0,
+        )
+        net = build_network(cfg)
+        net.run(400)
+        # Stop traffic and drain.
+        for t in net.terminals:
+            t.packet_rate = 0.0
+        net.run(600)
+        assert net.in_flight_flits() == 0
+        for r in net.routers:
+            for port in range(r.num_ports):
+                for v in range(r.num_vcs):
+                    assert r.credits[port][v] == r.buffer_depth, (
+                        r.id,
+                        port,
+                        v,
+                    )
+                    assert r.output_holder[port][v] is None
+        for t in net.terminals:
+            assert all(c == t.router.buffer_depth for c in t.credits)
+        assert net.total_injected_flits() == net.total_ejected_flits()
+
+    def test_every_request_gets_a_reply(self):
+        cfg = SimulationConfig(
+            topology="fbfly",
+            injection_rate=0.1,
+            vcs_per_class=1,
+            warmup_cycles=0,
+            measure_cycles=300,
+            drain_cycles=0,
+        )
+        net = build_network(cfg)
+        requests = []
+        replies = []
+        net.on_delivery = lambda p, now: (
+            requests.append(p) if p.ptype.is_request else replies.append(p)
+        )
+        net.run(300)
+        for t in net.terminals:
+            t.packet_rate = 0.0
+        net.run(800)
+        assert net.in_flight_flits() == 0
+        assert len(requests) == len(replies)
+        # Replies mirror their requests' endpoints.
+        req_pairs = sorted((p.src, p.dest) for p in requests)
+        rep_pairs = sorted((p.dest, p.src) for p in replies)
+        assert req_pairs == rep_pairs
+
+    def test_flits_delivered_in_order_within_packet(self):
+        # Tail arrival == head arrival + (size - 1) at zero load implies
+        # in-order contiguous delivery; verify explicitly via a hook.
+        net = build_mesh(4, speculation="pessimistic")
+        seen = []
+        term = net.terminals[9]
+        orig = term.receive_flit
+
+        def spy(network, vc, flit, now):
+            seen.append((flit.packet.pid, flit.index, now))
+            return orig(network, vc, flit, now)
+
+        term.receive_flit = spy
+        pkt = _inject_one(net, 0, 9, PacketType.WRITE_REQUEST)
+        _drain(net)
+        indices = [i for (pid, i, _) in seen if pid == pkt.pid]
+        assert indices == [0, 1, 2, 3, 4]
+
+
+class TestSpeculationCounters:
+    def test_nonspec_never_speculates(self):
+        cfg = SimulationConfig(
+            topology="mesh",
+            injection_rate=0.1,
+            speculation="nonspec",
+            warmup_cycles=0,
+            measure_cycles=300,
+            drain_cycles=200,
+        )
+        res = run_simulation(cfg)
+        assert res.speculative_wins == 0
+        assert res.misspeculations == 0
+
+    def test_speculative_wins_at_low_load(self):
+        cfg = SimulationConfig(
+            topology="mesh",
+            injection_rate=0.05,
+            speculation="pessimistic",
+            warmup_cycles=0,
+            measure_cycles=300,
+            drain_cycles=200,
+        )
+        res = run_simulation(cfg)
+        assert res.speculative_wins > 0
+        # At low load nearly all speculations succeed.
+        assert res.speculative_wins > 10 * max(res.misspeculations, 1)
+
+
+class TestRouterGuards:
+    def test_credit_overflow_detected(self):
+        net = build_mesh(4)
+        r = net.routers[0]
+        with pytest.raises(RuntimeError, match="credit overflow"):
+            r.receive_credit(0, 0)
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            build_network(SimulationConfig(topology="hypercube"))
+
+
+class TestLookaheadAblation:
+    def test_routing_stage_adds_one_cycle_per_hop(self):
+        # 1-hop read request: 8 cycles with lookahead, +1 per router
+        # without (two routers on the path).
+        lat = {}
+        for la in (True, False):
+            net = build_mesh(4, speculation="pessimistic", lookahead=la)
+            pkt = _inject_one(net, 0, 1)
+            _drain(net)
+            lat[la] = pkt.arrival_time - pkt.birth_time
+        assert lat[True] == 8
+        assert lat[False] == 10
+
+    def test_lookahead_default_on(self):
+        net = build_mesh(4)
+        assert all(r.lookahead for r in net.routers)
+
+    def test_non_lookahead_network_drains_clean(self):
+        cfg = SimulationConfig(
+            topology="mesh",
+            injection_rate=0.1,
+            lookahead=False,
+            warmup_cycles=0,
+            measure_cycles=300,
+            drain_cycles=0,
+        )
+        net = build_network(cfg)
+        net.run(300)
+        for t in net.terminals:
+            t.packet_rate = 0.0
+        net.run(600)
+        assert net.in_flight_flits() == 0

@@ -1,0 +1,194 @@
+"""Unit tests for DOR (mesh) and UGAL (flattened butterfly) routing."""
+
+import numpy as np
+import pytest
+
+from repro.netsim.flit import Packet, PacketType
+from repro.netsim.routing.dor import (
+    DORMeshRouting,
+    PORT_EAST,
+    PORT_NORTH,
+    PORT_SOUTH,
+    PORT_TERMINAL,
+    PORT_WEST,
+)
+from repro.netsim.routing.ugal import PHASE_MINIMAL, PHASE_NONMINIMAL, UGALRouting
+from repro.netsim.topology import build_fbfly, build_mesh
+
+
+def _pkt(src, dest, rc=0, inter=None):
+    p = Packet(src=src, dest=dest, ptype=PacketType.READ_REQUEST, birth_time=0)
+    p.resource_class = rc
+    p.intermediate = inter
+    return p
+
+
+class TestDOR:
+    def setup_method(self):
+        self.k = 4
+        self.routing = DORMeshRouting(self.k)
+        self.net = build_mesh(self.k)
+
+    def test_x_before_y(self):
+        # From (0,0) to (2,2): must go east first.
+        pkt = _pkt(0, 10)  # router 10 = (x=2, y=2)
+        port = self.routing.route(self.net, self.net.routers[0], pkt)
+        assert port == PORT_EAST
+
+    def test_y_after_x_done(self):
+        # From (2,0) [router 2] to (2,2) [router 10]: x aligned, go north.
+        pkt = _pkt(2, 10)
+        port = self.routing.route(self.net, self.net.routers[2], pkt)
+        assert port == PORT_NORTH
+
+    def test_west_and_south(self):
+        pkt = _pkt(15, 0)
+        assert self.routing.route(self.net, self.net.routers[15], pkt) == PORT_WEST
+        pkt = _pkt(12, 0)  # (0,3) -> (0,0): south
+        assert self.routing.route(self.net, self.net.routers[12], pkt) == PORT_SOUTH
+
+    def test_ejection_at_destination(self):
+        pkt = _pkt(5, 5)
+        assert self.routing.route(self.net, self.net.routers[5], pkt) == PORT_TERMINAL
+
+    def test_walk_terminates_with_correct_hops(self):
+        # Following the route function step-by-step reaches the
+        # destination in exactly the Manhattan distance.
+        k = self.k
+        for src in range(k * k):
+            for dest in range(k * k):
+                pkt = _pkt(src, dest)
+                rid = src
+                hops = 0
+                while True:
+                    port = self.routing.route(self.net, self.net.routers[rid], pkt)
+                    if port == PORT_TERMINAL:
+                        break
+                    hops += 1
+                    assert hops <= 2 * k, "routing loop"
+                    x, y = rid % k, rid // k
+                    if port == PORT_EAST:
+                        x += 1
+                    elif port == PORT_WEST:
+                        x -= 1
+                    elif port == PORT_NORTH:
+                        y += 1
+                    else:
+                        y -= 1
+                    rid = y * k + x
+                assert rid == dest
+                assert hops == self.routing.hops(src, dest)
+
+    def test_prepare_sets_single_resource_class(self):
+        pkt = _pkt(0, 3, rc=99)
+        self.routing.prepare(self.net, self.net.terminals[0], pkt)
+        assert pkt.resource_class == 0
+
+
+class TestUGALPortMaps:
+    def setup_method(self):
+        self.routing = UGALRouting(4, 4, 4)
+
+    def test_row_ports_distinct_and_in_range(self):
+        for rid in range(16):
+            c = rid % 4
+            ports = [self.routing.row_port(rid, c2) for c2 in range(4) if c2 != c]
+            assert sorted(ports) == [4, 5, 6]
+
+    def test_col_ports_distinct_and_in_range(self):
+        for rid in range(16):
+            r = rid // 4
+            ports = [self.routing.col_port(rid, r2) for r2 in range(4) if r2 != r]
+            assert sorted(ports) == [7, 8, 9]
+
+    def test_own_row_col_rejected(self):
+        with pytest.raises(ValueError):
+            self.routing.row_port(5, 1)  # router 5 is at col 1
+        with pytest.raises(ValueError):
+            self.routing.col_port(5, 1)  # and at row 1
+
+    def test_hops(self):
+        assert self.routing.hops(0, 0) == 0
+        assert self.routing.hops(0, 3) == 1  # same row
+        assert self.routing.hops(0, 12) == 1  # same column
+        assert self.routing.hops(0, 15) == 2
+
+    def test_first_hop_column_corrected_first(self):
+        # router 0 (r0,c0) -> router 15 (r3,c3): row link to col 3 first.
+        port = self.routing.first_hop_port(0, 15, 60)
+        assert port == self.routing.row_port(0, 3)
+
+    def test_first_hop_ejects_at_destination(self):
+        assert self.routing.first_hop_port(3, 3, 14) == 14 % 4
+
+
+class TestUGALDecisions:
+    def setup_method(self):
+        self.net = build_fbfly(4, 4, 4, vcs_per_class=1)
+        self.routing = self.net.routing
+
+    def test_zero_load_chooses_minimal(self):
+        # All queues empty: q_min * H_min = 0 <= 0, so minimal.
+        term = self.net.terminals[0]
+        for _ in range(50):
+            pkt = _pkt(0, 60)  # cross-corner traffic
+            self.routing.prepare(self.net, term, pkt)
+            assert pkt.resource_class == PHASE_MINIMAL
+            assert pkt.intermediate is None
+
+    def test_same_router_always_minimal(self):
+        term = self.net.terminals[0]
+        pkt = _pkt(0, 3)  # same router (terminals 0..3)
+        self.routing.prepare(self.net, term, pkt)
+        assert pkt.resource_class == PHASE_MINIMAL
+
+    def test_congested_minimal_path_goes_nonminimal(self):
+        # Exhaust credits on router 0's minimal first-hop port toward
+        # router 3 (dest terminals 12..15) so UGAL deflects.
+        term = self.net.terminals[0]
+        router = self.net.routers[0]
+        min_port = self.routing.first_hop_port(0, 3, 12)
+        for v in range(router.num_vcs):
+            router.credits[min_port][v] = 0  # fully occupied queue
+        went_nonminimal = False
+        for _ in range(100):
+            pkt = _pkt(0, 12)
+            self.routing.prepare(self.net, term, pkt)
+            if pkt.resource_class == PHASE_NONMINIMAL:
+                went_nonminimal = True
+                assert pkt.intermediate is not None
+                assert pkt.intermediate not in (0, 3)
+                break
+        assert went_nonminimal
+
+    def test_phase_transition_at_intermediate(self):
+        pkt = _pkt(0, 60, rc=PHASE_NONMINIMAL, inter=5)
+        # Routed at the intermediate router: phase flips to minimal.
+        self.routing.route(self.net, self.net.routers[5], pkt)
+        assert pkt.resource_class == PHASE_MINIMAL
+
+    def test_nonminimal_routes_toward_intermediate(self):
+        pkt = _pkt(0, 60, rc=PHASE_NONMINIMAL, inter=2)
+        port = self.routing.route(self.net, self.net.routers[0], pkt)
+        assert port == self.routing.row_port(0, 2)
+
+    def test_minimal_phase_routes_toward_destination(self):
+        pkt = _pkt(0, 60, rc=PHASE_MINIMAL)
+        port = self.routing.route(self.net, self.net.routers[0], pkt)
+        # terminal 60 -> router 15 (col 3): row link first.
+        assert port == self.routing.row_port(0, 3)
+
+    def test_walk_nonminimal_visits_intermediate(self):
+        pkt = _pkt(0, 63, rc=PHASE_NONMINIMAL, inter=5)
+        rid = 0
+        visited = [0]
+        for _ in range(6):
+            port = self.routing.route(self.net, self.net.routers[rid], pkt)
+            if port < 4:
+                break
+            # follow the link
+            link = self.net.routers[rid].out_links[port]
+            rid = link[1].id
+            visited.append(rid)
+        assert rid == 15  # destination router of terminal 63
+        assert 5 in visited

@@ -1,0 +1,126 @@
+"""Tests for latency statistics helpers."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.netsim.simulator import SimulationConfig, run_simulation
+from repro.netsim.stats import batch_means, summarize_latencies
+
+
+class TestSummarize:
+    def test_simple(self):
+        s = summarize_latencies([1, 2, 3, 4, 5])
+        assert s.count == 5
+        assert s.mean == 3
+        assert s.minimum == 1 and s.maximum == 5
+        assert s.p50 == 3
+
+    def test_single_value(self):
+        s = summarize_latencies([7])
+        assert s.mean == 7 and s.p99 == 7 and s.std == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_latencies([])
+
+    def test_percentiles_interpolated(self):
+        s = summarize_latencies([0, 10])
+        assert s.p50 == 5
+        assert s.p95 == pytest.approx(9.5)
+
+    def test_percentile_ordering(self):
+        rng = np.random.default_rng(0)
+        s = summarize_latencies(rng.exponential(10, size=1000).tolist())
+        assert s.minimum <= s.p50 <= s.p95 <= s.p99 <= s.maximum
+
+    def test_std_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(20, 5, size=500)
+        s = summarize_latencies(data.tolist())
+        assert s.std == pytest.approx(float(np.std(data)), rel=1e-9)
+
+    def test_str(self):
+        assert "p95" in str(summarize_latencies([1, 2, 3]))
+
+
+class TestBatchMeans:
+    def test_constant_signal_zero_error(self):
+        samples = [(t, 5.0) for t in range(100)]
+        mean, se = batch_means(samples)
+        assert mean == 5.0
+        assert se == 0.0
+
+    def test_mean_estimate(self):
+        rng = np.random.default_rng(2)
+        samples = [(t, float(rng.normal(10, 2))) for t in range(2000)]
+        mean, se = batch_means(samples, num_batches=20)
+        assert mean == pytest.approx(10, abs=0.3)
+        assert 0 < se < 0.5
+
+    def test_more_data_shrinks_error(self):
+        rng = np.random.default_rng(3)
+        small = [(t, float(rng.normal(0, 1))) for t in range(200)]
+        large = [(t, float(rng.normal(0, 1))) for t in range(20000)]
+        _, se_small = batch_means(small)
+        _, se_large = batch_means(large)
+        assert se_large < se_small
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means([])
+        with pytest.raises(ValueError):
+            batch_means([(0, 1.0)], num_batches=1)
+
+    def test_single_batch_populated_gives_nan(self):
+        mean, se = batch_means([(0, 3.0)], num_batches=5)
+        assert mean == 3.0
+        assert math.isnan(se)
+
+
+class TestSimulationIntegration:
+    def test_result_carries_summary(self):
+        cfg = SimulationConfig(
+            topology="mesh",
+            injection_rate=0.1,
+            warmup_cycles=100,
+            measure_cycles=500,
+            drain_cycles=500,
+        )
+        res = run_simulation(cfg)
+        assert res.latency_summary is not None
+        assert res.latency_summary.mean == pytest.approx(res.avg_latency)
+        assert res.latency_summary.p95 >= res.latency_summary.p50
+        assert res.latency_stderr < 2.0  # tight at low load
+
+    def test_empty_run_has_no_summary(self):
+        cfg = SimulationConfig(
+            topology="mesh",
+            injection_rate=0.0,
+            warmup_cycles=5,
+            measure_cycles=20,
+            drain_cycles=5,
+        )
+        res = run_simulation(cfg)
+        assert res.latency_summary is None
+        assert math.isnan(res.latency_stderr)
+
+
+class TestResultSerialization:
+    def test_to_dict_round_trips_through_json(self):
+        import json
+
+        cfg = SimulationConfig(
+            topology="mesh",
+            injection_rate=0.1,
+            warmup_cycles=50,
+            measure_cycles=300,
+            drain_cycles=300,
+        )
+        res = run_simulation(cfg)
+        blob = json.dumps(res.to_dict())
+        data = json.loads(blob)
+        assert data["topology"] == "mesh"
+        assert data["avg_latency"] == pytest.approx(res.avg_latency)
+        assert "p95" in data

@@ -1,0 +1,127 @@
+"""Tests for topology construction and wiring consistency."""
+
+import pytest
+
+from repro.netsim.topology import build_fbfly, build_mesh
+
+
+def _check_wiring(net):
+    """Every output link must have a matching upstream entry at the
+    receiver, with the same latency, pointing back at the sender."""
+    for router in net.routers:
+        for q, link in enumerate(router.out_links):
+            if link is None:
+                continue  # unused boundary port (mesh edges)
+            kind, neighbor, dest_port, latency = link
+            if kind == "router":
+                up = neighbor.upstream[dest_port]
+                assert up is not None
+                up_kind, up_obj, up_port, up_lat = up
+                assert up_kind == "router"
+                assert up_obj is router
+                assert up_port == q
+                assert up_lat == latency
+            else:
+                assert neighbor.router is router
+                assert neighbor.router_port == q
+
+
+class TestMesh:
+    def test_counts(self):
+        net = build_mesh(8)
+        assert len(net.routers) == 64
+        assert len(net.terminals) == 64
+        assert all(r.num_ports == 5 for r in net.routers)
+
+    def test_wiring_consistent(self):
+        _check_wiring(build_mesh(4))
+
+    def test_all_links_unit_latency(self):
+        net = build_mesh(4)
+        for router in net.routers:
+            for link in router.out_links:
+                if link is not None:
+                    assert link[3] == 1
+
+    def test_partition(self):
+        net = build_mesh(4, vcs_per_class=4)
+        part = net.routers[0].partition
+        assert part.num_message_classes == 2
+        assert part.num_resource_classes == 1
+        assert part.num_vcs == 8
+
+    def test_edge_routers_have_all_ports_wired(self):
+        # Boundary routers loop unused mesh ports back?  No: unused
+        # boundary ports must never be routed to, but out_links entries
+        # remain None there -- DOR never selects them.
+        net = build_mesh(4)
+        corner = net.routers[0]
+        # corner (0,0) has no west/south neighbor:
+        assert corner.out_links[2] is None
+        assert corner.out_links[4] is None
+        assert corner.out_links[1] is not None
+        assert corner.out_links[3] is not None
+
+
+class TestFbfly:
+    def test_counts(self):
+        net = build_fbfly(4, 4, 4)
+        assert len(net.routers) == 16
+        assert len(net.terminals) == 64
+        assert all(r.num_ports == 10 for r in net.routers)
+
+    def test_wiring_consistent(self):
+        _check_wiring(build_fbfly(4, 4, 4))
+
+    def test_link_latencies_match_span(self):
+        net = build_fbfly(4, 4, 4)
+        lats = set()
+        for router in net.routers:
+            r, c = router.id // 4, router.id % 4
+            for q in range(4, 10):
+                kind, neighbor, _, latency = router.out_links[q]
+                assert kind == "router"
+                r2, c2 = neighbor.id // 4, neighbor.id % 4
+                span = abs(r - r2) + abs(c - c2)
+                assert latency == span
+                lats.add(latency)
+        assert lats == {1, 2, 3}
+
+    def test_row_column_full_connectivity(self):
+        net = build_fbfly(4, 4, 4)
+        for router in net.routers:
+            r, c = router.id // 4, router.id % 4
+            neighbors = {link[1].id for link in router.out_links[4:]}
+            expected = {r * 4 + c2 for c2 in range(4) if c2 != c} | {
+                r2 * 4 + c for r2 in range(4) if r2 != r
+            }
+            assert neighbors == expected
+
+    def test_terminal_attachment(self):
+        net = build_fbfly(4, 4, 4)
+        for t in net.terminals:
+            assert t.router.id == t.id // 4
+            assert t.router_port == t.id % 4
+
+    def test_partition(self):
+        net = build_fbfly(4, 4, 4, vcs_per_class=2)
+        part = net.routers[0].partition
+        assert part.num_message_classes == 2
+        assert part.num_resource_classes == 2
+        assert part.num_vcs == 8
+
+
+class TestMeshWiringFull(object):
+    def test_mesh_unused_boundary_ports_never_receive(self):
+        # Sanity on the DOR invariant backing the previous test: route
+        # from every router toward every destination and check the
+        # selected port is wired.
+        net = build_mesh(4)
+        routing = net.routing
+        from repro.netsim.flit import Packet, PacketType
+
+        for src in range(16):
+            for dest in range(16):
+                pkt = Packet(src, dest, PacketType.READ_REQUEST, 0)
+                port = routing.route(net, net.routers[src], pkt)
+                assert net.routers[src].out_links[port] is not None

@@ -1,0 +1,68 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.topology == "mesh"
+        assert args.speculation == "pessimistic"
+
+
+class TestCommands:
+    def test_transitions(self, capsys):
+        assert main(["transitions", "--topology", "fbfly", "--vcs-per-class", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "96 / 256" in out
+
+    def test_quality(self, capsys):
+        rc = main(
+            ["quality", "--target", "switch", "--samples", "50",
+             "--rates", "0.5"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "sep_if" in out and "wf" in out
+
+    def test_quality_vc(self, capsys):
+        rc = main(
+            ["quality", "--target", "vc", "--samples", "50", "--rates", "1.0"]
+        )
+        assert rc == 0
+        assert "matching quality" in capsys.readouterr().out
+
+    def test_simulate(self, capsys):
+        rc = main(["simulate", "--rate", "0.05", "--cycles", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "latency" in out
+
+    def test_sweep(self, capsys):
+        rc = main(
+            ["sweep", "--rates", "0.05,0.1", "--cycles", "300"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "zero-load" in out
+
+    def test_cost_switch(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_COST_CACHE", str(tmp_path / "c.json"))
+        rc = main(["cost", "--target", "switch", "--vcs-per-class", "1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "nonspec" in out and "pessimistic" in out
+
+
+class TestFiguresCommand:
+    def test_figures_lists_all(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        for fid in ("fig4", "fig7", "fig13", "fig14", "claims"):
+            assert fid in out

@@ -1,0 +1,51 @@
+"""Package-level API surface tests."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = ["repro.core", "repro.hw", "repro.netsim", "repro.eval"]
+
+
+class TestPublicAPI:
+    def test_version(self):
+        assert repro.__version__
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(p.isdigit() for p in parts)
+
+    @pytest.mark.parametrize("modname", SUBPACKAGES)
+    def test_all_exports_resolve(self, modname):
+        mod = importlib.import_module(modname)
+        assert hasattr(mod, "__all__") and mod.__all__
+        for name in mod.__all__:
+            assert hasattr(mod, name), f"{modname}.{name} in __all__ but missing"
+
+    @pytest.mark.parametrize("modname", SUBPACKAGES)
+    def test_all_sorted_unique(self, modname):
+        mod = importlib.import_module(modname)
+        assert len(set(mod.__all__)) == len(mod.__all__)
+
+    def test_top_level_reexports(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name)
+
+    def test_every_public_symbol_documented(self):
+        for modname in SUBPACKAGES:
+            mod = importlib.import_module(modname)
+            for name in mod.__all__:
+                obj = getattr(mod, name)
+                if callable(obj) or isinstance(obj, type):
+                    assert obj.__doc__, f"{modname}.{name} lacks a docstring"
+
+    def test_module_docstrings(self):
+        import pkgutil
+
+        for modname in SUBPACKAGES:
+            pkg = importlib.import_module(modname)
+            assert pkg.__doc__
+            for info in pkgutil.iter_modules(pkg.__path__):
+                sub = importlib.import_module(f"{modname}.{info.name}")
+                assert sub.__doc__, f"{sub.__name__} lacks a module docstring"
