@@ -12,6 +12,13 @@ Fidelity knobs (environment variables):
 * ``REPRO_SIM_CYCLES`` -- measurement cycles per network-simulation
   point (default 1200; the paper's simulator runs far longer).
 * ``REPRO_FULL=1``   -- paper fidelity for both knobs.
+* ``REPRO_JOBS``     -- worker processes for the network sweeps
+  (default 1; results are bit-identical at any job count).
+
+Simulation sweeps are memoized in ``benchmarks/.sweep_cache.json``
+(keyed by the full config + simulator revision, so fidelity-knob or
+code changes re-simulate automatically); synthesis results likewise in
+``benchmarks/.cost_cache.json``.
 """
 
 import os
@@ -20,6 +27,7 @@ from pathlib import Path
 import pytest
 
 from repro.eval.cost import CostCache
+from repro.eval.runner import ResultCache
 
 RESULTS_DIR = Path(__file__).parent / "results"
 
@@ -30,6 +38,7 @@ SIM_MEASURE_CYCLES = int(
 )
 SIM_WARMUP_CYCLES = max(300, SIM_MEASURE_CYCLES // 3)
 SIM_DRAIN_CYCLES = SIM_MEASURE_CYCLES
+SIM_JOBS = int(os.environ.get("REPRO_JOBS", "1"))
 
 
 def save_result(name: str, text: str) -> None:
@@ -43,6 +52,12 @@ def save_result(name: str, text: str) -> None:
 def cost_cache():
     """Repo-local synthesis cache shared by the cost benchmarks."""
     return CostCache(str(Path(__file__).parent / ".cost_cache.json"))
+
+
+@pytest.fixture(scope="session")
+def sweep_cache():
+    """Repo-local simulation-result cache shared by the network sweeps."""
+    return ResultCache(Path(__file__).parent / ".sweep_cache.json")
 
 
 def run_once(benchmark, fn):

@@ -16,6 +16,7 @@ import pytest
 
 from conftest import (
     SIM_DRAIN_CYCLES,
+    SIM_JOBS,
     SIM_MEASURE_CYCLES,
     SIM_WARMUP_CYCLES,
     run_once,
@@ -53,13 +54,14 @@ def _base(point, arch):
 
 
 @pytest.mark.parametrize("point", ALL_POINTS, ids=lambda p: p.label)
-def test_fig13_switch_allocator_network_performance(benchmark, point):
+def test_fig13_switch_allocator_network_performance(benchmark, point, sweep_cache):
     rates = RATE_GRID[(point.topology, point.vcs_per_class)]
 
     def sweep_all():
         return {
             arch: latency_sweep(
-                _base(point, arch), rates, label=arch, stop_after_saturation=False
+                _base(point, arch), rates, label=arch, stop_after_saturation=False,
+                jobs=SIM_JOBS, cache=sweep_cache,
             )
             for arch in ARCHS
         }
@@ -95,7 +97,7 @@ def test_fig13_switch_allocator_network_performance(benchmark, point):
         assert sat["wf"] > 1.10 * sat["sep_if"]
 
 
-def test_fig13_wf_advantage_grows_with_vcs_on_fbfly(benchmark):
+def test_fig13_wf_advantage_grows_with_vcs_on_fbfly(benchmark, sweep_cache):
     """Section 5.3.3: the wavefront's saturation advantage on the
     flattened butterfly grows from C=1 to C=4."""
 
@@ -108,7 +110,8 @@ def test_fig13_wf_advantage_grows_with_vcs_on_fbfly(benchmark):
             sat = {}
             for arch in ("sep_if", "wf"):
                 curve = latency_sweep(
-                    _base(point, arch), rates, stop_after_saturation=False
+                    _base(point, arch), rates, stop_after_saturation=False,
+                    jobs=SIM_JOBS, cache=sweep_cache,
                 )
                 sat[arch] = curve.saturation_rate()
             adv[point.vcs_per_class] = sat["wf"] / sat["sep_if"]

@@ -17,6 +17,7 @@ import pytest
 
 from conftest import (
     SIM_DRAIN_CYCLES,
+    SIM_JOBS,
     SIM_MEASURE_CYCLES,
     SIM_WARMUP_CYCLES,
     run_once,
@@ -54,7 +55,7 @@ def _base(point, scheme):
 
 
 @pytest.mark.parametrize("point", ALL_POINTS, ids=lambda p: p.label)
-def test_fig14_speculation_network_performance(benchmark, point):
+def test_fig14_speculation_network_performance(benchmark, point, sweep_cache):
     rates = RATE_GRID[(point.topology, point.vcs_per_class)]
 
     def sweep_all():
@@ -62,6 +63,7 @@ def test_fig14_speculation_network_performance(benchmark, point):
             label: latency_sweep(
                 _base(point, scheme), rates, label=label,
                 stop_after_saturation=False,
+                jobs=SIM_JOBS, cache=sweep_cache,
             )
             for label, scheme in SCHEMES.items()
         }
@@ -103,7 +105,7 @@ def test_fig14_speculation_network_performance(benchmark, point):
     assert sat_req > 0.88 * sat_gnt
 
 
-def test_fig14_speculation_gain_largest_with_few_vcs(benchmark):
+def test_fig14_speculation_gain_largest_with_few_vcs(benchmark, sweep_cache):
     """Section 5.3.3: the saturation-rate gain from speculation is
     larger in networks with fewer VCs (14% for mesh 2x1x1 vs <5% for
     the VC-rich configurations)."""
@@ -117,7 +119,8 @@ def test_fig14_speculation_gain_largest_with_few_vcs(benchmark):
             rates = RATE_GRID[("mesh", C)]
             curves = {
                 scheme: latency_sweep(
-                    _base(point, scheme), rates, stop_after_saturation=False
+                    _base(point, scheme), rates, stop_after_saturation=False,
+                    jobs=SIM_JOBS, cache=sweep_cache,
                 )
                 for scheme in ("nonspec", "pessimistic")
             }

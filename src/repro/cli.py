@@ -21,6 +21,7 @@ from .eval.figures import format_experiment_index
 from .eval.design_points import DesignPoint
 from .eval.matching import switch_matching_quality, vc_matching_quality
 from .eval.netperf import latency_sweep
+from .eval.runner import ConsoleReporter, ResultCache, default_cache_path
 from .eval.tables import format_cost_results, format_curves, format_table
 from .netsim.simulator import SimulationConfig, run_simulation
 
@@ -123,7 +124,14 @@ def cmd_sweep(args) -> int:
         seed=args.seed,
     )
     rates = [float(r) for r in args.rates.split(",")]
-    curve = latency_sweep(base, rates, stop_after_saturation=False)
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_path or default_cache_path())
+    reporter = ConsoleReporter() if args.progress else None
+    curve = latency_sweep(
+        base, rates, stop_after_saturation=False,
+        jobs=args.jobs, cache=cache, reporter=reporter,
+    )
     print(
         format_curves(
             "inj rate",
@@ -135,6 +143,9 @@ def cmd_sweep(args) -> int:
     )
     print(f"zero-load {curve.zero_load:.1f} cycles, "
           f"saturation ~{curve.saturation_rate():.3f} flits/cycle")
+    if cache is not None:
+        print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+              f"({cache.path})")
     return 0
 
 
@@ -185,6 +196,18 @@ def build_parser() -> argparse.ArgumentParser:
             p.set_defaults(fn=cmd_simulate)
         else:
             p.add_argument("--rates", default="0.05,0.15,0.25,0.35")
+            p.add_argument("--jobs", type=int, default=1,
+                           help="worker processes (1 = serial; results "
+                                "are identical either way)")
+            p.add_argument("--no-cache", action="store_true",
+                           help="always re-simulate; do not touch the "
+                                "sweep result cache")
+            p.add_argument("--cache-path", default=None,
+                           help="sweep cache file (default: "
+                                "$REPRO_SWEEP_CACHE or "
+                                "~/.cache/repro-noc-sweeps.json)")
+            p.add_argument("--progress", action="store_true",
+                           help="report per-point progress on stderr")
             p.set_defaults(fn=cmd_sweep)
     return parser
 

@@ -29,6 +29,16 @@ from .matching import (
 )
 from .figures import EXPERIMENTS, Experiment, format_experiment_index, list_experiments
 from .rtl_quality import rtl_switch_matching_quality
+from .runner import (
+    ConsoleReporter,
+    NullReporter,
+    ResultCache,
+    SweepReporter,
+    SweepStats,
+    config_key,
+    run_point,
+    run_sweep,
+)
 from .netperf import (
     LatencyCurve,
     SweepPoint,
@@ -40,8 +50,16 @@ from .tables import format_cost_results, format_curves, format_table
 
 __all__ = [
     "ALL_POINTS",
+    "ConsoleReporter",
     "CostCache",
     "CostResult",
+    "NullReporter",
+    "ResultCache",
+    "SweepReporter",
+    "SweepStats",
+    "config_key",
+    "run_point",
+    "run_sweep",
     "DEFAULT_RATES",
     "DesignPoint",
     "EXPERIMENTS",

@@ -11,6 +11,7 @@ from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Sequence
 
 from ..netsim.simulator import SimulationConfig, SimulationResult, run_simulation
+from .runner import ResultCache, SweepReporter, run_point, run_sweep
 
 __all__ = [
     "SweepPoint",
@@ -74,36 +75,60 @@ class LatencyCurve:
         return self.points[-1].rate if self.points else 0.0
 
 
+def _to_point(rate: float, res: SimulationResult) -> SweepPoint:
+    return SweepPoint(
+        rate,
+        res.avg_latency,
+        res.accepted_flit_rate,
+        res.saturated,
+        res.misspeculations,
+        res.speculative_wins,
+    )
+
+
 def latency_sweep(
     base: SimulationConfig,
     rates: Sequence[float],
     label: str = "",
     stop_after_saturation: bool = True,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    reporter: Optional[SweepReporter] = None,
 ) -> LatencyCurve:
-    """Run the simulator across ``rates`` and collect a latency curve."""
+    """Run the simulator across ``rates`` and collect a latency curve.
+
+    ``jobs > 1`` evaluates the points through the parallel sweep engine
+    (:mod:`repro.eval.runner`); ``cache`` memoizes completed points on
+    disk.  With ``stop_after_saturation`` the curve is truncated just
+    past the first saturated point: the serial path stops simulating
+    there, while the parallel path computes all points and truncates
+    afterwards, so both produce identical ``SweepPoint`` sequences.
+    """
+    configs = [replace(base, injection_rate=rate) for rate in rates]
     points: List[SweepPoint] = []
-    for rate in rates:
-        cfg = replace(base, injection_rate=rate)
-        res = run_simulation(cfg)
-        points.append(
-            SweepPoint(
-                rate,
-                res.avg_latency,
-                res.accepted_flit_rate,
-                res.saturated,
-                res.misspeculations,
-                res.speculative_wins,
-            )
-        )
-        if stop_after_saturation and res.saturated:
-            break
+    if jobs > 1:
+        results = run_sweep(configs, jobs=jobs, cache=cache, reporter=reporter)
+        for rate, res in zip(rates, results):
+            points.append(_to_point(rate, res))
+            if stop_after_saturation and res.saturated:
+                break
+    else:
+        for rate, cfg in zip(rates, configs):
+            res = run_point(cfg, cache=cache, sim_fn=run_simulation)
+            points.append(_to_point(rate, res))
+            if stop_after_saturation and res.saturated:
+                break
     return LatencyCurve(label or base.sw_alloc_arch, points)
 
 
-def zero_load_latency(base: SimulationConfig, rate: float = 0.02) -> float:
+def zero_load_latency(
+    base: SimulationConfig,
+    rate: float = 0.02,
+    cache: Optional[ResultCache] = None,
+) -> float:
     """Average latency at (near) zero load."""
     cfg = replace(base, injection_rate=rate)
-    return run_simulation(cfg).avg_latency
+    return run_point(cfg, cache=cache, sim_fn=run_simulation).avg_latency
 
 
 def saturation_throughput(
@@ -112,14 +137,22 @@ def saturation_throughput(
     hi: float = 1.0,
     iterations: int = 6,
     threshold_factor: float = 3.0,
+    cache: Optional[ResultCache] = None,
 ) -> float:
     """Binary-search the offered load where latency crosses
-    ``threshold_factor`` x zero-load (the paper's saturation metric)."""
-    z = zero_load_latency(base)
+    ``threshold_factor`` x zero-load (the paper's saturation metric).
+
+    Inherently sequential (each probe depends on the last), but every
+    probe is memoized through ``cache`` when one is supplied.
+    """
+    z = zero_load_latency(base, cache=cache)
     limit = threshold_factor * z
 
     def stable(rate: float) -> bool:
-        res = run_simulation(replace(base, injection_rate=rate))
+        res = run_point(
+            replace(base, injection_rate=rate), cache=cache,
+            sim_fn=run_simulation,
+        )
         return not res.saturated and res.avg_latency <= limit
 
     if not stable(lo):

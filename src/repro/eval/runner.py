@@ -1,0 +1,324 @@
+"""Parallel sweep-execution engine with a persistent result cache.
+
+Every latency-vs-load curve in the paper's evaluation (Figures 13/14
+and all network-level ablations) is an embarrassingly parallel bag of
+independent :class:`~repro.netsim.simulator.SimulationConfig` points:
+Becker & Dally sweep six design points across many injection rates
+(Section 5), and each point is a self-contained cycle-accurate run.
+This module supplies the machinery the per-figure drivers share:
+
+* :func:`run_sweep` fans points out across worker processes
+  (``jobs > 1``) or runs them inline (``jobs <= 1``).  Results come
+  back in input order, and because every simulation derives its RNG
+  streams purely from ``(config.seed, terminal_id)``, parallel results
+  are bit-identical to serial ones.
+
+* :class:`ResultCache` memoizes completed
+  :class:`~repro.netsim.simulator.SimulationResult` objects on disk,
+  keyed by a stable hash of the *full* config plus a code-version salt
+  (``SIMULATOR_REV``), with atomic writes and per-entry corruption
+  recovery.  Re-running a figure benchmark pays only for points whose
+  configuration (or the simulator itself) actually changed.
+
+* :class:`SweepReporter` is a pluggable progress sink;
+  :class:`ConsoleReporter` prints points done, cache hits, sims/sec
+  and an ETA.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import sys
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, TextIO
+
+from ..netsim.simulator import (
+    SIMULATOR_REV,
+    SimulationConfig,
+    SimulationResult,
+    run_simulation,
+    run_simulation_worker,
+)
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "config_key",
+    "default_cache_path",
+    "ResultCache",
+    "SweepReporter",
+    "NullReporter",
+    "ConsoleReporter",
+    "SweepStats",
+    "run_point",
+    "run_sweep",
+]
+
+# Schema of the cache *file* (layout/keying).  Orthogonal to
+# SIMULATOR_REV, which tracks the semantics of the cached *values*.
+CACHE_SCHEMA_VERSION = 1
+
+
+def config_key(cfg: SimulationConfig, salt: Optional[str] = None) -> str:
+    """Stable cache key for one simulation point.
+
+    Hashes the canonical JSON form of every config field plus a salt
+    that defaults to the simulator code revision, so any config change
+    *or* simulator-semantics bump yields a fresh key.
+    """
+    if salt is None:
+        salt = f"sim-rev-{SIMULATOR_REV}"
+    canonical = json.dumps(cfg.to_dict(), sort_keys=True)
+    digest = hashlib.sha256(f"{salt}|{canonical}".encode()).hexdigest()
+    return digest[:32]
+
+
+def default_cache_path() -> Path:
+    """``REPRO_SWEEP_CACHE`` override or a per-user cache file."""
+    return Path(
+        os.environ.get(
+            "REPRO_SWEEP_CACHE",
+            str(Path.home() / ".cache" / "repro-noc-sweeps.json"),
+        )
+    )
+
+
+class ResultCache:
+    """Versioned on-disk memo of completed simulation results.
+
+    File layout::
+
+        {"schema": 1, "salt": "sim-rev-1", "entries": {key: payload}}
+
+    A schema or salt mismatch discards the stored entries (stale
+    numbers must never be served); an unreadable file starts empty; an
+    individually corrupt entry is dropped at lookup time and recomputed.
+    Writes go through a temp file + ``os.replace`` so a crash mid-write
+    can never truncate an existing cache.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        self.path = Path(path) if path is not None else default_cache_path()
+        self.salt = f"sim-rev-{SIMULATOR_REV}"
+        self.hits = 0
+        self.misses = 0
+        self._entries: Dict[str, dict] = {}
+        self._load()
+
+    def _load(self) -> None:
+        try:
+            raw = json.loads(self.path.read_text())
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            return
+        if not isinstance(raw, dict):
+            return
+        if raw.get("schema") != CACHE_SCHEMA_VERSION or raw.get("salt") != self.salt:
+            return  # versioned invalidation: drop stale entries wholesale
+        entries = raw.get("entries")
+        if isinstance(entries, dict):
+            self._entries = {
+                k: v for k, v in entries.items() if isinstance(v, dict)
+            }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def key(self, cfg: SimulationConfig) -> str:
+        return config_key(cfg, self.salt)
+
+    def get(self, cfg: SimulationConfig) -> Optional[SimulationResult]:
+        """Cached result for ``cfg``, or ``None`` (counted as a miss)."""
+        key = self.key(cfg)
+        payload = self._entries.get(key)
+        if payload is not None:
+            try:
+                result = SimulationResult.from_payload(payload)
+            except (TypeError, KeyError, ValueError, AttributeError):
+                # Corrupt entry (hand-edited, or written by an
+                # incompatible build): drop it and recompute.
+                del self._entries[key]
+                result = None
+            else:
+                self.hits += 1
+                return result
+        self.misses += 1
+        return None
+
+    def put(self, cfg: SimulationConfig, result: SimulationResult) -> None:
+        self._entries[self.key(cfg)] = result.to_payload()
+        self.flush()
+
+    def flush(self) -> None:
+        """Atomically persist the cache; best-effort like CostCache."""
+        doc = {
+            "schema": CACHE_SCHEMA_VERSION,
+            "salt": self.salt,
+            "entries": self._entries,
+        }
+        tmp = self.path.with_name(f"{self.path.name}.tmp{os.getpid()}")
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp.write_text(json.dumps(doc, indent=1))
+            os.replace(tmp, self.path)
+        except OSError:
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+
+
+@dataclass
+class SweepStats:
+    """Progress counters handed to reporters after every point."""
+
+    total: int
+    completed: int = 0
+    cache_hits: int = 0
+    started_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def simulated(self) -> int:
+        return self.completed - self.cache_hits
+
+    @property
+    def elapsed(self) -> float:
+        return time.monotonic() - self.started_at
+
+    @property
+    def sims_per_sec(self) -> float:
+        return self.simulated / self.elapsed if self.elapsed > 0 else 0.0
+
+    @property
+    def eta_seconds(self) -> float:
+        remaining = self.total - self.completed
+        rate = self.sims_per_sec
+        return remaining / rate if rate > 0 else float("nan")
+
+
+class SweepReporter:
+    """Progress sink; subclass and override what you need."""
+
+    def sweep_started(self, stats: SweepStats) -> None:  # pragma: no cover
+        pass
+
+    def point_done(
+        self, cfg: SimulationConfig, result: SimulationResult,
+        cached: bool, stats: SweepStats,
+    ) -> None:  # pragma: no cover
+        pass
+
+    def sweep_finished(self, stats: SweepStats) -> None:  # pragma: no cover
+        pass
+
+
+class NullReporter(SweepReporter):
+    """Silent default."""
+
+
+class ConsoleReporter(SweepReporter):
+    """Human-readable progress on ``stream`` (default: stderr)."""
+
+    def __init__(self, stream: Optional[TextIO] = None) -> None:
+        self.stream = stream if stream is not None else sys.stderr
+
+    def _emit(self, text: str) -> None:
+        print(text, file=self.stream, flush=True)
+
+    def sweep_started(self, stats: SweepStats) -> None:
+        self._emit(f"sweep: {stats.total} point(s)")
+
+    def point_done(self, cfg, result, cached, stats) -> None:
+        source = "cache" if cached else f"{result.avg_latency:8.1f} cyc"
+        eta = stats.eta_seconds
+        eta_text = f"{eta:4.0f}s" if eta == eta else "   ?"
+        self._emit(
+            f"  [{stats.completed:>3}/{stats.total}] "
+            f"rate={cfg.injection_rate:.3f} {source:>12}  "
+            f"hits={stats.cache_hits}  "
+            f"{stats.sims_per_sec:5.2f} sims/s  eta {eta_text}"
+        )
+
+    def sweep_finished(self, stats: SweepStats) -> None:
+        self._emit(
+            f"sweep done: {stats.completed} point(s) in {stats.elapsed:.1f}s "
+            f"({stats.cache_hits} from cache, "
+            f"{stats.sims_per_sec:.2f} sims/s)"
+        )
+
+
+def run_point(
+    cfg: SimulationConfig,
+    cache: Optional[ResultCache] = None,
+    sim_fn: Optional[Callable[[SimulationConfig], SimulationResult]] = None,
+) -> SimulationResult:
+    """One cached point, computed inline on a miss."""
+    if cache is not None:
+        hit = cache.get(cfg)
+        if hit is not None:
+            return hit
+    result = (sim_fn or run_simulation)(cfg)
+    if cache is not None:
+        cache.put(cfg, result)
+    return result
+
+
+def run_sweep(
+    configs: Sequence[SimulationConfig],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    reporter: Optional[SweepReporter] = None,
+    sim_fn: Optional[Callable[[SimulationConfig], SimulationResult]] = None,
+) -> List[SimulationResult]:
+    """Evaluate every config, in input order, cache-first.
+
+    ``jobs > 1`` fans cache misses out across a process pool; results
+    are bit-identical to a serial run because each point is seeded only
+    by its own config.  ``sim_fn`` substitutes the simulator for the
+    *inline* path (tests inject analytic models); the process pool
+    always runs the real :func:`run_simulation_worker`.
+    """
+    reporter = reporter or NullReporter()
+    stats = SweepStats(total=len(configs))
+    reporter.sweep_started(stats)
+
+    results: List[Optional[SimulationResult]] = [None] * len(configs)
+    pending: List[int] = []
+    for i, cfg in enumerate(configs):
+        hit = cache.get(cfg) if cache is not None else None
+        if hit is not None:
+            results[i] = hit
+            stats.completed += 1
+            stats.cache_hits += 1
+            reporter.point_done(cfg, hit, True, stats)
+        else:
+            pending.append(i)
+
+    def record(i: int, result: SimulationResult) -> None:
+        results[i] = result
+        if cache is not None:
+            cache.put(configs[i], result)
+        stats.completed += 1
+        reporter.point_done(configs[i], result, False, stats)
+
+    if pending and jobs > 1:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(run_simulation_worker, configs[i].to_dict()): i
+                for i in pending
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
+                for fut in done:
+                    record(futures[fut], SimulationResult.from_payload(fut.result()))
+    else:
+        fn = sim_fn or run_simulation
+        for i in pending:
+            record(i, fn(configs[i]))
+
+    reporter.sweep_finished(stats)
+    return results  # type: ignore[return-value]  # every slot is filled

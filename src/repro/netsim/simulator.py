@@ -10,15 +10,28 @@ source backlogs grow without bound or latency exceeds a cap.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, List, Optional
 
 from .flit import Packet
 from .network import Network
 from .stats import LatencySummary, batch_means, summarize_latencies
 from .topology import build_fbfly, build_mesh, build_torus
 
-__all__ = ["SimulationConfig", "SimulationResult", "run_simulation", "build_network"]
+__all__ = [
+    "SimulationConfig",
+    "SimulationResult",
+    "run_simulation",
+    "run_simulation_worker",
+    "build_network",
+    "SIMULATOR_REV",
+]
+
+# Revision salt for on-disk result caches (see ``repro.eval.runner``).
+# Bump whenever a change alters the *numbers* a simulation produces for
+# an unchanged SimulationConfig (pipeline timing, RNG draw order,
+# saturation heuristics, ...), so stale cached sweeps are invalidated.
+SIMULATOR_REV = 1
 
 # Average flits per transaction (request + its reply): read = 1 + 5,
 # write = 5 + 1, so 6 either way; each transaction injects at two
@@ -57,6 +70,20 @@ class SimulationConfig:
     def packet_rate(self) -> float:
         """Request-packet arrival rate per terminal."""
         return self.injection_rate / FLITS_PER_TRANSACTION
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (JSON- and pickle-friendly)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SimulationConfig":
+        """Rebuild from :meth:`to_dict` output.
+
+        Unknown keys are ignored so caches written by newer code (with
+        extra config fields) can still be read where that is safe.
+        """
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
 
 
 @dataclass
@@ -109,6 +136,37 @@ class SimulationResult:
             out["p99"] = self.latency_summary.p99
         return out
 
+    def to_payload(self) -> Dict[str, Any]:
+        """Lossless plain-dict form for caches and worker transport.
+
+        Unlike :meth:`to_dict` (a flat logging summary), this preserves
+        every field, including the nested config and latency summary.
+        ``latency_by_class`` keys are stringified (JSON object keys must
+        be strings); :meth:`from_payload` restores them to ``int``.
+        """
+        out = asdict(self)
+        out["config"] = self.config.to_dict()
+        out["latency_by_class"] = {
+            str(k): v for k, v in self.latency_by_class.items()
+        }
+        if self.latency_summary is not None:
+            out["latency_summary"] = asdict(self.latency_summary)
+        return out
+
+    @classmethod
+    def from_payload(cls, data: Dict[str, Any]) -> "SimulationResult":
+        """Rebuild a full result from :meth:`to_payload` output."""
+        data = dict(data)
+        data["config"] = SimulationConfig.from_dict(data["config"])
+        data["latency_by_class"] = {
+            int(k): v for k, v in data.get("latency_by_class", {}).items()
+        }
+        summary = data.get("latency_summary")
+        if summary is not None and not isinstance(summary, LatencySummary):
+            data["latency_summary"] = LatencySummary(**summary)
+        known = {f.name for f in fields(cls)}
+        return cls(**{k: v for k, v in data.items() if k in known})
+
 
 def _resolve_pattern(name: str, num_terminals: int):
     from . import patterns
@@ -153,6 +211,19 @@ def build_network(cfg: SimulationConfig) -> Network:
     if cfg.topology == "torus":
         return build_torus(8, **kwargs)
     raise ValueError(f"unknown topology {cfg.topology!r}")
+
+
+def run_simulation_worker(cfg_dict: Dict[str, Any]) -> Dict[str, Any]:
+    """Process-pool entry point: dict in, dict out.
+
+    Trading plain dicts instead of live objects keeps the pickled
+    payload small and decouples the wire format from class identity, so
+    parent and worker interpreters never disagree about dataclass
+    layout.  Determinism note: each simulation seeds its RNGs purely
+    from ``(cfg.seed, terminal_id)``, so a point computed in a worker
+    process is bit-identical to the same point computed serially.
+    """
+    return run_simulation(SimulationConfig.from_dict(cfg_dict)).to_payload()
 
 
 def run_simulation(cfg: SimulationConfig) -> SimulationResult:

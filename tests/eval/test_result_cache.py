@@ -1,0 +1,204 @@
+"""Behaviour of the persistent sweep-result cache.
+
+Covers the contract the figure benchmarks rely on: hits round-trip the
+full result losslessly, *any* config field change misses, corrupt files
+and corrupt individual entries recover gracefully, writes are atomic,
+and the ``--no-cache`` CLI flag really bypasses the store.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.eval.runner import (
+    CACHE_SCHEMA_VERSION,
+    ResultCache,
+    config_key,
+    run_point,
+    run_sweep,
+)
+from repro.netsim.simulator import SimulationConfig, SimulationResult
+from repro.netsim.stats import LatencySummary
+
+
+def _result(cfg: SimulationConfig) -> SimulationResult:
+    return SimulationResult(
+        config=cfg,
+        avg_latency=24.5,
+        measured_packets=300,
+        delivered_packets=300,
+        injected_flit_rate=0.05,
+        accepted_flit_rate=0.05,
+        saturated=False,
+        misspeculations=3,
+        speculative_wins=290,
+        latency_by_class={0: 24.0, 1: 25.0},
+        latency_summary=LatencySummary(300, 24.5, 4.0, 18.0, 24.0, 31.0, 35.0, 40.0),
+        latency_stderr=0.4,
+    )
+
+
+# A counting stand-in for run_simulation (analytic, instant).
+class _FakeSim:
+    def __init__(self):
+        self.calls = 0
+
+    def __call__(self, cfg: SimulationConfig) -> SimulationResult:
+        self.calls += 1
+        return _result(cfg)
+
+
+class TestHitMiss:
+    def test_round_trip_is_lossless(self, tmp_path):
+        cfg = SimulationConfig(injection_rate=0.2)
+        cache = ResultCache(tmp_path / "c.json")
+        assert cache.get(cfg) is None
+        cache.put(cfg, _result(cfg))
+        reread = ResultCache(tmp_path / "c.json").get(cfg)
+        assert reread == _result(cfg)
+        # JSON stringifies dict keys; they must come back as ints.
+        assert set(reread.latency_by_class) == {0, 1}
+        assert isinstance(reread.latency_summary, LatencySummary)
+        assert reread.config == cfg
+
+    def test_counters(self, tmp_path):
+        cfg = SimulationConfig()
+        cache = ResultCache(tmp_path / "c.json")
+        cache.get(cfg)
+        cache.put(cfg, _result(cfg))
+        cache.get(cfg)
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_run_point_uses_cache(self, tmp_path):
+        cfg = SimulationConfig()
+        cache = ResultCache(tmp_path / "c.json")
+        sim = _FakeSim()
+        run_point(cfg, cache=cache, sim_fn=sim)
+        run_point(cfg, cache=cache, sim_fn=sim)
+        assert sim.calls == 1
+
+    def test_run_sweep_mixes_hits_and_misses(self, tmp_path):
+        cache = ResultCache(tmp_path / "c.json")
+        configs = [SimulationConfig(injection_rate=r) for r in (0.1, 0.2, 0.3)]
+        sim = _FakeSim()
+        run_sweep(configs[:2], cache=cache, sim_fn=sim)
+        results = run_sweep(configs, cache=cache, sim_fn=sim)
+        assert sim.calls == 3  # only the third point was new
+        assert [r.config.injection_rate for r in results] == [0.1, 0.2, 0.3]
+
+
+class TestKeying:
+    def test_every_config_field_affects_the_key(self):
+        base = SimulationConfig()
+        bumped = {
+            str: lambda v: v + "_x",
+            int: lambda v: v + 1,
+            float: lambda v: v + 0.015625,
+            bool: lambda v: not v,
+        }
+        for f in dataclasses.fields(SimulationConfig):
+            variant = dataclasses.replace(
+                base, **{f.name: bumped[type(getattr(base, f.name))](getattr(base, f.name))}
+            )
+            assert config_key(variant) != config_key(base), f.name
+
+    def test_salt_affects_the_key(self):
+        cfg = SimulationConfig()
+        assert config_key(cfg, "sim-rev-1") != config_key(cfg, "sim-rev-2")
+
+    def test_key_is_stable_across_instances(self):
+        assert config_key(SimulationConfig()) == config_key(SimulationConfig())
+
+
+class TestCorruptionRecovery:
+    def test_garbage_file_starts_empty(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("{this is not json")
+        cache = ResultCache(path)
+        cfg = SimulationConfig()
+        assert cache.get(cfg) is None
+        cache.put(cfg, _result(cfg))
+        assert ResultCache(path).get(cfg) is not None
+
+    def test_truncated_file_starts_empty(self, tmp_path):
+        path = tmp_path / "c.json"
+        good = ResultCache(path)
+        good.put(SimulationConfig(), _result(SimulationConfig()))
+        blob = path.read_text()
+        path.write_text(blob[: len(blob) // 2])
+        assert len(ResultCache(path)) == 0
+
+    def test_corrupt_entry_dropped_and_recomputed(self, tmp_path):
+        path = tmp_path / "c.json"
+        cfg = SimulationConfig()
+        cache = ResultCache(path)
+        cache.put(cfg, _result(cfg))
+        doc = json.loads(path.read_text())
+        key = next(iter(doc["entries"]))
+        doc["entries"][key] = {"avg_latency": "not-even-close"}
+        path.write_text(json.dumps(doc))
+        fresh = ResultCache(path)
+        assert fresh.get(cfg) is None  # dropped, not crashed
+        sim = _FakeSim()
+        run_point(cfg, cache=fresh, sim_fn=sim)
+        assert sim.calls == 1
+        assert fresh.get(cfg) is not None
+
+    def test_schema_version_mismatch_discards_entries(self, tmp_path):
+        path = tmp_path / "c.json"
+        cfg = SimulationConfig()
+        cache = ResultCache(path)
+        cache.put(cfg, _result(cfg))
+        doc = json.loads(path.read_text())
+        doc["schema"] = CACHE_SCHEMA_VERSION + 1
+        path.write_text(json.dumps(doc))
+        assert len(ResultCache(path)) == 0
+
+    def test_simulator_rev_mismatch_discards_entries(self, tmp_path):
+        path = tmp_path / "c.json"
+        cfg = SimulationConfig()
+        cache = ResultCache(path)
+        cache.put(cfg, _result(cfg))
+        doc = json.loads(path.read_text())
+        doc["salt"] = "sim-rev-999"
+        path.write_text(json.dumps(doc))
+        assert ResultCache(path).get(cfg) is None
+
+    def test_writes_are_atomic(self, tmp_path):
+        path = tmp_path / "c.json"
+        cache = ResultCache(path)
+        for r in (0.1, 0.2, 0.3):
+            cfg = SimulationConfig(injection_rate=r)
+            cache.put(cfg, _result(cfg))
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "c.json"]
+        assert leftovers == []
+        assert len(json.loads(path.read_text())["entries"]) == 3
+
+    def test_env_var_default_path(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "env.json"))
+        assert str(ResultCache().path) == str(tmp_path / "env.json")
+
+
+class TestCliBypass:
+    ARGS = ["sweep", "--rates", "0.05", "--cycles", "200"]
+
+    def test_no_cache_leaves_no_file(self, tmp_path, capsys):
+        path = tmp_path / "cli.json"
+        rc = main(self.ARGS + ["--no-cache", "--cache-path", str(path)])
+        assert rc == 0
+        assert not path.exists()
+        assert "cache:" not in capsys.readouterr().out
+
+    def test_cache_path_written_and_reused(self, tmp_path, capsys):
+        path = tmp_path / "cli.json"
+        assert main(self.ARGS + ["--cache-path", str(path)]) == 0
+        first = capsys.readouterr().out
+        assert "1 miss(es)" in first
+        assert path.exists()
+        assert main(self.ARGS + ["--cache-path", str(path)]) == 0
+        second = capsys.readouterr().out
+        assert "1 hit(s)" in second
+        # Identical numbers either way.
+        assert first.splitlines()[:4] == second.splitlines()[:4]

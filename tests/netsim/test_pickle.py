@@ -1,0 +1,90 @@
+"""Pickle/transport round-trips for simulator config and results.
+
+The parallel sweep engine ships ``SimulationConfig`` into worker
+processes and ``SimulationResult`` back out, so both must survive
+pickling — including the nested ``latency_summary`` and the
+``latency_by_class`` dict — and the dict payload form used on the wire
+must be lossless (JSON round-trips stringify dict keys; ``from_payload``
+must restore them to ints).
+"""
+
+import math
+import pickle
+
+import pytest
+
+from repro.netsim.simulator import (
+    SimulationConfig,
+    SimulationResult,
+    run_simulation,
+    run_simulation_worker,
+)
+from repro.netsim.stats import LatencySummary
+
+FAST = dict(warmup_cycles=60, measure_cycles=150, drain_cycles=150)
+
+
+@pytest.fixture(scope="module")
+def real_result() -> SimulationResult:
+    return run_simulation(SimulationConfig(injection_rate=0.1, **FAST))
+
+
+class TestPickleRoundTrip:
+    def test_config(self):
+        cfg = SimulationConfig(topology="fbfly", vcs_per_class=2, seed=42)
+        for proto in range(2, pickle.HIGHEST_PROTOCOL + 1):
+            assert pickle.loads(pickle.dumps(cfg, proto)) == cfg
+
+    def test_result_preserves_summary_and_classes(self, real_result):
+        assert real_result.latency_summary is not None
+        assert real_result.latency_by_class
+        clone = pickle.loads(pickle.dumps(real_result))
+        assert clone.latency_summary == real_result.latency_summary
+        assert clone.latency_by_class == real_result.latency_by_class
+        assert all(isinstance(k, int) for k in clone.latency_by_class)
+        assert clone.config == real_result.config
+        assert clone.avg_latency == real_result.avg_latency
+
+    def test_result_with_nan_and_inf_fields(self):
+        cfg = SimulationConfig()
+        res = SimulationResult(
+            config=cfg,
+            avg_latency=float("inf"),
+            measured_packets=0,
+            delivered_packets=0,
+            injected_flit_rate=0.9,
+            accepted_flit_rate=0.3,
+            saturated=True,
+        )
+        clone = pickle.loads(pickle.dumps(res))
+        assert math.isinf(clone.avg_latency)
+        assert math.isnan(clone.latency_stderr)
+        assert clone.latency_summary is None
+
+
+class TestPayloadRoundTrip:
+    def test_payload_is_lossless(self, real_result):
+        clone = SimulationResult.from_payload(real_result.to_payload())
+        assert clone == real_result
+
+    def test_payload_restores_int_class_keys_from_json(self, real_result):
+        import json
+
+        wire = json.loads(json.dumps(real_result.to_payload()))
+        clone = SimulationResult.from_payload(wire)
+        assert clone.latency_by_class == real_result.latency_by_class
+        assert all(isinstance(k, int) for k in clone.latency_by_class)
+        assert clone.latency_summary == real_result.latency_summary
+
+    def test_worker_entry_point_matches_inline_run(self):
+        cfg = SimulationConfig(injection_rate=0.08, seed=3, **FAST)
+        via_worker = SimulationResult.from_payload(
+            run_simulation_worker(cfg.to_dict())
+        )
+        inline = run_simulation(cfg)
+        assert via_worker == inline
+
+    def test_config_from_dict_ignores_unknown_keys(self):
+        data = SimulationConfig(seed=9).to_dict()
+        data["future_field"] = 123
+        assert SimulationConfig.from_dict(data) == SimulationConfig(seed=9)

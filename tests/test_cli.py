@@ -15,6 +15,13 @@ class TestParser:
         assert args.topology == "mesh"
         assert args.speculation == "pessimistic"
 
+    def test_sweep_runner_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.jobs == 1
+        assert args.no_cache is False
+        assert args.cache_path is None
+        assert args.progress is False
+
 
 class TestCommands:
     def test_transitions(self, capsys):
@@ -44,13 +51,26 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "latency" in out
 
-    def test_sweep(self, capsys):
+    def test_sweep(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "sweeps.json"))
         rc = main(
             ["sweep", "--rates", "0.05,0.1", "--cycles", "300"]
         )
         assert rc == 0
         out = capsys.readouterr().out
         assert "zero-load" in out
+        assert "cache:" in out
+
+    def test_sweep_parallel_jobs(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "sweeps.json"))
+        rc = main(
+            ["sweep", "--rates", "0.05,0.1", "--cycles", "300",
+             "--jobs", "2", "--progress"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        assert "zero-load" in captured.out
+        assert "sweep done" in captured.err
 
     def test_cost_switch(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_COST_CACHE", str(tmp_path / "c.json"))
