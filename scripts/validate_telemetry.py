@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Validate a telemetry directory produced by ``repro sweep --metrics``.
+
+CI runs this against a tiny instrumented sweep to catch schema drift in
+the observability layer: every JSONL row must parse and carry its
+required keys, the run manifest must match the documented schema, and
+the trace file must be loadable Chrome trace JSON with paired async
+events.  Exits non-zero with a description of the first problem found.
+
+Usage::
+
+    python scripts/validate_telemetry.py DIR [--trace FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+SAMPLE_KEYS = {"kind", "cycle", "name", "type", "labels", "value"}
+POINT_KEYS = {"kind", "key", "config", "result", "cached", "completed", "total"}
+MANIFEST_KEYS = {
+    "schema", "created", "simulator_rev", "wall_time_s", "points",
+    "config_keys", "host",
+}
+MANIFEST_SCHEMA = "repro-run-manifest/1"
+INSTRUMENT_TYPES = {"counter", "gauge", "histogram"}
+
+
+def fail(msg: str) -> "None":
+    print(f"validate_telemetry: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def load_jsonl(path: Path):
+    rows = []
+    for i, line in enumerate(path.read_text().splitlines(), 1):
+        if not line.strip():
+            continue
+        try:
+            rows.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            fail(f"{path}:{i}: invalid JSON ({exc})")
+    return rows
+
+
+def check_metrics(path: Path) -> None:
+    rows = load_jsonl(path)
+    if not rows:
+        fail(f"{path}: empty")
+    samples = [r for r in rows if r.get("kind") == "sample"]
+    if not samples:
+        fail(f"{path}: no sample rows")
+    for r in samples:
+        missing = SAMPLE_KEYS - set(r)
+        if missing:
+            fail(f"{path}: sample row missing keys {sorted(missing)}: {r}")
+        if r["type"] not in INSTRUMENT_TYPES:
+            fail(f"{path}: unknown instrument type {r['type']!r}")
+        if r["type"] == "histogram":
+            v = r["value"]
+            if set(v) != {"le", "counts", "count", "sum"}:
+                fail(f"{path}: malformed histogram value {v}")
+            if len(v["counts"]) != len(v["le"]) + 1:
+                fail(f"{path}: histogram bucket/bound count mismatch")
+    names = {r["name"] for r in samples}
+    for required in ("sa_requests_nonspec", "sa_grants", "buffer_occupancy"):
+        if required not in names:
+            fail(f"{path}: required instrument {required!r} never sampled")
+    print(f"  metrics.jsonl: {len(rows)} rows, {len(names)} instruments")
+
+
+def check_sweep(path: Path) -> None:
+    rows = load_jsonl(path)
+    kinds = [r.get("kind") for r in rows]
+    if kinds[:1] != ["sweep_started"] or kinds[-1:] != ["sweep_finished"]:
+        fail(f"{path}: expected sweep_started ... sweep_finished, got {kinds}")
+    points = [r for r in rows if r.get("kind") == "point"]
+    if not points:
+        fail(f"{path}: no point rows")
+    for r in points:
+        missing = POINT_KEYS - set(r)
+        if missing:
+            fail(f"{path}: point row missing keys {sorted(missing)}")
+    print(f"  sweep.jsonl: {len(points)} point(s)")
+
+
+def check_manifest(path: Path) -> None:
+    manifest = json.loads(path.read_text())
+    missing = MANIFEST_KEYS - set(manifest)
+    if missing:
+        fail(f"{path}: missing keys {sorted(missing)}")
+    if manifest["schema"] != MANIFEST_SCHEMA:
+        fail(f"{path}: schema {manifest['schema']!r} != {MANIFEST_SCHEMA!r}")
+    pts = manifest["points"]
+    if pts["total"] != len(manifest["config_keys"]):
+        fail(f"{path}: points.total != len(config_keys)")
+    print(f"  manifest.json: {pts['total']} point(s), "
+          f"sim rev {manifest['simulator_rev']}")
+
+
+def check_trace(path: Path) -> None:
+    doc = json.loads(path.read_text())
+    events = doc.get("traceEvents")
+    if not isinstance(events, list) or not events:
+        fail(f"{path}: no traceEvents")
+    begins = sorted(e["id"] for e in events if e.get("ph") == "b")
+    ends = sorted(e["id"] for e in events if e.get("ph") == "e")
+    if begins != ends:
+        fail(f"{path}: unpaired async events "
+             f"({len(begins)} begins vs {len(ends)} ends)")
+    for e in events:
+        if e.get("ph") == "X" and e.get("dur", 0) < 0:
+            fail(f"{path}: negative duration in event {e}")
+    bd = doc.get("otherData", {}).get("breakdown")
+    if not bd or bd.get("packets", 0) <= 0:
+        fail(f"{path}: missing/empty latency breakdown in otherData")
+    print(f"  trace: {len(events)} events, {len(begins)} packets paired")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("dir", help="telemetry directory (--metrics DIR)")
+    parser.add_argument("--trace", default=None,
+                        help="trace file (defaults to DIR/trace.json if "
+                             "present)")
+    args = parser.parse_args(argv)
+
+    directory = Path(args.dir)
+    if not directory.is_dir():
+        fail(f"{directory} is not a directory")
+    print(f"validating telemetry in {directory}")
+    check_metrics(directory / "metrics.jsonl")
+    check_sweep(directory / "sweep.jsonl")
+    check_manifest(directory / "manifest.json")
+    trace = Path(args.trace) if args.trace else directory / "trace.json"
+    if trace.exists():
+        check_trace(trace)
+    print("validate_telemetry: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

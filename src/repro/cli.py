@@ -7,13 +7,20 @@ Exposes the experiment harness without writing any Python:
 * ``quality``     -- matching-quality curves (Figures 7 / 12);
 * ``cost``        -- synthesize allocator variants (Figures 5/6/10/11);
 * ``simulate``    -- one network simulation point;
-* ``sweep``       -- a latency-vs-load curve (Figures 13 / 14).
+* ``sweep``       -- a latency-vs-load curve (Figures 13 / 14), with
+  opt-in observability: ``--metrics DIR`` collects per-router metrics
+  and sweep telemetry, ``--trace FILE`` records a Perfetto-loadable
+  flit trace;
+* ``report``      -- summarize a ``--metrics`` telemetry directory
+  (top stall sources, matching efficiency vs. injection rate).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
+from pathlib import Path
 from typing import List, Optional
 
 from .eval.cost import switch_allocator_costs, vc_allocator_costs
@@ -21,9 +28,17 @@ from .eval.figures import format_experiment_index
 from .eval.design_points import DesignPoint
 from .eval.matching import switch_matching_quality, vc_matching_quality
 from .eval.netperf import latency_sweep
-from .eval.runner import ConsoleReporter, ResultCache, default_cache_path
+from .eval.runner import (
+    ConsoleReporter,
+    MultiReporter,
+    ResultCache,
+    SweepReporter,
+    default_cache_path,
+)
 from .eval.tables import format_cost_results, format_curves, format_table
 from .netsim.simulator import SimulationConfig, run_simulation
+from .obs.metrics import emit_warning
+from .obs.observer import SimObserver
 
 __all__ = ["main"]
 
@@ -110,7 +125,25 @@ def cmd_simulate(args) -> int:
     return 0
 
 
+class _StatsCapture(SweepReporter):
+    """Keeps the final :class:`SweepStats` for the run manifest."""
+
+    def __init__(self) -> None:
+        self.stats = None
+
+    def sweep_finished(self, stats) -> None:
+        self.stats = stats
+
+
 def cmd_sweep(args) -> int:
+    from dataclasses import replace
+
+    from .obs.telemetry import (
+        JsonlReporter,
+        build_run_manifest,
+        write_run_manifest,
+    )
+
     base = SimulationConfig(
         topology=args.topology,
         vcs_per_class=args.vcs_per_class,
@@ -124,19 +157,91 @@ def cmd_sweep(args) -> int:
         seed=args.seed,
     )
     rates = [float(r) for r in args.rates.split(",")]
+    configs = [replace(base, injection_rate=r) for r in rates]
+
+    instrumented = bool(args.metrics or args.trace)
+    metrics_dir = Path(args.metrics) if args.metrics else None
+    jobs = args.jobs
+
+    observer = None
+    sim_fn = None
+    if instrumented:
+        # Instrumented points must run inline (the observer lives in
+        # this process) and uncached (a cache hit would skip the hooks
+        # entirely, leaving holes in the metrics/trace).
+        if jobs > 1:
+            emit_warning(
+                "instrumented_sweep_forced_serial",
+                "--metrics/--trace force jobs=1; observers cannot cross "
+                "process boundaries",
+                requested_jobs=jobs,
+            )
+            print("note: --metrics/--trace forces a serial run "
+                  f"(requested --jobs {jobs})", file=sys.stderr)
+            jobs = 1
+        if not args.no_cache:
+            emit_warning(
+                "instrumented_sweep_uncached",
+                "--metrics/--trace disables the result cache so every "
+                "point is actually simulated under instrumentation",
+            )
+            print("note: --metrics/--trace disables the sweep cache",
+                  file=sys.stderr)
+        observer = SimObserver(
+            metrics_path=(metrics_dir / "metrics.jsonl"
+                          if metrics_dir is not None else None),
+            trace_path=args.trace,
+            sample_every=args.sample_every,
+        )
+        sim_fn = lambda cfg: run_simulation(cfg, observer=observer)  # noqa: E731
+
     cache = None
-    if not args.no_cache:
+    if not args.no_cache and not instrumented:
         cache = ResultCache(args.cache_path or default_cache_path())
-    reporter = ConsoleReporter() if args.progress else None
+
+    capture = _StatsCapture()
+    reporters = [capture]
+    if args.progress:
+        reporters.append(ConsoleReporter())
+    if metrics_dir is not None:
+        reporters.append(JsonlReporter(metrics_dir / "sweep.jsonl"))
+    reporter = MultiReporter(*reporters)
+
+    t0 = time.perf_counter()
     curve = latency_sweep(
         base, rates, stop_after_saturation=False,
-        jobs=args.jobs, cache=cache, reporter=reporter,
+        jobs=jobs, cache=cache, reporter=reporter, sim_fn=sim_fn,
     )
+    wall = time.perf_counter() - t0
+
+    if observer is not None:
+        observer.finalize(
+            metadata={"config": base.to_dict(), "rates": rates}
+        )
+
+    manifest = build_run_manifest(
+        configs,
+        wall_time_s=wall,
+        stats=capture.stats,
+        cache=cache,
+        command=["repro", "sweep"] + (sys.argv[2:] if len(sys.argv) > 2 else []),
+    )
+    if metrics_dir is not None:
+        write_run_manifest(metrics_dir / "manifest.json", manifest)
+    if cache is not None:
+        write_run_manifest(
+            cache.path.with_name(f"{cache.path.stem}.manifest.json"),
+            manifest,
+        )
+
     print(
         format_curves(
             "inj rate",
             [p.rate for p in curve.points],
             {"latency": [p.latency for p in curve.points],
+             "p50": [p.p50 for p in curve.points],
+             "p95": [p.p95 for p in curve.points],
+             "p99": [p.p99 for p in curve.points],
              "accepted": [p.accepted for p in curve.points]},
             title=f"{args.topology} {args.sw_alloc}/{args.speculation}",
         )
@@ -146,6 +251,22 @@ def cmd_sweep(args) -> int:
     if cache is not None:
         print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
               f"({cache.path})")
+    if metrics_dir is not None:
+        print(f"telemetry: {metrics_dir}/ "
+              f"(metrics.jsonl, sweep.jsonl, manifest.json)")
+    if args.trace:
+        print(f"trace: {args.trace} (load in https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_report(args) -> int:
+    from .obs.telemetry import summarize_metrics_dir
+
+    directory = Path(args.dir)
+    if not directory.is_dir():
+        print(f"error: {directory} is not a directory", file=sys.stderr)
+        return 1
+    print(summarize_metrics_dir(directory, top=args.top))
     return 0
 
 
@@ -208,7 +329,27 @@ def build_parser() -> argparse.ArgumentParser:
                                 "~/.cache/repro-noc-sweeps.json)")
             p.add_argument("--progress", action="store_true",
                            help="report per-point progress on stderr")
+            p.add_argument("--metrics", default=None, metavar="DIR",
+                           help="collect per-router metrics + sweep "
+                                "telemetry into DIR (metrics.jsonl, "
+                                "sweep.jsonl, manifest.json); forces a "
+                                "serial, uncached run")
+            p.add_argument("--trace", default=None, metavar="FILE",
+                           help="record a flit-lifecycle trace to FILE "
+                                "(Chrome trace-event JSON; open in "
+                                "Perfetto); forces a serial, uncached run")
+            p.add_argument("--sample-every", type=int, default=100,
+                           metavar="N",
+                           help="metrics sampling cadence in cycles "
+                                "(default: 100)")
             p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "report", help="summarize a --metrics telemetry directory")
+    p.add_argument("dir", help="directory written by `repro sweep --metrics`")
+    p.add_argument("--top", type=int, default=5,
+                   help="number of stall-source routers to show")
+    p.set_defaults(fn=cmd_report)
     return parser
 
 

@@ -55,6 +55,14 @@ class SpeculativeGrants:
         """Merged grant vector (non-speculative wins are already disjoint)."""
         return [ns if ns is not None else sp for ns, sp in zip(self.nonspec, self.spec)]
 
+    def grant_counts(self) -> Tuple[int, int]:
+        """(non-speculative, surviving speculative) grant counts -- the
+        per-cycle numerators for switch-matching-efficiency metrics."""
+        return (
+            sum(1 for g in self.nonspec if g is not None),
+            sum(1 for g in self.spec if g is not None),
+        )
+
 
 class SpeculativeSwitchAllocator:
     """Two-allocator speculative switch allocation.

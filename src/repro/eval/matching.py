@@ -25,6 +25,7 @@ __all__ = [
     "DEFAULT_RATES",
     "vc_matching_quality",
     "switch_matching_quality",
+    "switch_request_grant_efficiency",
 ]
 
 DEFAULT_RATES: Sequence[float] = (0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
@@ -105,6 +106,46 @@ def vc_matching_quality(
             qualities.append(total / total_max if total_max else 1.0)
         curves[arch] = QualityCurve(arch, list(rates), qualities)
     return curves
+
+
+def switch_request_grant_efficiency(
+    point: DesignPoint,
+    rate: float,
+    num_samples: int = 1000,
+    seed: int = 0,
+    arch: str = "sep_if",
+    arbiter: str = "rr",
+) -> float:
+    """Grants per *request* for random request matrices at ``rate``.
+
+    Unlike :func:`switch_matching_quality` (grants normalized against a
+    maximum-size matching), this is the request-denominated matching
+    efficiency -- the same statistic the :mod:`repro.obs` metrics layer
+    accumulates per cycle inside the network simulator
+    (``sa_grants / (sa_requests_nonspec + sa_requests_spec)``), so the
+    two can be cross-checked: feed the in-network per-VC request
+    probability in as ``rate`` and the offline number should agree
+    within sampling noise plus the (modest) bias from correlated
+    in-network request patterns.
+    """
+    P = point.num_ports
+    V = point.num_vcs
+    alloc = SwitchAllocator(P, V, arch=arch, arbiter=arbiter)
+    alloc.check_requests = False
+    rng = np.random.default_rng(seed)
+    total_requests = 0
+    total_grants = 0
+    for _ in range(num_samples):
+        active = rng.random((P, V)) < rate
+        ports = rng.integers(P, size=(P, V))
+        requests = [
+            [int(ports[p, v]) if active[p, v] else None for v in range(V)]
+            for p in range(P)
+        ]
+        grants = alloc.allocate(requests)
+        total_requests += int(active.sum())
+        total_grants += sum(g is not None for g in grants)
+    return total_grants / total_requests if total_requests else 1.0
 
 
 def switch_matching_quality(

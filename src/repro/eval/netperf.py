@@ -8,7 +8,7 @@ load at which average latency crosses a multiple of zero-load).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from ..netsim.simulator import SimulationConfig, SimulationResult, run_simulation
 from .runner import ResultCache, SweepReporter, run_point, run_sweep
@@ -30,6 +30,12 @@ class SweepPoint:
     saturated: bool
     misspeculations: int = 0
     speculative_wins: int = 0
+    # Tail-latency percentiles from the run's LatencySummary; ``None``
+    # (not NaN, which would break equality checks) when no packets were
+    # measured.
+    p50: Optional[float] = None
+    p95: Optional[float] = None
+    p99: Optional[float] = None
 
 
 @dataclass
@@ -76,6 +82,7 @@ class LatencyCurve:
 
 
 def _to_point(rate: float, res: SimulationResult) -> SweepPoint:
+    summary = res.latency_summary
     return SweepPoint(
         rate,
         res.avg_latency,
@@ -83,6 +90,9 @@ def _to_point(rate: float, res: SimulationResult) -> SweepPoint:
         res.saturated,
         res.misspeculations,
         res.speculative_wins,
+        p50=summary.p50 if summary is not None else None,
+        p95=summary.p95 if summary is not None else None,
+        p99=summary.p99 if summary is not None else None,
     )
 
 
@@ -94,6 +104,7 @@ def latency_sweep(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     reporter: Optional[SweepReporter] = None,
+    sim_fn: Optional[Callable[[SimulationConfig], SimulationResult]] = None,
 ) -> LatencyCurve:
     """Run the simulator across ``rates`` and collect a latency curve.
 
@@ -101,20 +112,29 @@ def latency_sweep(
     (:mod:`repro.eval.runner`); ``cache`` memoizes completed points on
     disk.  With ``stop_after_saturation`` the curve is truncated just
     past the first saturated point: the serial path stops simulating
-    there, while the parallel path computes all points and truncates
-    afterwards, so both produce identical ``SweepPoint`` sequences.
+    there, while the parallel/reporter path computes all points and
+    truncates afterwards, so both produce identical ``SweepPoint``
+    sequences.
+
+    A non-``None`` ``reporter`` routes even serial sweeps through
+    :func:`~repro.eval.runner.run_sweep` so per-point progress
+    callbacks fire.  ``sim_fn`` substitutes the simulator on the inline
+    path (the CLI uses it to attach a :mod:`repro.obs` observer); the
+    process pool always runs the real uninstrumented worker.
     """
     configs = [replace(base, injection_rate=rate) for rate in rates]
     points: List[SweepPoint] = []
-    if jobs > 1:
-        results = run_sweep(configs, jobs=jobs, cache=cache, reporter=reporter)
+    if jobs > 1 or reporter is not None:
+        results = run_sweep(
+            configs, jobs=jobs, cache=cache, reporter=reporter, sim_fn=sim_fn
+        )
         for rate, res in zip(rates, results):
             points.append(_to_point(rate, res))
             if stop_after_saturation and res.saturated:
                 break
     else:
         for rate, cfg in zip(rates, configs):
-            res = run_point(cfg, cache=cache, sim_fn=run_simulation)
+            res = run_point(cfg, cache=cache, sim_fn=sim_fn or run_simulation)
             points.append(_to_point(rate, res))
             if stop_after_saturation and res.saturated:
                 break

@@ -53,6 +53,7 @@ __all__ = [
     "SweepReporter",
     "NullReporter",
     "ConsoleReporter",
+    "MultiReporter",
     "SweepStats",
     "run_point",
     "run_sweep",
@@ -190,11 +191,23 @@ class SweepStats:
 
     @property
     def sims_per_sec(self) -> float:
-        return self.simulated / self.elapsed if self.elapsed > 0 else 0.0
+        """Simulation throughput; 0.0 (never a division error or a
+        garbage rate) when nothing was simulated yet or the sweep
+        finished instantly -- e.g. an all-cache-hit rerun where
+        ``elapsed`` can be 0 at clock resolution."""
+        elapsed = self.elapsed
+        if self.simulated <= 0 or elapsed <= 0.0:
+            return 0.0
+        return self.simulated / elapsed
 
     @property
     def eta_seconds(self) -> float:
+        """Estimated seconds left: 0.0 once every point is done (the
+        all-cache-hit case included), ``nan`` while no rate estimate
+        exists yet."""
         remaining = self.total - self.completed
+        if remaining <= 0:
+            return 0.0
         rate = self.sims_per_sec
         return remaining / rate if rate > 0 else float("nan")
 
@@ -217,6 +230,26 @@ class SweepReporter:
 
 class NullReporter(SweepReporter):
     """Silent default."""
+
+
+class MultiReporter(SweepReporter):
+    """Fan every reporter callback out to several sinks (e.g. console
+    progress plus a JSONL telemetry log)."""
+
+    def __init__(self, *reporters: SweepReporter) -> None:
+        self.reporters = [r for r in reporters if r is not None]
+
+    def sweep_started(self, stats: SweepStats) -> None:
+        for r in self.reporters:
+            r.sweep_started(stats)
+
+    def point_done(self, cfg, result, cached, stats) -> None:
+        for r in self.reporters:
+            r.point_done(cfg, result, cached, stats)
+
+    def sweep_finished(self, stats: SweepStats) -> None:
+        for r in self.reporters:
+            r.sweep_finished(stats)
 
 
 class ConsoleReporter(SweepReporter):

@@ -20,7 +20,7 @@ __all__ = ["InputVC"]
 class InputVC:
     """One virtual-channel input buffer."""
 
-    __slots__ = ("queue", "output_port", "output_vc", "depth")
+    __slots__ = ("queue", "output_port", "output_vc", "depth", "high_water")
 
     def __init__(self, depth: int) -> None:
         self.queue: Deque[Flit] = deque()
@@ -28,6 +28,9 @@ class InputVC:
         # Route/allocation state for the packet currently at the front.
         self.output_port = -1
         self.output_vc = -1
+        # Peak occupancy ever reached (observability: true high-water
+        # mark, exact even between metric samples).
+        self.high_water = 0
 
     @property
     def occupancy(self) -> int:
@@ -54,6 +57,8 @@ class InputVC:
                 "input VC overflow: credit-based flow control violated"
             )
         self.queue.append(flit)
+        if len(self.queue) > self.high_water:
+            self.high_water = len(self.queue)
 
     def assign_output(self, port: int, vc: int) -> None:
         self.output_port = port

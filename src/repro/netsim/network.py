@@ -15,11 +15,14 @@ Per cycle:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from .flit import Flit, Packet
 from .router import Router
 from .traffic import Terminal
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.observer import SimObserver
 
 __all__ = ["Network"]
 
@@ -36,6 +39,17 @@ class Network:
         self._credit_events: Dict[int, List[Tuple[str, object, int, int]]] = {}
         # Delivery hook set by the simulator to collect statistics.
         self.on_delivery: Optional[Callable[[Packet, int], None]] = None
+        # Optional repro.obs instrumentation (None = zero overhead).
+        self.observer: Optional["SimObserver"] = None
+
+    def attach_observer(self, observer: Optional["SimObserver"]) -> None:
+        """Wire one observer into the network, every router and every
+        terminal (pass ``None`` to detach)."""
+        self.observer = observer
+        for router in self.routers:
+            router.observer = observer
+        for terminal in self.terminals:
+            terminal.observer = observer
 
     # ------------------------------------------------------------------
     # event scheduling (called by routers/terminals)
@@ -76,6 +90,8 @@ class Network:
         for router in self.routers:
             router.allocation_step(self, now)
 
+        if self.observer is not None:
+            self.observer.cycle_end(self, now)
         self.time = now + 1
 
     def run(self, cycles: int) -> None:

@@ -28,6 +28,7 @@ from .buffers import InputVC
 from .flit import Flit
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.observer import SimObserver
     from .network import Network
 
 __all__ = ["Router"]
@@ -109,6 +110,11 @@ class Router:
         # Flits sent per output port (channel utilization accounting).
         self.port_flits = [0] * P
 
+        # Optional instrumentation (repro.obs).  ``None`` is the
+        # null-object fast path: every hook site below is one attribute
+        # load + identity check when observability is disabled.
+        self.observer: Optional["SimObserver"] = None
+
     # ------------------------------------------------------------------
     # wiring (topology builder API)
     # ------------------------------------------------------------------
@@ -140,6 +146,8 @@ class Router:
                 flit.out_port = -1  # routed in a dedicated pipeline cycle
         self.input_vcs[port][vc].push(flit)
         self._busy.add((port, vc))
+        if self.observer is not None:
+            self.observer.flit_arrived(self.id, port, vc, flit, network.time)
 
     def receive_credit(self, port: int, vc: int) -> None:
         self.credits[port][vc] += 1
@@ -159,6 +167,11 @@ class Router:
         if not self._busy:
             return
 
+        obs = self.observer
+        if obs is not None:
+            wins0 = self.speculative_wins
+            miss0 = self.misspeculations
+
         any_va = False
         any_ns = False
         any_sp = False
@@ -173,6 +186,8 @@ class Router:
                     ns_req[p][v] = ivc.output_port
                     any_ns = True
                     touched.append((p, v))
+                elif obs is not None:
+                    obs.credit_stall(self.id, ivc.output_port, ivc.output_vc)
             elif front.is_head:
                 if front.out_port < 0:
                     # Non-lookahead pipeline: this cycle is the routing
@@ -196,6 +211,8 @@ class Router:
                     sp_req[p][v] = q
                     any_sp = True
                     touched.append((p, v))
+                elif obs is not None:
+                    obs.vc_starved(self.id, q)
 
         # VC allocation.
         va_grants: List[Optional[Tuple[int, int]]] = []
@@ -211,6 +228,9 @@ class Router:
         result = self.sw_alloc.allocate(
             ns_req, sp_req, any_nonspec=any_ns, any_spec=any_sp
         )
+        if obs is not None:
+            ns_count = sum(1 for p, v in touched if ns_req[p][v] is not None)
+            sp_count = len(touched) - ns_count
         # Reset the reusable request buffers for the next cycle.
         for p, v in touched:
             ns_req[p][v] = None
@@ -227,6 +247,8 @@ class Router:
                     ivc.assign_output(q, u)
                     self.output_holder[q][u] = (p, v)
                     granted_now[(p, v)] = g
+                    if obs is not None:
+                        obs.vc_granted(self.id, p, v, ivc.queue[0], now)
 
         # Non-speculative switch winners depart.
         for p, g in enumerate(result.nonspec):
@@ -247,6 +269,19 @@ class Router:
             else:
                 self.misspeculations += 1
         self.misspeculations += result.spec_discarded
+
+        if obs is not None:
+            obs.alloc_cycle(
+                self.id,
+                now,
+                va_requests=len(waiting),
+                va_grants=len(granted_now),
+                sa_nonspec_requests=ns_count,
+                sa_spec_requests=sp_count,
+                sa_nonspec_grants=result.grant_counts()[0],
+                sa_spec_wins=self.speculative_wins - wins0,
+                sa_spec_kills=self.misspeculations - miss0,
+            )
 
     # ------------------------------------------------------------------
     def _depart(self, network: "Network", now: int, p: int, v: int) -> None:
@@ -277,6 +312,9 @@ class Router:
         if up is not None:
             up_kind, up_obj, up_port, up_lat = up
             network.schedule_credit(now + 2 + up_lat, up_kind, up_obj, up_port, v)
+
+        if self.observer is not None:
+            self.observer.flit_departed(self.id, p, v, q, u, flit, now)
 
     # ------------------------------------------------------------------
     def buffer_occupancy(self, port: int) -> int:

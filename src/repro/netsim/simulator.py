@@ -11,9 +11,12 @@ source backlogs grow without bound or latency exceeds a cap.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field, fields
-from typing import Any, Dict, List, Optional
+from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from .flit import Packet
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.observer import SimObserver
 from .network import Network
 from .stats import LatencySummary, batch_means, summarize_latencies
 from .topology import build_fbfly, build_mesh, build_torus
@@ -226,9 +229,22 @@ def run_simulation_worker(cfg_dict: Dict[str, Any]) -> Dict[str, Any]:
     return run_simulation(SimulationConfig.from_dict(cfg_dict)).to_payload()
 
 
-def run_simulation(cfg: SimulationConfig) -> SimulationResult:
-    """Warm up, measure, drain; return latency/throughput statistics."""
+def run_simulation(
+    cfg: SimulationConfig, observer: Optional["SimObserver"] = None
+) -> SimulationResult:
+    """Warm up, measure, drain; return latency/throughput statistics.
+
+    ``observer`` opts the run into the :mod:`repro.obs` instrumentation
+    layer (per-router metrics, flit traces).  The observer never feeds
+    back into simulation state or RNG draws, so an instrumented run
+    returns bit-identical statistics to an uninstrumented one.  The
+    parallel sweep path (:func:`run_simulation_worker`) is always
+    uninstrumented; instrumented sweeps run inline.
+    """
     net = build_network(cfg)
+    if observer is not None:
+        observer.run_started(cfg)
+        net.attach_observer(observer)
 
     measured: List[Packet] = []
     window_start = cfg.warmup_cycles
@@ -249,6 +265,8 @@ def run_simulation(cfg: SimulationConfig) -> SimulationResult:
     ej1 = net.total_ejected_flits()
     backlog1 = net.total_backlog()
     net.run(cfg.drain_cycles)
+    if observer is not None:
+        observer.run_finished(net, cfg)
 
     n_terms = net.num_terminals
     injected_rate = (inj1 - inj0) / (cfg.measure_cycles * n_terms)

@@ -15,6 +15,8 @@ import math
 from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
+from ..obs.metrics import emit_warning
+
 __all__ = ["LatencySummary", "batch_means", "summarize_latencies"]
 
 
@@ -78,9 +80,19 @@ def batch_means(
 
     ``samples`` are ``(timestamp, value)`` pairs; the time axis is split
     into ``num_batches`` equal windows and the grand mean / standard
-    error are computed over the per-batch means.  Returns
-    ``(mean, stderr)``; ``stderr`` is ``nan`` when fewer than two
-    batches contain data.
+    error are computed over the per-batch means.
+
+    Contract: the mean is always well defined (``samples`` must be
+    non-empty), but the standard error needs at least two *populated*
+    batches -- when every sample lands in a single time window (e.g. a
+    burst of deliveries in one short measurement interval), the
+    between-batch variance does not exist.  In that case this function
+    returns ``(mean, nan)`` **and** emits the structured warning
+    ``batch_means_underfilled`` through :mod:`repro.obs.metrics`
+    (carrying ``num_batches``, ``populated_batches`` and the sample
+    count), rather than silently handing back an unusable error bar.
+    Callers that persist or print the stderr should treat ``nan`` as
+    "confidence unknown", not as zero.
     """
     if not samples:
         raise ValueError("cannot estimate from an empty sample")
@@ -99,6 +111,14 @@ def batch_means(
     k = len(means)
     grand = sum(means) / k
     if k < 2:
+        emit_warning(
+            "batch_means_underfilled",
+            "batch-means stderr undefined: fewer than two batches "
+            "contain data; returning stderr=nan",
+            num_batches=num_batches,
+            populated_batches=k,
+            samples=len(samples),
+        )
         return grand, float("nan")
     var = sum((m - grand) ** 2 for m in means) / (k - 1)
     return grand, math.sqrt(var / k)

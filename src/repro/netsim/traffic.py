@@ -24,6 +24,7 @@ import numpy as np
 from .flit import Flit, Packet, PacketType
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.observer import SimObserver
     from .network import Network
     from .router import Router
 
@@ -83,6 +84,9 @@ class Terminal:
         self.ejected_flits = 0
         self.generated_packets = 0
 
+        # Optional repro.obs instrumentation (None = zero overhead).
+        self.observer: Optional["SimObserver"] = None
+
     # ------------------------------------------------------------------
     def receive_credit(self, vc: int) -> None:
         self.credits[vc] += 1
@@ -103,6 +107,8 @@ class Terminal:
             pkt = flit.packet
             pkt.arrival_time = now
             network.record_delivery(pkt, now)
+            if self.observer is not None:
+                self.observer.packet_ejected(self.id, pkt, now)
             if pkt.ptype.is_request:
                 reply = Packet(
                     src=self.id,
@@ -147,6 +153,8 @@ class Terminal:
             flit = self._flits.pop(0)
             if flit.is_head:
                 flit.packet.inject_time = now
+                if self.observer is not None:
+                    self.observer.packet_injected(self.id, flit.packet, now)
             self.credits[self._vc] -= 1
             self.injected_flits += 1
             network.schedule_flit(

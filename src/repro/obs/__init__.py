@@ -1,0 +1,79 @@
+"""repro.obs -- opt-in observability for the cycle-accurate simulator.
+
+Three layers, all zero-overhead when disabled (the simulator carries a
+single ``observer is None`` check per hook site -- the null-object fast
+path):
+
+``repro.obs.metrics``
+    Generic instruments (counters, gauges, histograms) behind a
+    :class:`MetricsRegistry`, plus structured warnings
+    (:func:`emit_warning`) that route to pluggable sinks instead of
+    spamming stderr.
+``repro.obs.tracing``
+    A flit lifecycle tracer recording per-packet events (inject, VC
+    allocation, switch grant, ejection) and exporting Chrome
+    trace-event JSON loadable in Perfetto, plus a packet-latency
+    breakdown (source queueing vs. allocation vs. traversal cycles).
+``repro.obs.observer``
+    :class:`SimObserver`, the object the simulator hooks call.  Attach
+    one to a network (``run_simulation(cfg, observer=...)``) to collect
+    per-router/per-VC metrics on a configurable cadence into a JSONL
+    time series and/or a flit trace.
+
+``repro.obs.telemetry`` (imported lazily -- it depends on
+``repro.eval``) adds structured *sweep* telemetry: a
+:class:`JsonlReporter` for the sweep engine, per-run manifests, and the
+``repro report`` summarizer.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    StructuredWarning,
+    add_warning_sink,
+    clear_recent_warnings,
+    emit_warning,
+    recent_warnings,
+    remove_warning_sink,
+)
+from .observer import NullObserver, SimObserver
+from .tracing import FlitTracer, LatencyBreakdown
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "StructuredWarning",
+    "add_warning_sink",
+    "clear_recent_warnings",
+    "emit_warning",
+    "recent_warnings",
+    "remove_warning_sink",
+    "NullObserver",
+    "SimObserver",
+    "FlitTracer",
+    "LatencyBreakdown",
+    # lazily resolved from .telemetry (avoids a repro.eval import cycle)
+    "JsonlReporter",
+    "build_run_manifest",
+    "write_run_manifest",
+    "summarize_metrics_dir",
+]
+
+_TELEMETRY_NAMES = {
+    "JsonlReporter",
+    "build_run_manifest",
+    "write_run_manifest",
+    "summarize_metrics_dir",
+}
+
+
+def __getattr__(name: str):
+    if name in _TELEMETRY_NAMES:
+        from . import telemetry
+
+        return getattr(telemetry, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,339 @@
+"""The observer object the simulator's instrumentation hooks call.
+
+:class:`SimObserver` is opt-in: ``Network``, ``Router`` and
+``Terminal`` each carry an ``observer`` attribute that defaults to
+``None``, and every hook site in the simulator is guarded by a single
+``observer is None`` check -- the null-object fast path that keeps the
+uninstrumented hot loop unchanged.  When attached
+(``run_simulation(cfg, observer=...)`` or
+``network.attach_observer(...)``), the observer:
+
+* maintains per-router instruments in a fresh
+  :class:`~repro.obs.metrics.MetricsRegistry` per run -- VC/switch
+  allocation requests vs. grants (per-cycle matching efficiency),
+  speculative wins/kills, credit stalls, VC starvation, buffer
+  occupancy gauges and per-VC occupancy histograms;
+* samples the registry every ``sample_every`` cycles into a JSONL time
+  series (``metrics.jsonl``), each row tagged with the run context
+  (injection rate, topology, seed, ...);
+* forwards head-flit lifecycle events to a
+  :class:`~repro.obs.tracing.FlitTracer` for Chrome-trace export;
+* acts as a sink for :func:`~repro.obs.metrics.emit_warning`, so
+  structured warnings raised anywhere in the library land in the same
+  JSONL stream as the metrics.
+
+Determinism: the observer only *reads* simulator state and never draws
+from any RNG, so an instrumented run produces bit-identical
+``SimulationResult`` numbers to an uninstrumented one (pinned by
+``tests/obs/test_observer.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import IO, Any, Dict, List, Optional
+
+from .metrics import (
+    MetricsRegistry,
+    StructuredWarning,
+    add_warning_sink,
+    remove_warning_sink,
+)
+from .tracing import FlitTracer, LatencyBreakdown
+
+__all__ = ["SimObserver", "NullObserver"]
+
+
+class _RouterInstruments:
+    """Cached per-router instrument handles (hot-path lookup killer)."""
+
+    __slots__ = (
+        "credit_stalls",
+        "vc_starved",
+        "va_requests",
+        "va_grants",
+        "sa_requests_nonspec",
+        "sa_requests_spec",
+        "sa_grants",
+        "sa_spec_wins",
+        "sa_spec_kills",
+        "occupancy",
+        "peak_occupancy",
+        "vc_occupancy",
+    )
+
+    def __init__(self, registry: MetricsRegistry, router_id: int) -> None:
+        self.credit_stalls = registry.counter("credit_stalls", router=router_id)
+        self.vc_starved = registry.counter("vc_starved", router=router_id)
+        self.va_requests = registry.counter("va_requests", router=router_id)
+        self.va_grants = registry.counter("va_grants", router=router_id)
+        self.sa_requests_nonspec = registry.counter(
+            "sa_requests_nonspec", router=router_id
+        )
+        self.sa_requests_spec = registry.counter("sa_requests_spec", router=router_id)
+        self.sa_grants = registry.counter("sa_grants", router=router_id)
+        self.sa_spec_wins = registry.counter("sa_spec_wins", router=router_id)
+        self.sa_spec_kills = registry.counter("sa_spec_kills", router=router_id)
+        self.occupancy = registry.gauge("buffer_occupancy", router=router_id)
+        self.peak_occupancy = registry.gauge("peak_vc_occupancy", router=router_id)
+        self.vc_occupancy = registry.histogram("vc_occupancy", router=router_id)
+
+
+class SimObserver:
+    """Collect metrics and flit traces from an instrumented simulation."""
+
+    def __init__(
+        self,
+        metrics_path: Optional["Path | str"] = None,
+        trace_path: Optional["Path | str"] = None,
+        sample_every: int = 100,
+        tracer: Optional[FlitTracer] = None,
+    ) -> None:
+        if sample_every < 1:
+            raise ValueError("sample_every must be >= 1")
+        self.sample_every = sample_every
+        self.metrics_path = Path(metrics_path) if metrics_path is not None else None
+        self.trace_path = Path(trace_path) if trace_path is not None else None
+        self.tracer: Optional[FlitTracer] = tracer or (
+            FlitTracer() if trace_path is not None else None
+        )
+        self.registry = MetricsRegistry()
+        #: In-memory rows, populated only when no ``metrics_path`` is set
+        #: (programmatic / test use); file-backed runs stream to disk.
+        self.rows: List[Dict[str, Any]] = []
+        self._routers: Dict[int, _RouterInstruments] = {}
+        self._ctx: Dict[str, Any] = {}
+        self._stream: Optional[IO[str]] = None
+        self._closed = False
+        self._bd_mark = LatencyBreakdown()
+        self._c_injected = self.registry.counter("packets_injected")
+        self._c_ejected = self.registry.counter("packets_ejected")
+        add_warning_sink(self._on_warning)
+
+    # ------------------------------------------------------------------
+    # run lifecycle
+    # ------------------------------------------------------------------
+    def run_started(self, cfg: Any) -> None:
+        """Begin a new simulation point: fresh registry, new context."""
+        self._ctx = {
+            "topology": cfg.topology,
+            "injection_rate": cfg.injection_rate,
+            "sw_alloc_arch": cfg.sw_alloc_arch,
+            "speculation": cfg.speculation,
+            "seed": cfg.seed,
+        }
+        self.registry = MetricsRegistry()
+        self._routers = {}
+        self._c_injected = self.registry.counter("packets_injected")
+        self._c_ejected = self.registry.counter("packets_ejected")
+        if self.tracer is not None:
+            self._bd_mark = LatencyBreakdown(**vars(self.tracer.breakdown))
+        self._write_row({"kind": "run_started", "ctx": dict(self._ctx)})
+
+    def run_finished(self, network: Any, cfg: Any) -> None:
+        """Final sample at the end of a run (so cumulative counters are
+        complete even when the run length is not a sampling multiple)."""
+        self.sample(network, network.time)
+        if self.tracer is not None:
+            delta = LatencyBreakdown(
+                **{
+                    k: getattr(self.tracer.breakdown, k) - getattr(self._bd_mark, k)
+                    for k in vars(self._bd_mark)
+                }
+            )
+            self._write_row(
+                {
+                    "kind": "breakdown",
+                    "cycle": network.time,
+                    "ctx": dict(self._ctx),
+                    "value": delta.to_dict(),
+                }
+            )
+            # Later runs restart their cycle counter at 0; shift their
+            # trace timestamps past this run so tracks never overlap.
+            self.tracer.ts_offset += network.time + 1
+
+    # ------------------------------------------------------------------
+    # simulator hooks (every call site is behind ``observer is None``)
+    # ------------------------------------------------------------------
+    def _router(self, router_id: int) -> _RouterInstruments:
+        inst = self._routers.get(router_id)
+        if inst is None:
+            inst = _RouterInstruments(self.registry, router_id)
+            self._routers[router_id] = inst
+        return inst
+
+    def credit_stall(self, router_id: int, out_port: int, out_vc: int) -> None:
+        """An active VC held the crossbar request back: zero credits."""
+        self._router(router_id).credit_stalls.inc()
+
+    def vc_starved(self, router_id: int, out_port: int) -> None:
+        """A routed head flit found no free legal output VC to request."""
+        self._router(router_id).vc_starved.inc()
+
+    def alloc_cycle(
+        self,
+        router_id: int,
+        now: int,
+        va_requests: int,
+        va_grants: int,
+        sa_nonspec_requests: int,
+        sa_spec_requests: int,
+        sa_nonspec_grants: int,
+        sa_spec_wins: int,
+        sa_spec_kills: int,
+    ) -> None:
+        """Per-cycle allocator request/grant tallies from one router."""
+        inst = self._router(router_id)
+        inst.va_requests.inc(va_requests)
+        inst.va_grants.inc(va_grants)
+        inst.sa_requests_nonspec.inc(sa_nonspec_requests)
+        inst.sa_requests_spec.inc(sa_spec_requests)
+        inst.sa_grants.inc(sa_nonspec_grants + sa_spec_wins)
+        inst.sa_spec_wins.inc(sa_spec_wins)
+        inst.sa_spec_kills.inc(sa_spec_kills)
+
+    def flit_arrived(
+        self, router_id: int, port: int, vc: int, flit: Any, now: int
+    ) -> None:
+        if self.tracer is not None and flit.is_head:
+            self.tracer.head_arrived(router_id, port, vc, flit.packet, now)
+
+    def vc_granted(self, router_id: int, port: int, vc: int, flit: Any, now: int) -> None:
+        if self.tracer is not None:
+            self.tracer.vc_granted(router_id, flit.packet, now)
+
+    def flit_departed(
+        self,
+        router_id: int,
+        port: int,
+        vc: int,
+        out_port: int,
+        out_vc: int,
+        flit: Any,
+        now: int,
+    ) -> None:
+        if self.tracer is not None and flit.is_head:
+            self.tracer.head_departed(router_id, flit.packet, now)
+
+    def packet_injected(self, terminal_id: int, packet: Any, now: int) -> None:
+        self._c_injected.inc()
+        if self.tracer is not None:
+            self.tracer.packet_injected(terminal_id, packet, now)
+
+    def packet_ejected(self, terminal_id: int, packet: Any, now: int) -> None:
+        self._c_ejected.inc()
+        if self.tracer is not None:
+            self.tracer.packet_ejected(terminal_id, packet, now)
+
+    def cycle_end(self, network: Any, now: int) -> None:
+        if now % self.sample_every == 0 and now > 0:
+            self.sample(network, now)
+
+    # ------------------------------------------------------------------
+    # sampling
+    # ------------------------------------------------------------------
+    def sample(self, network: Any, cycle: int) -> None:
+        """Refresh occupancy gauges and emit one row per instrument."""
+        for router in network.routers:
+            inst = self._router(router.id)
+            total = 0
+            peak = 0
+            hist = inst.vc_occupancy
+            for port_vcs in router.input_vcs:
+                for ivc in port_vcs:
+                    occ = len(ivc.queue)
+                    total += occ
+                    if ivc.high_water > peak:
+                        peak = ivc.high_water
+                    hist.observe(occ)
+            inst.occupancy.set(total)
+            inst.peak_occupancy.set(peak)
+        for row in self.registry.rows(cycle, self._ctx):
+            self._write_row(row)
+        if self._stream is not None:
+            self._stream.flush()
+
+    # ------------------------------------------------------------------
+    # output plumbing
+    # ------------------------------------------------------------------
+    def _write_row(self, row: Dict[str, Any]) -> None:
+        if self._closed:
+            return
+        if self.metrics_path is None:
+            self.rows.append(row)
+            return
+        if self._stream is None:
+            self.metrics_path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self.metrics_path.open("w")
+        self._stream.write(json.dumps(row) + "\n")
+
+    def _on_warning(self, warning: StructuredWarning) -> None:
+        row = warning.to_dict()
+        if self._ctx:
+            row["ctx"] = dict(self._ctx)
+        self._write_row(row)
+
+    def finalize(self, metadata: Optional[Dict[str, Any]] = None) -> None:
+        """Flush/close the metrics stream and export the trace file."""
+        if self._closed:
+            return
+        if self.tracer is not None and self.trace_path is not None:
+            self.tracer.export(self.trace_path, metadata)
+        if self._stream is not None:
+            self._stream.flush()
+            self._stream.close()
+            self._stream = None
+        remove_warning_sink(self._on_warning)
+        self._closed = True
+
+    close = finalize
+
+    def __enter__(self) -> "SimObserver":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.finalize()
+
+
+class NullObserver(SimObserver):
+    """All hooks are no-ops; for call sites that want an always-valid
+    observer object instead of the ``None`` fast path."""
+
+    def __init__(self) -> None:  # no files, no tracer, no warning sink
+        super().__init__()
+        remove_warning_sink(self._on_warning)
+
+    def run_started(self, cfg: Any) -> None:
+        pass
+
+    def run_finished(self, network: Any, cfg: Any) -> None:
+        pass
+
+    def credit_stall(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def vc_starved(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def alloc_cycle(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def flit_arrived(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def vc_granted(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def flit_departed(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def packet_injected(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def packet_ejected(self, *a: Any, **k: Any) -> None:
+        pass
+
+    def cycle_end(self, *a: Any, **k: Any) -> None:
+        pass

@@ -1,0 +1,237 @@
+"""Flit lifecycle tracing with Chrome trace-event export.
+
+The tracer follows each packet's *head* flit through the network:
+
+* ``inject``  -- head flit serialized onto the injection channel;
+* ``arrive``  -- head written into a router's input buffer;
+* ``va``      -- output VC granted at that router;
+* ``sa``      -- switch allocation won, flit departs through the
+  crossbar (for a successful speculative bid, ``va`` and ``sa`` land in
+  the same cycle);
+* ``eject``   -- tail flit sinks at the destination terminal.
+
+Each router hop becomes one Chrome trace *complete* event (``ph: "X"``)
+on track ``pid = router id`` / ``tid = input port``, spanning arrival
+to switch grant with the VA/SA wait split in ``args``.  Each delivered
+packet additionally becomes an async ``"b"``/``"e"`` pair (track
+``pid = PACKET_TRACK``, ``tid = source terminal``) spanning injection
+to ejection, so Perfetto shows end-to-end packet lifetimes above the
+per-router swimlanes.  Timestamps are cycles, rendered by Perfetto as
+microseconds.
+
+The same bookkeeping yields a per-packet latency decomposition
+(:class:`LatencyBreakdown`): source queueing vs. VC-allocation wait vs.
+switch-allocation wait vs. traversal (wire + serialization) cycles.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = ["FlitTracer", "LatencyBreakdown", "PACKET_TRACK"]
+
+#: Synthetic pid hosting the per-packet async lifetime events (routers
+#: use their own ids, which are < 10**6 for any realistic topology).
+PACKET_TRACK = 1_000_000
+
+
+@dataclass
+class LatencyBreakdown:
+    """Aggregate packet-latency decomposition, in cycles.
+
+    ``traversal`` is everything not attributable to waiting in an
+    allocation stage: link traversal, switch traversal and multi-flit
+    serialization.  Per-packet: ``total = source_queue + va_wait +
+    sa_wait + traversal``.
+    """
+
+    packets: int = 0
+    total: float = 0.0
+    source_queue: float = 0.0
+    va_wait: float = 0.0
+    sa_wait: float = 0.0
+    traversal: float = 0.0
+    hops: int = 0
+
+    def add(
+        self, total: int, source_queue: int, va_wait: int, sa_wait: int, hops: int
+    ) -> None:
+        self.packets += 1
+        self.total += total
+        self.source_queue += source_queue
+        self.va_wait += va_wait
+        self.sa_wait += sa_wait
+        self.traversal += total - source_queue - va_wait - sa_wait
+        self.hops += hops
+
+    def _avg(self, value: float) -> float:
+        return value / self.packets if self.packets else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "packets": self.packets,
+            "avg_total": self._avg(self.total),
+            "avg_source_queue": self._avg(self.source_queue),
+            "avg_va_wait": self._avg(self.va_wait),
+            "avg_sa_wait": self._avg(self.sa_wait),
+            "avg_traversal": self._avg(self.traversal),
+            "avg_hops": self._avg(self.hops),
+        }
+
+    def __str__(self) -> str:
+        d = self.to_dict()
+        return (
+            f"{self.packets} packets: total {d['avg_total']:.1f} = "
+            f"queue {d['avg_source_queue']:.1f} + va {d['avg_va_wait']:.1f} "
+            f"+ sa {d['avg_sa_wait']:.1f} + traversal {d['avg_traversal']:.1f}"
+        )
+
+
+class FlitTracer:
+    """Record head-flit lifecycle events; export Chrome trace JSON."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+        # In-flight head position: packet id -> [router, port, vc,
+        # arrive_cycle, va_cycle or None].
+        self._hop: Dict[int, List[Any]] = {}
+        # Injected-but-not-ejected packets: id -> lifecycle record.
+        self._packets: Dict[int, Dict[str, Any]] = {}
+        self.breakdown = LatencyBreakdown()
+        self.dropped_events = 0  # hooks for packets injected pre-attach
+        #: Added to every timestamp; a multi-run observer bumps this
+        #: between runs so per-run cycle counters (which restart at 0)
+        #: never overlap on the trace timeline.
+        self.ts_offset = 0
+
+    # ------------------------------------------------------------------
+    # lifecycle hooks (called by SimObserver)
+    # ------------------------------------------------------------------
+    def packet_injected(self, terminal_id: int, packet: Any, now: int) -> None:
+        self._packets[packet.pid] = {
+            "src": terminal_id,
+            "inject": now + self.ts_offset,
+            "birth": packet.birth_time + self.ts_offset,
+            "va_wait": 0,
+            "sa_wait": 0,
+            "hops": 0,
+        }
+
+    def head_arrived(
+        self, router_id: int, port: int, vc: int, packet: Any, now: int
+    ) -> None:
+        self._hop[packet.pid] = [router_id, port, vc, now + self.ts_offset, None]
+
+    def vc_granted(self, router_id: int, packet: Any, now: int) -> None:
+        rec = self._hop.get(packet.pid)
+        if rec is not None:
+            rec[4] = now + self.ts_offset
+
+    def head_departed(self, router_id: int, packet: Any, now: int) -> None:
+        now = now + self.ts_offset
+        rec = self._hop.pop(packet.pid, None)
+        if rec is None:
+            self.dropped_events += 1
+            return
+        _, port, vc, arrived, va = rec
+        va = va if va is not None else now
+        self.events.append(
+            {
+                "name": f"pkt {packet.pid}",
+                "cat": "hop",
+                "ph": "X",
+                "ts": arrived,
+                "dur": max(now - arrived, 0),
+                "pid": router_id,
+                "tid": port,
+                "args": {
+                    "packet": packet.pid,
+                    "vc": vc,
+                    "va_wait": va - arrived,
+                    "sa_wait": now - va,
+                },
+            }
+        )
+        pkt = self._packets.get(packet.pid)
+        if pkt is not None:
+            pkt["va_wait"] += va - arrived
+            pkt["sa_wait"] += now - va
+            pkt["hops"] += 1
+
+    def packet_ejected(self, terminal_id: int, packet: Any, now: int) -> None:
+        now = now + self.ts_offset
+        rec = self._packets.pop(packet.pid, None)
+        if rec is None:
+            self.dropped_events += 1
+            return
+        total = now - rec["birth"]
+        source_queue = rec["inject"] - rec["birth"]
+        self.breakdown.add(
+            total, source_queue, rec["va_wait"], rec["sa_wait"], rec["hops"]
+        )
+        common = {
+            "cat": "packet",
+            "id": packet.pid,
+            "name": "packet",
+            "pid": PACKET_TRACK,
+            "tid": rec["src"],
+        }
+        args = {
+            "src": rec["src"],
+            "dest": terminal_id,
+            "total": total,
+            "source_queue": source_queue,
+            "va_wait": rec["va_wait"],
+            "sa_wait": rec["sa_wait"],
+            "hops": rec["hops"],
+        }
+        self.events.append({**common, "ph": "b", "ts": rec["inject"], "args": args})
+        self.events.append({**common, "ph": "e", "ts": now})
+
+    # ------------------------------------------------------------------
+    @property
+    def in_flight(self) -> int:
+        """Packets injected but not yet ejected (no events emitted yet)."""
+        return len(self._packets)
+
+    def to_chrome_trace(
+        self, metadata: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        """Chrome trace-event JSON object (Perfetto's legacy format)."""
+        meta_events: List[Dict[str, Any]] = []
+        pids = sorted({e["pid"] for e in self.events})
+        for pid in pids:
+            name = "packets" if pid == PACKET_TRACK else f"router {pid}"
+            meta_events.append(
+                {
+                    "ph": "M",
+                    "name": "process_name",
+                    "pid": pid,
+                    "args": {"name": name},
+                }
+            )
+        other: Dict[str, Any] = {
+            "packets_traced": self.breakdown.packets,
+            "packets_in_flight": self.in_flight,
+            "dropped_events": self.dropped_events,
+            "breakdown": self.breakdown.to_dict(),
+        }
+        if metadata:
+            other.update(metadata)
+        return {
+            "traceEvents": meta_events + self.events,
+            "displayTimeUnit": "ns",
+            "otherData": other,
+        }
+
+    def export(
+        self, path: "Path | str", metadata: Optional[Dict[str, Any]] = None
+    ) -> Path:
+        """Write the Chrome trace JSON to ``path`` and return it."""
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(self.to_chrome_trace(metadata)))
+        return path

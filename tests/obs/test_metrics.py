@@ -1,0 +1,131 @@
+"""Tests for the metrics registry and structured warnings."""
+
+import math
+
+import pytest
+
+from repro.netsim.stats import batch_means
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    add_warning_sink,
+    clear_recent_warnings,
+    emit_warning,
+    recent_warnings,
+    remove_warning_sink,
+)
+
+
+class TestInstruments:
+    def test_counter_monotonic(self):
+        c = Counter()
+        c.inc()
+        c.inc(5)
+        assert c.serialize() == 6
+
+    def test_gauge_overwrites(self):
+        g = Gauge()
+        g.set(3.0)
+        g.set(1.5)
+        assert g.serialize() == 1.5
+
+    def test_histogram_buckets_and_overflow(self):
+        h = Histogram(bounds=(1, 2, 4))
+        for v in (0, 1, 2, 3, 100):
+            h.observe(v)
+        assert h.counts == [2, 1, 1, 1]  # <=1, <=2, <=4, overflow
+        assert h.count == 5
+        assert h.total == 106
+        assert h.mean == pytest.approx(106 / 5)
+        payload = h.serialize()
+        assert payload["le"] == [1, 2, 4]
+        assert payload["count"] == 5
+
+    def test_histogram_rejects_unsorted_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(4, 2, 1))
+
+
+class TestRegistry:
+    def test_memoized_lookup(self):
+        reg = MetricsRegistry()
+        a = reg.counter("hits", router=3)
+        b = reg.counter("hits", router=3)
+        c = reg.counter("hits", router=4)
+        assert a is b
+        assert a is not c
+        assert len(reg) == 2
+
+    def test_label_order_is_irrelevant(self):
+        reg = MetricsRegistry()
+        a = reg.counter("x", router=1, port=2)
+        b = reg.counter("x", port=2, router=1)
+        assert a is b
+
+    def test_rows_carry_context(self):
+        reg = MetricsRegistry()
+        reg.counter("grants", router=0).inc(7)
+        reg.gauge("occ", router=0).set(2)
+        rows = list(reg.rows(500, {"injection_rate": 0.2}))
+        assert len(rows) == 2
+        for row in rows:
+            assert row["kind"] == "sample"
+            assert row["cycle"] == 500
+            assert row["ctx"] == {"injection_rate": 0.2}
+        by_name = {r["name"]: r for r in rows}
+        assert by_name["grants"]["type"] == "counter"
+        assert by_name["grants"]["value"] == 7
+        assert by_name["grants"]["labels"] == {"router": 0}
+
+    def test_totals_across_labels(self):
+        reg = MetricsRegistry()
+        reg.counter("stalls", router=0).inc(3)
+        reg.counter("stalls", router=1).inc(4)
+        reg.counter("other", router=0).inc(100)
+        assert reg.total("stalls") == 7
+        assert len(reg.totals("stalls")) == 2
+
+
+class TestWarnings:
+    def setup_method(self):
+        clear_recent_warnings()
+
+    def test_emit_reaches_sink_and_ring(self):
+        seen = []
+        add_warning_sink(seen.append)
+        try:
+            w = emit_warning("test_code", "something odd", detail=42)
+        finally:
+            remove_warning_sink(seen.append)
+        assert seen == [w]
+        assert w.code == "test_code"
+        assert w.context == {"detail": 42}
+        assert recent_warnings()[-1] is w
+        row = w.to_dict()
+        assert row["kind"] == "warning"
+        assert row["context"]["detail"] == 42
+
+    def test_remove_unknown_sink_is_noop(self):
+        remove_warning_sink(lambda w: None)  # must not raise
+
+    def test_batch_means_underfilled_emits_warning(self):
+        clear_recent_warnings()
+        # Every sample at the same timestamp -> one populated batch.
+        mean, stderr = batch_means([(5.0, 1.0), (5.0, 2.0)], num_batches=10)
+        assert mean == pytest.approx(1.5)
+        assert math.isnan(stderr)
+        warnings = [w for w in recent_warnings()
+                    if w.code == "batch_means_underfilled"]
+        assert len(warnings) == 1
+        assert warnings[0].context["populated_batches"] == 1
+        assert warnings[0].context["num_batches"] == 10
+
+    def test_batch_means_healthy_is_silent(self):
+        clear_recent_warnings()
+        mean, stderr = batch_means(
+            [(float(i), float(i % 7)) for i in range(100)], num_batches=10
+        )
+        assert not math.isnan(stderr)
+        assert recent_warnings() == []

@@ -1,0 +1,142 @@
+"""Tests for the flit lifecycle tracer and Chrome trace export."""
+
+import json
+
+import pytest
+
+from repro.netsim.simulator import SimulationConfig, run_simulation
+from repro.obs.observer import SimObserver
+from repro.obs.tracing import PACKET_TRACK, FlitTracer, LatencyBreakdown
+
+
+class _Pkt:
+    def __init__(self, pid, birth_time=0):
+        self.pid = pid
+        self.birth_time = birth_time
+
+
+class TestLatencyBreakdown:
+    def test_components_sum_to_total(self):
+        bd = LatencyBreakdown()
+        bd.add(total=20, source_queue=2, va_wait=3, sa_wait=1, hops=4)
+        bd.add(total=10, source_queue=0, va_wait=0, sa_wait=0, hops=2)
+        d = bd.to_dict()
+        assert d["packets"] == 2
+        assert d["avg_total"] == pytest.approx(15.0)
+        assert d["avg_total"] == pytest.approx(
+            d["avg_source_queue"] + d["avg_va_wait"] + d["avg_sa_wait"]
+            + d["avg_traversal"]
+        )
+        assert d["avg_hops"] == pytest.approx(3.0)
+
+    def test_empty_breakdown_has_zero_averages(self):
+        assert LatencyBreakdown().to_dict()["avg_total"] == 0.0
+
+
+class TestFlitTracer:
+    def test_hop_becomes_complete_event(self):
+        tr = FlitTracer()
+        pkt = _Pkt(7)
+        tr.packet_injected(0, pkt, 10)
+        tr.head_arrived(3, 1, 0, pkt, 12)
+        tr.vc_granted(3, pkt, 14)
+        tr.head_departed(3, pkt, 15)
+        (ev,) = tr.events
+        assert ev["ph"] == "X"
+        assert ev["pid"] == 3 and ev["tid"] == 1
+        assert ev["ts"] == 12 and ev["dur"] == 3
+        assert ev["args"]["va_wait"] == 2
+        assert ev["args"]["sa_wait"] == 1
+
+    def test_ejection_emits_paired_async_events(self):
+        tr = FlitTracer()
+        pkt = _Pkt(9, birth_time=5)
+        tr.packet_injected(2, pkt, 8)
+        tr.packet_ejected(4, pkt, 30)
+        begin, end = tr.events
+        assert begin["ph"] == "b" and end["ph"] == "e"
+        assert begin["id"] == end["id"] == 9
+        assert begin["pid"] == end["pid"] == PACKET_TRACK
+        assert begin["ts"] == 8 and end["ts"] == 30
+        assert begin["args"]["total"] == 25
+        assert begin["args"]["source_queue"] == 3
+        assert tr.breakdown.packets == 1
+
+    def test_unknown_packet_counts_dropped_event(self):
+        tr = FlitTracer()
+        tr.head_departed(0, _Pkt(99), 5)
+        tr.packet_ejected(0, _Pkt(98), 5)
+        assert tr.dropped_events == 2
+        assert tr.events == []
+
+    def test_ts_offset_shifts_all_timestamps(self):
+        tr = FlitTracer()
+        tr.ts_offset = 1000
+        pkt = _Pkt(1, birth_time=0)
+        tr.packet_injected(0, pkt, 2)
+        tr.head_arrived(0, 0, 0, pkt, 3)
+        tr.head_departed(0, pkt, 4)
+        tr.packet_ejected(1, pkt, 6)
+        hop = next(e for e in tr.events if e["ph"] == "X")
+        begin = next(e for e in tr.events if e["ph"] == "b")
+        assert hop["ts"] == 1003
+        assert begin["ts"] == 1002
+        # Durations are offset-invariant.
+        assert hop["dur"] == 1
+        assert begin["args"]["total"] == 6
+
+    def test_chrome_trace_structure(self):
+        tr = FlitTracer()
+        pkt = _Pkt(1)
+        tr.packet_injected(0, pkt, 0)
+        tr.head_arrived(5, 2, 0, pkt, 1)
+        tr.head_departed(5, pkt, 3)
+        tr.packet_ejected(3, pkt, 8)
+        doc = tr.to_chrome_trace(metadata={"note": "test"})
+        assert set(doc) == {"traceEvents", "displayTimeUnit", "otherData"}
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        named = {e["pid"]: e["args"]["name"] for e in meta}
+        assert named[5] == "router 5"
+        assert named[PACKET_TRACK] == "packets"
+        assert doc["otherData"]["packets_traced"] == 1
+        assert doc["otherData"]["note"] == "test"
+
+
+class TestTraceExport:
+    def test_simulated_trace_is_valid_and_paired(self, tmp_path):
+        cfg = SimulationConfig(
+            injection_rate=0.1,
+            warmup_cycles=50,
+            measure_cycles=150,
+            drain_cycles=150,
+            seed=3,
+        )
+        trace_path = tmp_path / "trace.json"
+        obs = SimObserver(trace_path=trace_path, sample_every=50)
+        run_simulation(cfg, observer=obs)
+        obs.finalize()
+
+        doc = json.loads(trace_path.read_text())  # valid JSON end to end
+        events = doc["traceEvents"]
+        assert events, "expected a non-empty trace"
+
+        # Every async begin has exactly one matching end (same id).
+        begins = [e["id"] for e in events if e.get("ph") == "b"]
+        ends = [e["id"] for e in events if e.get("ph") == "e"]
+        assert sorted(begins) == sorted(ends)
+        assert len(set(begins)) == len(begins)
+
+        # Complete events are well formed.
+        for e in events:
+            if e.get("ph") == "X":
+                assert e["dur"] >= 0
+                assert e["ts"] >= 0
+                assert "va_wait" in e["args"]
+
+        # The embedded breakdown is internally consistent.
+        bd = doc["otherData"]["breakdown"]
+        assert bd["packets"] == doc["otherData"]["packets_traced"] > 0
+        assert bd["avg_total"] == pytest.approx(
+            bd["avg_source_queue"] + bd["avg_va_wait"] + bd["avg_sa_wait"]
+            + bd["avg_traversal"]
+        )

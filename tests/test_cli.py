@@ -22,6 +22,17 @@ class TestParser:
         assert args.cache_path is None
         assert args.progress is False
 
+    def test_sweep_observability_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.metrics is None
+        assert args.trace is None
+        assert args.sample_every == 100
+
+    def test_report_args(self):
+        args = build_parser().parse_args(["report", "somedir", "--top", "3"])
+        assert args.dir == "somedir"
+        assert args.top == 3
+
 
 class TestCommands:
     def test_transitions(self, capsys):
@@ -71,6 +82,49 @@ class TestCommands:
         captured = capsys.readouterr()
         assert "zero-load" in captured.out
         assert "sweep done" in captured.err
+
+    def test_sweep_shows_percentiles(self, capsys, monkeypatch, tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "sweeps.json"))
+        rc = main(["sweep", "--rates", "0.05", "--cycles", "300"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p95" in out and "p99" in out
+
+    def test_sweep_instrumented_and_report(self, capsys, tmp_path):
+        obs_dir = tmp_path / "obs"
+        trace = obs_dir / "trace.json"
+        rc = main(
+            ["sweep", "--rates", "0.05,0.1", "--cycles", "300",
+             "--metrics", str(obs_dir), "--trace", str(trace),
+             "--sample-every", "50", "--jobs", "2"]
+        )
+        assert rc == 0
+        captured = capsys.readouterr()
+        # Instrumented runs force serial/uncached with a visible note.
+        assert "forces a serial run" in captured.err
+        assert "disables the sweep cache" in captured.err
+        assert (obs_dir / "metrics.jsonl").exists()
+        assert (obs_dir / "sweep.jsonl").exists()
+        assert (obs_dir / "manifest.json").exists()
+        assert trace.exists()
+
+        rc = main(["report", str(obs_dir)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "matching efficiency" in out
+        assert "latency breakdown" in out
+
+    def test_sweep_writes_manifest_next_to_cache(self, capsys, monkeypatch,
+                                                 tmp_path):
+        monkeypatch.setenv("REPRO_SWEEP_CACHE", str(tmp_path / "sweeps.json"))
+        rc = main(["sweep", "--rates", "0.05", "--cycles", "300"])
+        assert rc == 0
+        assert (tmp_path / "sweeps.manifest.json").exists()
+
+    def test_report_missing_dir(self, capsys, tmp_path):
+        rc = main(["report", str(tmp_path / "nope")])
+        assert rc == 1
+        assert "not a directory" in capsys.readouterr().err
 
     def test_cost_switch(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_COST_CACHE", str(tmp_path / "c.json"))
