@@ -10,7 +10,10 @@ Exposes the experiment harness without writing any Python:
 * ``sweep``       -- a latency-vs-load curve (Figures 13 / 14), with
   opt-in observability: ``--metrics DIR`` collects per-router metrics
   and sweep telemetry, ``--trace FILE`` records a Perfetto-loadable
-  flit trace;
+  flit trace; hardened execution via ``--faults/--watchdog/--timeout/
+  --retries/--resume``;
+* ``faults``      -- saturation throughput vs injected fault rate per
+  allocator architecture (robustness extension, beyond the paper);
 * ``report``      -- summarize a ``--metrics`` telemetry directory
   (top stall sources, matching efficiency vs. injection rate).
 """
@@ -36,6 +39,7 @@ from .eval.runner import (
     default_cache_path,
 )
 from .eval.tables import format_cost_results, format_curves, format_table
+from .faults import FaultPlan, parse_fault_spec
 from .netsim.simulator import SimulationConfig, run_simulation
 from .obs.metrics import emit_warning
 from .obs.observer import SimObserver
@@ -144,6 +148,18 @@ def cmd_sweep(args) -> int:
         write_run_manifest,
     )
 
+    try:
+        faults = parse_fault_spec(args.faults) if args.faults else None
+    except (ValueError, OSError) as exc:
+        print(f"error: bad --faults spec: {exc}", file=sys.stderr)
+        return 2
+    watchdog = args.watchdog
+    if watchdog is None:
+        # Fault injection can deadlock the fabric; arm the watchdog by
+        # default so a wedged point aborts with a diagnostic snapshot
+        # instead of burning every configured cycle.
+        watchdog = max(1000, args.cycles) if faults is not None else 0
+
     base = SimulationConfig(
         topology=args.topology,
         vcs_per_class=args.vcs_per_class,
@@ -155,6 +171,8 @@ def cmd_sweep(args) -> int:
         measure_cycles=args.cycles,
         drain_cycles=args.cycles,
         seed=args.seed,
+        faults=faults,
+        watchdog_cycles=watchdog,
     )
     rates = [float(r) for r in args.rates.split(",")]
     configs = [replace(base, injection_rate=r) for r in rates]
@@ -199,6 +217,36 @@ def cmd_sweep(args) -> int:
     if not args.no_cache and not instrumented:
         cache = ResultCache(args.cache_path or default_cache_path())
 
+    # Any hardening/fault flag switches failure handling from "abort
+    # the sweep" to "record the failure and keep going" -- a partial
+    # curve plus structured failures beats no curve.
+    hardened = (
+        args.timeout is not None
+        or args.retries
+        or args.resume
+        or args.checkpoint is not None
+        or faults is not None
+    )
+    on_failure = "record" if hardened else "raise"
+
+    checkpoint = None
+    if args.resume or args.checkpoint is not None:
+        from .eval.checkpoint import SweepCheckpoint, sweep_signature
+        from .eval.runner import config_key
+
+        salt = cache.salt if cache is not None else None
+        keys = [config_key(cfg, salt) for cfg in configs]
+        if args.checkpoint is not None:
+            ckpt_path = Path(args.checkpoint)
+        elif cache is not None:
+            ckpt_path = cache.path.with_name(f"{cache.path.stem}.ckpt.jsonl")
+        else:
+            ckpt_path = Path(".repro-sweep.ckpt.jsonl")
+        checkpoint = SweepCheckpoint(ckpt_path, sweep_signature(keys))
+        if checkpoint.recovered:
+            print(f"resume: recovered {len(checkpoint.recovered)} completed "
+                  f"point(s) from {ckpt_path}", file=sys.stderr)
+
     capture = _StatsCapture()
     reporters = [capture]
     if args.progress:
@@ -211,6 +259,8 @@ def cmd_sweep(args) -> int:
     curve = latency_sweep(
         base, rates, stop_after_saturation=False,
         jobs=jobs, cache=cache, reporter=reporter, sim_fn=sim_fn,
+        timeout=args.timeout, retries=args.retries, backoff=args.backoff,
+        on_failure=on_failure, checkpoint=checkpoint,
     )
     wall = time.perf_counter() - t0
 
@@ -248,6 +298,14 @@ def cmd_sweep(args) -> int:
     )
     print(f"zero-load {curve.zero_load:.1f} cycles, "
           f"saturation ~{curve.saturation_rate():.3f} flits/cycle")
+    stats = capture.stats
+    if stats is not None and stats.failures:
+        detail = ", ".join(
+            f"rate={f.injection_rate:g} [{f.kind}]" for f in stats.failures
+        )
+        print(f"failed: {stats.failed} point(s) after retries ({detail})")
+        if checkpoint is not None:
+            print(f"checkpoint kept for --resume: {checkpoint.path}")
     if cache is not None:
         print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
               f"({cache.path})")
@@ -256,6 +314,76 @@ def cmd_sweep(args) -> int:
               f"(metrics.jsonl, sweep.jsonl, manifest.json)")
     if args.trace:
         print(f"trace: {args.trace} (load in https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_faults(args) -> int:
+    """Saturation throughput vs injected fault rate, per allocator
+    architecture.  A robustness extension beyond the paper's figures:
+    the same binary-search saturation metric as ``repro sweep``, with a
+    seeded :class:`~repro.faults.FaultPlan` scaled along one axis."""
+    from .eval.netperf import saturation_throughput
+
+    kind_field = {
+        "vcs": "stuck_vc_rate",
+        "links": "link_rate",
+        "credits": "credit_drop_rate",
+    }[args.kind]
+    archs = [a.strip() for a in args.archs.split(",") if a.strip()]
+    bad = [a for a in archs if a not in ("sep_if", "sep_of", "wf")]
+    if bad or not archs:
+        print(f"error: --archs must be a comma list of sep_if/sep_of/wf, "
+              f"got {args.archs!r}", file=sys.stderr)
+        return 2
+    frates = [float(r) for r in args.rates.split(",")]
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_path or default_cache_path())
+
+    columns = {}
+    for arch in archs:
+        sats = []
+        for frate in frates:
+            plan = (
+                FaultPlan(seed=args.seed, **{kind_field: frate})
+                if frate > 0 else None
+            )
+            # No watchdog here on purpose: a deadlocked probe point
+            # reports as saturated, which is exactly what the metric
+            # should say about that load.
+            base = SimulationConfig(
+                topology=args.topology,
+                vcs_per_class=args.vcs_per_class,
+                sw_alloc_arch=arch,
+                vc_alloc_arch=arch,
+                speculation=args.speculation,
+                traffic_pattern=args.pattern,
+                warmup_cycles=args.cycles // 3,
+                measure_cycles=args.cycles,
+                drain_cycles=args.cycles,
+                seed=args.seed,
+                faults=plan,
+            )
+            sats.append(
+                saturation_throughput(
+                    base, iterations=args.iterations, cache=cache
+                )
+            )
+        columns[arch] = sats
+
+    print(
+        format_curves(
+            f"{args.kind} fault rate",
+            frates,
+            columns,
+            title=(f"saturation throughput vs {args.kind} fault rate "
+                   f"({args.topology}, {args.speculation} speculation)"),
+        )
+    )
+    if cache is not None:
+        print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+              f"({cache.path})")
     return 0
 
 
@@ -342,7 +470,68 @@ def build_parser() -> argparse.ArgumentParser:
                            metavar="N",
                            help="metrics sampling cadence in cycles "
                                 "(default: 100)")
+            p.add_argument("--faults", default=None, metavar="PLAN",
+                           help="inject faults: a JSON FaultPlan file or "
+                                "a compact spec like "
+                                "'links=0.01,vcs=0.02,drop=0.001,seed=7'")
+            p.add_argument("--watchdog", type=int, default=None, metavar="N",
+                           help="abort a point after N cycles without "
+                                "forward progress (default: off, or "
+                                "max(1000, --cycles) when --faults is "
+                                "given; 0 disables)")
+            p.add_argument("--timeout", type=float, default=None,
+                           metavar="SECONDS",
+                           help="per-point wall-clock limit; a point "
+                                "still running is killed and retried "
+                                "(implies worker processes)")
+            p.add_argument("--retries", type=int, default=0, metavar="K",
+                           help="re-run a crashed/timed-out/failed point "
+                                "up to K times before recording a "
+                                "failure (default: 0)")
+            p.add_argument("--backoff", type=float, default=1.0,
+                           metavar="SECONDS",
+                           help="base retry delay, doubled per attempt "
+                                "(default: 1.0)")
+            p.add_argument("--resume", action="store_true",
+                           help="journal completed points to a per-sweep "
+                                "checkpoint and recover them after an "
+                                "interrupted run")
+            p.add_argument("--checkpoint", default=None, metavar="FILE",
+                           help="checkpoint journal path (implies "
+                                "--resume; default: derived from the "
+                                "cache path)")
             p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "faults",
+        help="saturation throughput vs fault rate (robustness extension)")
+    _add_point_args(p)
+    p.add_argument("--archs", default="sep_if,sep_of,wf",
+                   help="comma list of allocator architectures "
+                        "(default: sep_if,sep_of,wf)")
+    p.add_argument("--kind", choices=["vcs", "links", "credits"],
+                   default="vcs",
+                   help="fault axis to scale: stuck VCs, transient link "
+                        "faults or dropped credits (default: vcs)")
+    p.add_argument("--rates", default="0.0,0.02,0.05,0.1",
+                   help="comma list of fault rates (default: "
+                        "0.0,0.02,0.05,0.1)")
+    p.add_argument("--speculation",
+                   choices=["nonspec", "pessimistic", "conventional"],
+                   default="pessimistic")
+    p.add_argument("--pattern", default="uniform")
+    p.add_argument("--cycles", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--iterations", type=int, default=5,
+                   help="binary-search depth per saturation probe "
+                        "(default: 5)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always re-simulate; do not touch the sweep "
+                        "result cache")
+    p.add_argument("--cache-path", default=None,
+                   help="sweep cache file (default: $REPRO_SWEEP_CACHE "
+                        "or ~/.cache/repro-noc-sweeps.json)")
+    p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser(
         "report", help="summarize a --metrics telemetry directory")

@@ -110,6 +110,18 @@ class SpeculativeSwitchAllocator:
         if self._spec_alloc is not None:
             self._spec_alloc.check_requests = value
 
+    @property
+    def fault_mask(self) -> Optional[set]:
+        """Blocked-output-port mask, forwarded to both allocator cores
+        (see :attr:`SwitchAllocator.fault_mask`)."""
+        return self._nonspec_alloc.fault_mask
+
+    @fault_mask.setter
+    def fault_mask(self, value: Optional[set]) -> None:
+        self._nonspec_alloc.fault_mask = value
+        if self._spec_alloc is not None:
+            self._spec_alloc.fault_mask = value
+
     def reset(self) -> None:
         self._nonspec_alloc.reset()
         if self._spec_alloc is not None:

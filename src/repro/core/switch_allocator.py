@@ -86,6 +86,11 @@ class SwitchAllocator:
         #: Validate requests on every allocate() call; the network
         #: simulator disables this on its per-cycle hot path.
         self.check_requests = True
+        #: Optional fault mask: output ports that must not be granted
+        #: this cycle (downed links, see :mod:`repro.faults`).  ``None``
+        #: in fault-free operation; the router updates it per cycle when
+        #: transient link faults are scheduled.
+        self.fault_mask: Optional[set] = None
 
         # V-input per-port VC arbiters (stage 1 for sep_if, stage 2 for
         # sep_of, pre-selection for wf).
@@ -130,6 +135,11 @@ class SwitchAllocator:
         """
         if self.check_requests:
             self._validate(requests)
+        if self.fault_mask is not None:
+            requests = [
+                [None if q in self.fault_mask else q for q in vc_reqs]
+                for vc_reqs in requests
+            ]
         if self.arch == "sep_if":
             return self._allocate_sep_if(requests)
         if self.arch == "sep_of":

@@ -98,6 +98,12 @@ class VCAllocator:
         #: simulator disables this on its per-cycle hot path; the
         #: request streams it produces are validated by construction.
         self.check_requests = True
+        #: Optional fault mask: flat output-VC indices (``port * V +
+        #: vc``) that must never be granted (stuck-at VCs, see
+        #: :mod:`repro.faults`).  ``None`` -- the default and the only
+        #: value in fault-free operation -- adds a single identity check
+        #: per allocate() call.
+        self.fault_mask: Optional[frozenset] = None
         n = num_ports * self.num_vcs
         self._n = n
 
@@ -187,11 +193,38 @@ class VCAllocator:
             raise ValueError(
                 f"expected {self._n} request slots (P*V), got {len(requests)}"
             )
+        if self.fault_mask is not None:
+            requests = self._mask_requests(requests)
         if self.arch == "sep_if":
             return self._allocate_sep_if(requests)
         if self.arch == "sep_of":
             return self._allocate_sep_of(requests)
         return self._allocate_wavefront(requests)
+
+    def _mask_requests(
+        self, requests: Sequence[Optional[VCRequest]]
+    ) -> List[Optional[VCRequest]]:
+        """Strip fault-masked output VCs from every candidate set.
+
+        A request whose candidates are all masked becomes ``None`` --
+        the head flit simply keeps waiting, exactly as if the VCs were
+        held by other packets.
+        """
+        mask = self.fault_mask
+        V = self.num_vcs
+        out: List[Optional[VCRequest]] = list(requests)
+        for i, req in enumerate(requests):
+            if req is None:
+                continue
+            base = req.output_port * V
+            survivors = tuple(
+                u for u in req.candidate_vcs if base + u not in mask
+            )
+            if len(survivors) != len(req.candidate_vcs):
+                out[i] = (
+                    VCRequest(req.output_port, survivors) if survivors else None
+                )
+        return out
 
     # -- separable input-first -----------------------------------------
     def _allocate_sep_if(

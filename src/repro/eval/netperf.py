@@ -36,6 +36,10 @@ class SweepPoint:
     p50: Optional[float] = None
     p95: Optional[float] = None
     p99: Optional[float] = None
+    #: True when the point's simulation failed (timeout, worker crash,
+    #: watchdog abort) under ``on_failure="record"``; the numeric
+    #: fields are then placeholders, not measurements.
+    failed: bool = False
 
 
 @dataclass
@@ -68,9 +72,15 @@ class LatencyCurve:
         limit = threshold_factor * z
         prev = None
         for pt in self.points:
-            bad = pt.saturated or pt.latency > limit
+            # A failed point (timeout / watchdog abort) is treated as
+            # saturated: the fabric could not sustain that load.
+            bad = pt.failed or pt.saturated or pt.latency > limit
             if bad and prev is not None:
-                if pt.latency == float("inf") or pt.latency <= prev.latency:
+                if (
+                    pt.failed
+                    or pt.latency == float("inf")
+                    or pt.latency <= prev.latency
+                ):
                     return prev.rate
                 frac = (limit - prev.latency) / (pt.latency - prev.latency)
                 frac = min(max(frac, 0.0), 1.0)
@@ -81,7 +91,13 @@ class LatencyCurve:
         return self.points[-1].rate if self.points else 0.0
 
 
-def _to_point(rate: float, res: SimulationResult) -> SweepPoint:
+def _to_point(rate: float, res: Optional[SimulationResult]) -> SweepPoint:
+    if res is None:
+        # The point failed under on_failure="record": keep its slot in
+        # the curve (so rates stay aligned) but mark it.
+        return SweepPoint(
+            rate, float("inf"), 0.0, True, failed=True,
+        )
     summary = res.latency_summary
     return SweepPoint(
         rate,
@@ -105,6 +121,11 @@ def latency_sweep(
     cache: Optional[ResultCache] = None,
     reporter: Optional[SweepReporter] = None,
     sim_fn: Optional[Callable[[SimulationConfig], SimulationResult]] = None,
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 1.0,
+    on_failure: str = "raise",
+    checkpoint=None,
 ) -> LatencyCurve:
     """Run the simulator across ``rates`` and collect a latency curve.
 
@@ -121,16 +142,29 @@ def latency_sweep(
     callbacks fire.  ``sim_fn`` substitutes the simulator on the inline
     path (the CLI uses it to attach a :mod:`repro.obs` observer); the
     process pool always runs the real uninstrumented worker.
+
+    ``timeout``/``retries``/``backoff``/``on_failure``/``checkpoint``
+    pass straight through to :func:`~repro.eval.runner.run_sweep`; with
+    ``on_failure="record"`` a failed point keeps its slot in the curve
+    as a :class:`SweepPoint` with ``failed=True``.
     """
     configs = [replace(base, injection_rate=rate) for rate in rates]
     points: List[SweepPoint] = []
-    if jobs > 1 or reporter is not None:
+    hardened = (
+        timeout is not None
+        or retries
+        or checkpoint is not None
+        or on_failure != "raise"
+    )
+    if jobs > 1 or reporter is not None or hardened:
         results = run_sweep(
-            configs, jobs=jobs, cache=cache, reporter=reporter, sim_fn=sim_fn
+            configs, jobs=jobs, cache=cache, reporter=reporter, sim_fn=sim_fn,
+            timeout=timeout, retries=retries, backoff=backoff,
+            on_failure=on_failure, checkpoint=checkpoint,
         )
         for rate, res in zip(rates, results):
             points.append(_to_point(rate, res))
-            if stop_after_saturation and res.saturated:
+            if stop_after_saturation and res is not None and res.saturated:
                 break
     else:
         for rate, cfg in zip(rates, configs):

@@ -23,19 +23,29 @@ This module supplies the machinery the per-figure drivers share:
 * :class:`SweepReporter` is a pluggable progress sink;
   :class:`ConsoleReporter` prints points done, cache hits, sims/sec
   and an ETA.
+
+Execution is *hardened*: the parallel path runs one OS process per
+point, so a worker that raises, hangs past ``timeout`` or is killed
+outright fails only its own point -- recorded as a structured
+:class:`PointFailure` (with bounded retry + exponential backoff) while
+the rest of the sweep completes.  Pair with
+:class:`~repro.eval.checkpoint.SweepCheckpoint` for crash-safe
+``--resume`` across whole-process kills.
 """
 
 from __future__ import annotations
 
 import hashlib
+import heapq
 import json
+import multiprocessing as mp
 import os
 import sys
 import time
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
+from multiprocessing import connection as mp_connection
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, TextIO
+from typing import Any, Callable, Dict, List, Optional, Sequence, TextIO
 
 from ..netsim.simulator import (
     SIMULATOR_REV,
@@ -44,6 +54,7 @@ from ..netsim.simulator import (
     run_simulation,
     run_simulation_worker,
 )
+from ..obs.metrics import emit_warning
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -55,6 +66,8 @@ __all__ = [
     "ConsoleReporter",
     "MultiReporter",
     "SweepStats",
+    "PointFailure",
+    "SweepPointError",
     "run_point",
     "run_sweep",
 ]
@@ -88,18 +101,30 @@ def default_cache_path() -> Path:
     )
 
 
+def _entries_checksum(entries: Dict[str, dict]) -> str:
+    """Content checksum of the entry table (detects bit-rot/truncation)."""
+    canonical = json.dumps(entries, sort_keys=True)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:32]
+
+
 class ResultCache:
     """Versioned on-disk memo of completed simulation results.
 
     File layout::
 
-        {"schema": 1, "salt": "sim-rev-1", "entries": {key: payload}}
+        {"schema": 1, "salt": "sim-rev-1", "checksum": "...",
+         "entries": {key: payload}}
 
     A schema or salt mismatch discards the stored entries (stale
-    numbers must never be served); an unreadable file starts empty; an
-    individually corrupt entry is dropped at lookup time and recomputed.
-    Writes go through a temp file + ``os.replace`` so a crash mid-write
-    can never truncate an existing cache.
+    numbers must never be served).  Real *corruption* is never silently
+    swallowed: an unparsable file is quarantined to ``<path>.corrupt``
+    with a structured warning, a checksum mismatch triggers per-entry
+    recovery (individually valid entries survive, bad ones are dropped
+    and counted), and an individually corrupt entry is also dropped at
+    lookup time as a last line of defense.  Files written before the
+    checksum existed load normally.  Writes go through a temp file +
+    ``os.replace`` so a crash mid-write can never truncate an existing
+    cache.
     """
 
     def __init__(self, path: Optional[os.PathLike] = None) -> None:
@@ -110,20 +135,86 @@ class ResultCache:
         self._entries: Dict[str, dict] = {}
         self._load()
 
+    def _quarantine(self, reason: str) -> None:
+        """Preserve a corrupt cache file for inspection instead of
+        letting the next flush overwrite the evidence."""
+        target = Path(f"{self.path}.corrupt")
+        try:
+            os.replace(self.path, target)
+        except OSError as exc:
+            emit_warning(
+                "cache_quarantine_failed",
+                f"sweep cache {self.path} is corrupt ({reason}) and could "
+                f"not be moved aside: {exc}",
+                path=str(self.path),
+                reason=reason,
+            )
+            return
+        emit_warning(
+            "cache_corrupt",
+            f"sweep cache {self.path} is corrupt ({reason}); moved to "
+            f"{target} and starting empty",
+            path=str(self.path),
+            quarantined_to=str(target),
+            reason=reason,
+        )
+
     def _load(self) -> None:
         try:
-            raw = json.loads(self.path.read_text())
-        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            text = self.path.read_text()
+        except FileNotFoundError:
+            return  # first run: nothing cached yet
+        except OSError as exc:
+            emit_warning(
+                "cache_unreadable",
+                f"cannot read sweep cache {self.path}: {exc}; starting empty",
+                path=str(self.path),
+            )
+            return
+        try:
+            raw = json.loads(text)
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            self._quarantine("not valid JSON")
             return
         if not isinstance(raw, dict):
+            self._quarantine("top level is not a JSON object")
             return
         if raw.get("schema") != CACHE_SCHEMA_VERSION or raw.get("salt") != self.salt:
             return  # versioned invalidation: drop stale entries wholesale
         entries = raw.get("entries")
-        if isinstance(entries, dict):
-            self._entries = {
-                k: v for k, v in entries.items() if isinstance(v, dict)
-            }
+        if not isinstance(entries, dict):
+            self._quarantine("entry table missing or malformed")
+            return
+        checksum = raw.get("checksum")
+        if checksum is not None and checksum != _entries_checksum(entries):
+            # The file parsed but its content does not match what was
+            # written (hand edit, concurrent writer, bit-rot).  Recover
+            # whatever still deserializes instead of dropping the lot.
+            good: Dict[str, dict] = {}
+            dropped = 0
+            for k, v in entries.items():
+                if isinstance(v, dict):
+                    try:
+                        SimulationResult.from_payload(v)
+                    except (TypeError, KeyError, ValueError, AttributeError):
+                        dropped += 1
+                        continue
+                    good[k] = v
+                else:
+                    dropped += 1
+            emit_warning(
+                "cache_checksum_mismatch",
+                f"sweep cache {self.path} failed its content checksum; "
+                f"recovered {len(good)} entrie(s), dropped {dropped}",
+                path=str(self.path),
+                recovered=len(good),
+                dropped=dropped,
+            )
+            self._entries = good
+            return
+        self._entries = {
+            k: v for k, v in entries.items() if isinstance(v, dict)
+        }
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -154,22 +245,76 @@ class ResultCache:
         self.flush()
 
     def flush(self) -> None:
-        """Atomically persist the cache; best-effort like CostCache."""
+        """Atomically persist the cache.
+
+        Write-to-temp + ``os.replace`` guarantees the on-disk file is
+        always a complete document -- a crash mid-write leaves the old
+        cache untouched.  A failed flush keeps the in-memory entries and
+        emits a structured warning (results are recomputable, so this is
+        degraded service, not an error).
+        """
         doc = {
             "schema": CACHE_SCHEMA_VERSION,
             "salt": self.salt,
+            "checksum": _entries_checksum(self._entries),
             "entries": self._entries,
         }
         tmp = self.path.with_name(f"{self.path.name}.tmp{os.getpid()}")
         try:
             self.path.parent.mkdir(parents=True, exist_ok=True)
-            tmp.write_text(json.dumps(doc, indent=1))
+            with open(tmp, "w") as fh:
+                fh.write(json.dumps(doc, indent=1))
+                fh.flush()
+                os.fsync(fh.fileno())
             os.replace(tmp, self.path)
-        except OSError:
+        except OSError as exc:
+            emit_warning(
+                "cache_flush_failed",
+                f"cannot persist sweep cache to {self.path}: {exc} "
+                "(results stay in memory for this run)",
+                path=str(self.path),
+            )
             try:
                 tmp.unlink(missing_ok=True)
             except OSError:
                 pass
+
+
+@dataclass
+class PointFailure:
+    """Structured record of one sweep point that could not be computed.
+
+    ``kind`` is ``"exception"`` (the worker raised), ``"crash"`` (the
+    worker process died without reporting -- killed, OOM, segfault) or
+    ``"timeout"`` (exceeded the per-point wall-clock budget).
+    ``detail`` carries machine-readable context when available, e.g. a
+    watchdog deadlock snapshot.
+    """
+
+    index: int  # position in the sweep's config list
+    key: str  # salted config key (joins cache/checkpoint records)
+    kind: str  # "exception" | "crash" | "timeout"
+    error: str  # exception type name or synthetic code
+    message: str
+    attempts: int  # total attempts made (1 = failed without retry)
+    injection_rate: float = float("nan")
+    detail: Optional[Dict[str, Any]] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+class SweepPointError(RuntimeError):
+    """Raised by :func:`run_sweep` (``on_failure="raise"``) when a point
+    exhausts its attempts; ``failure`` holds the structured record."""
+
+    def __init__(self, failure: PointFailure) -> None:
+        super().__init__(
+            f"sweep point {failure.index} failed after "
+            f"{failure.attempts} attempt(s): [{failure.kind}] "
+            f"{failure.error}: {failure.message}"
+        )
+        self.failure = failure
 
 
 @dataclass
@@ -179,7 +324,13 @@ class SweepStats:
     total: int
     completed: int = 0
     cache_hits: int = 0
+    retries: int = 0
+    failures: List[PointFailure] = field(default_factory=list)
     started_at: float = field(default_factory=time.monotonic)
+
+    @property
+    def failed(self) -> int:
+        return len(self.failures)
 
     @property
     def simulated(self) -> int:
@@ -224,6 +375,11 @@ class SweepReporter:
     ) -> None:  # pragma: no cover
         pass
 
+    def point_failed(
+        self, cfg: SimulationConfig, failure: PointFailure, stats: SweepStats,
+    ) -> None:  # pragma: no cover
+        pass
+
     def sweep_finished(self, stats: SweepStats) -> None:  # pragma: no cover
         pass
 
@@ -246,6 +402,10 @@ class MultiReporter(SweepReporter):
     def point_done(self, cfg, result, cached, stats) -> None:
         for r in self.reporters:
             r.point_done(cfg, result, cached, stats)
+
+    def point_failed(self, cfg, failure, stats) -> None:
+        for r in self.reporters:
+            r.point_failed(cfg, failure, stats)
 
     def sweep_finished(self, stats: SweepStats) -> None:
         for r in self.reporters:
@@ -275,11 +435,21 @@ class ConsoleReporter(SweepReporter):
             f"{stats.sims_per_sec:5.2f} sims/s  eta {eta_text}"
         )
 
+    def point_failed(self, cfg, failure, stats) -> None:
+        self._emit(
+            f"  [{stats.completed:>3}/{stats.total}] "
+            f"rate={cfg.injection_rate:.3f}       FAILED  "
+            f"[{failure.kind}] {failure.error}: {failure.message} "
+            f"(after {failure.attempts} attempt(s))"
+        )
+
     def sweep_finished(self, stats: SweepStats) -> None:
+        failed = f", {stats.failed} failed" if stats.failed else ""
+        retried = f", {stats.retries} retrie(s)" if stats.retries else ""
         self._emit(
             f"sweep done: {stats.completed} point(s) in {stats.elapsed:.1f}s "
             f"({stats.cache_hits} from cache, "
-            f"{stats.sims_per_sec:.2f} sims/s)"
+            f"{stats.sims_per_sec:.2f} sims/s{failed}{retried})"
         )
 
 
@@ -299,29 +469,219 @@ def run_point(
     return result
 
 
+def _point_entry(conn, worker_fn, cfg_dict) -> None:
+    """Child-process entry: run one point, report through the pipe.
+
+    Every outcome is reduced to a picklable tuple; an exception's
+    ``snapshot`` attribute (e.g. a watchdog deadlock snapshot) rides
+    along as machine-readable detail.
+    """
+    try:
+        payload = worker_fn(cfg_dict)
+        conn.send(("ok", payload))
+    except BaseException as exc:  # report everything; the parent judges
+        detail = getattr(exc, "snapshot", None)
+        if detail is not None and not isinstance(detail, dict):
+            detail = None
+        try:
+            conn.send(("error", type(exc).__name__, str(exc), detail))
+        except Exception:
+            pass  # parent is gone or detail unpicklable; exit silently
+    finally:
+        conn.close()
+
+
+def _run_hardened_pool(
+    configs: Sequence[SimulationConfig],
+    pending: List[int],
+    jobs: int,
+    record: Callable[[int, SimulationResult], None],
+    fail: Callable[[int, str, str, str, Optional[dict], int], None],
+    stats: SweepStats,
+    timeout: Optional[float],
+    retries: int,
+    backoff: float,
+    worker_fn: Callable[[dict], dict],
+) -> None:
+    """One process per point with crash/timeout isolation.
+
+    Unlike a shared executor, a worker that dies (or is killed past its
+    deadline) takes down exactly one attempt: the point is retried with
+    exponential backoff until its attempt budget runs out, then handed
+    to ``fail`` -- which either records a :class:`PointFailure` or
+    raises, per the sweep's ``on_failure`` policy.
+    """
+    ctx = mp.get_context()
+    # (not-before time, index, attempt#) -- a heap so backoff-delayed
+    # retries interleave correctly with first attempts.
+    ready: List[tuple] = [(0.0, i, 1) for i in pending]
+    heapq.heapify(ready)
+    running: Dict[Any, tuple] = {}  # recv conn -> (index, attempt, proc, deadline)
+
+    def launch(index: int, attempt: int) -> None:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_point_entry,
+            args=(send_conn, worker_fn, configs[index].to_dict()),
+            daemon=True,
+        )
+        proc.start()
+        send_conn.close()  # child holds the write end now
+        deadline = time.monotonic() + timeout if timeout is not None else None
+        running[recv_conn] = (index, attempt, proc, deadline)
+
+    def reap(proc) -> None:
+        proc.join(timeout=5.0)
+        if proc.is_alive():  # pragma: no cover - pathological worker
+            proc.kill()
+            proc.join(timeout=5.0)
+
+    def handle_failure(
+        index: int, attempt: int, kind: str, error: str,
+        message: str, detail: Optional[dict],
+    ) -> None:
+        if attempt <= retries:
+            stats.retries += 1
+            delay = backoff * (2 ** (attempt - 1))
+            heapq.heappush(ready, (time.monotonic() + delay, index, attempt + 1))
+            return
+        fail(index, kind, error, message, detail, attempt)
+
+    try:
+        while ready or running:
+            now = time.monotonic()
+            while ready and len(running) < jobs and ready[0][0] <= now:
+                _, index, attempt = heapq.heappop(ready)
+                launch(index, attempt)
+
+            waits: List[float] = []
+            if ready and len(running) < jobs:
+                waits.append(max(ready[0][0] - now, 0.0))
+            for _, _, _, deadline in running.values():
+                if deadline is not None:
+                    waits.append(max(deadline - now, 0.0))
+            wait_for = min(waits) if waits else None
+
+            if running:
+                readable = mp_connection.wait(list(running), timeout=wait_for)
+            else:
+                # Nothing in flight; sleep until the next retry is due.
+                if wait_for:
+                    time.sleep(wait_for)
+                continue
+
+            for conn in readable:
+                index, attempt, proc, _ = running.pop(conn)
+                try:
+                    msg = conn.recv()
+                except (EOFError, OSError):
+                    msg = None  # died without reporting
+                conn.close()
+                reap(proc)
+                if msg is None:
+                    handle_failure(
+                        index, attempt, "crash", "WorkerCrashed",
+                        f"worker process exited with code {proc.exitcode} "
+                        "before reporting a result", None,
+                    )
+                elif msg[0] == "ok":
+                    record(index, SimulationResult.from_payload(msg[1]))
+                else:
+                    _, etype, emessage, detail = msg
+                    handle_failure(
+                        index, attempt, "exception", etype, emessage, detail
+                    )
+
+            if timeout is not None:
+                now = time.monotonic()
+                expired = [
+                    conn
+                    for conn, (_, _, _, deadline) in running.items()
+                    if deadline is not None and deadline <= now
+                ]
+                for conn in expired:
+                    index, attempt, proc, _ = running.pop(conn)
+                    proc.terminate()
+                    reap(proc)
+                    conn.close()
+                    handle_failure(
+                        index, attempt, "timeout", "PointTimeout",
+                        f"exceeded the {timeout:g}s wall-clock budget", None,
+                    )
+    finally:
+        # On abort (on_failure="raise" or KeyboardInterrupt), don't
+        # leave orphaned simulations burning CPU.
+        for conn, (_, _, proc, _) in running.items():
+            proc.terminate()
+            conn.close()
+        for _, (_, _, proc, _) in running.items():
+            reap(proc)
+
+
 def run_sweep(
     configs: Sequence[SimulationConfig],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     reporter: Optional[SweepReporter] = None,
     sim_fn: Optional[Callable[[SimulationConfig], SimulationResult]] = None,
-) -> List[SimulationResult]:
+    timeout: Optional[float] = None,
+    retries: int = 0,
+    backoff: float = 1.0,
+    on_failure: str = "raise",
+    checkpoint=None,
+    worker_fn: Optional[Callable[[dict], dict]] = None,
+) -> List[Optional[SimulationResult]]:
     """Evaluate every config, in input order, cache-first.
 
-    ``jobs > 1`` fans cache misses out across a process pool; results
+    ``jobs > 1`` fans cache misses out across worker processes; results
     are bit-identical to a serial run because each point is seeded only
     by its own config.  ``sim_fn`` substitutes the simulator for the
-    *inline* path (tests inject analytic models); the process pool
-    always runs the real :func:`run_simulation_worker`.
+    *inline* path (tests inject analytic models); the process pool runs
+    ``worker_fn`` (default: the real :func:`run_simulation_worker`),
+    which must be an importable module-level callable.
+
+    Hardening:
+
+    * ``timeout`` -- per-point wall-clock budget in seconds.  Enforced
+      by running points in their own processes, so a non-``None``
+      timeout routes even ``jobs=1`` sweeps through the pool (unless
+      ``sim_fn`` pins them inline).
+    * ``retries``/``backoff`` -- each failed point is retried up to
+      ``retries`` more times, delayed ``backoff * 2**(attempt-1)``
+      seconds.
+    * ``on_failure`` -- ``"raise"`` (default) aborts the sweep with
+      :class:`SweepPointError` on the first exhausted point;
+      ``"record"`` appends a :class:`PointFailure` to
+      ``stats.failures``, leaves that result slot ``None`` and lets the
+      rest of the sweep complete.
+    * ``checkpoint`` -- a
+      :class:`~repro.eval.checkpoint.SweepCheckpoint`: completed points
+      are journaled as they land and recovered points are served
+      without recomputation, so a sweep killed mid-flight resumes where
+      it stopped.
     """
+    if on_failure not in ("raise", "record"):
+        raise ValueError(f"on_failure must be 'raise' or 'record', got {on_failure!r}")
     reporter = reporter or NullReporter()
     stats = SweepStats(total=len(configs))
     reporter.sweep_started(stats)
 
     results: List[Optional[SimulationResult]] = [None] * len(configs)
+    keys = [config_key(cfg, cache.salt if cache is not None else None)
+            for cfg in configs]
     pending: List[int] = []
     for i, cfg in enumerate(configs):
         hit = cache.get(cfg) if cache is not None else None
+        if hit is None and checkpoint is not None:
+            payload = checkpoint.recovered.get(keys[i])
+            if payload is not None:
+                try:
+                    hit = SimulationResult.from_payload(payload)
+                except (TypeError, KeyError, ValueError, AttributeError):
+                    hit = None
+                else:
+                    if cache is not None:
+                        cache.put(cfg, hit)
         if hit is not None:
             results[i] = hit
             stats.completed += 1
@@ -334,24 +694,67 @@ def run_sweep(
         results[i] = result
         if cache is not None:
             cache.put(configs[i], result)
+        if checkpoint is not None:
+            checkpoint.record(keys[i], result.to_payload())
         stats.completed += 1
         reporter.point_done(configs[i], result, False, stats)
 
-    if pending and jobs > 1:
-        with ProcessPoolExecutor(max_workers=jobs) as pool:
-            futures = {
-                pool.submit(run_simulation_worker, configs[i].to_dict()): i
-                for i in pending
-            }
-            outstanding = set(futures)
-            while outstanding:
-                done, outstanding = wait(outstanding, return_when=FIRST_COMPLETED)
-                for fut in done:
-                    record(futures[fut], SimulationResult.from_payload(fut.result()))
-    else:
-        fn = sim_fn or run_simulation
-        for i in pending:
-            record(i, fn(configs[i]))
+    def fail(
+        i: int, kind: str, error: str, message: str,
+        detail: Optional[dict], attempts: int,
+    ) -> None:
+        failure = PointFailure(
+            index=i,
+            key=keys[i],
+            kind=kind,
+            error=error,
+            message=message,
+            attempts=attempts,
+            injection_rate=configs[i].injection_rate,
+            detail=detail,
+        )
+        if on_failure == "raise":
+            raise SweepPointError(failure)
+        stats.failures.append(failure)
+        stats.completed += 1
+        reporter.point_failed(configs[i], failure, stats)
 
+    use_pool = pending and sim_fn is None and (jobs > 1 or timeout is not None)
+    try:
+        if use_pool:
+            _run_hardened_pool(
+                configs, pending, max(jobs, 1), record, fail, stats,
+                timeout, retries, backoff, worker_fn or run_simulation_worker,
+            )
+        else:
+            fn = sim_fn or run_simulation
+            for i in pending:
+                attempt = 0
+                while True:
+                    attempt += 1
+                    try:
+                        result = fn(configs[i])
+                    except Exception as exc:
+                        if attempt <= retries:
+                            stats.retries += 1
+                            time.sleep(backoff * (2 ** (attempt - 1)))
+                            continue
+                        detail = getattr(exc, "snapshot", None)
+                        if detail is not None and not isinstance(detail, dict):
+                            detail = None
+                        fail(i, "exception", type(exc).__name__, str(exc),
+                             detail, attempt)
+                        break
+                    else:
+                        record(i, result)
+                        break
+    finally:
+        # Aborted or not, never leave the journal handle open; an
+        # aborted sweep keeps its file so --resume can pick it up.
+        if checkpoint is not None:
+            checkpoint.close()
+
+    if checkpoint is not None and stats.failed == 0:
+        checkpoint.complete()  # finished cleanly: nothing left to resume
     reporter.sweep_finished(stats)
-    return results  # type: ignore[return-value]  # every slot is filled
+    return results

@@ -1,0 +1,177 @@
+"""Livelock/deadlock watchdog for the simulation driver.
+
+Fault injection can make a run *unable* to finish: a permanent link
+fault on the only legal path of a DOR route, or a stuck VC holding the
+last escape channel, leaves flits parked forever.  Without a watchdog
+such a run silently burns every configured cycle and then reports
+nonsense statistics.  With one, the driver aborts early with a
+:class:`WatchdogError` carrying a structured snapshot of where traffic
+is stuck -- per-router occupancy, a sample of stranded packets and the
+faults active at the time -- which is exactly what the sweep layer
+records as a structured point failure.
+
+Progress is measured as ``injected + ejected + switch grants``: any
+flit entering the fabric, leaving it, or moving between routers bumps
+the counter.  The watchdog polls every few cycles (cost amortized; the
+fault-free path never constructs one) and fires when the counter has
+been flat for at least ``limit`` cycles while work is still pending
+(flits in flight or source backlog).  An idle network -- nothing in
+flight, nothing queued -- never trips it, so low-rate drains are safe.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.network import Network
+
+__all__ = ["Watchdog", "WatchdogError", "deadlock_snapshot"]
+
+#: Cap on the cycles between polls; actual cadence is
+#: ``min(limit, _MAX_POLL_INTERVAL)`` so small limits stay precise and
+#: large limits stay cheap.  Detection latency is at most one interval
+#: beyond ``limit``.
+_MAX_POLL_INTERVAL = 64
+
+#: Snapshot size caps -- diagnostics, not a full core dump.
+_MAX_ROUTERS_IN_SNAPSHOT = 16
+_MAX_STALLED_PACKETS = 12
+
+
+class WatchdogError(RuntimeError):
+    """Raised when the fabric makes no progress for too long.
+
+    ``snapshot`` holds the JSON-able diagnostic dict from
+    :func:`deadlock_snapshot`.
+    """
+
+    def __init__(self, message: str, snapshot: Dict[str, Any]) -> None:
+        super().__init__(message)
+        self.snapshot = snapshot
+
+    def __reduce__(self):
+        # Default exception pickling replays __init__ with self.args
+        # (one element), which would drop the snapshot.
+        return (WatchdogError, (str(self), self.snapshot))
+
+
+def deadlock_snapshot(net: "Network", stall_cycles: int) -> Dict[str, Any]:
+    """Summarize where traffic is stuck (JSON-able, size-capped)."""
+    routers = []
+    for r in net.routers:
+        occ = sum(
+            ivc.occupancy for port in r.input_vcs for ivc in port
+        )
+        if occ:
+            routers.append(
+                {
+                    "router": r.id,
+                    "buffered_flits": occ,
+                    "busy_vcs": len(r._busy),
+                }
+            )
+    routers.sort(key=lambda row: -row["buffered_flits"])
+
+    stalled = []
+    for r in net.routers:
+        for p, port_vcs in enumerate(r.input_vcs):
+            for v, ivc in enumerate(port_vcs):
+                front = ivc.front
+                if front is None:
+                    continue
+                pkt = front.packet
+                stalled.append(
+                    {
+                        "pid": pkt.pid,
+                        "src": pkt.src,
+                        "dest": pkt.dest,
+                        "router": r.id,
+                        "in_port": p,
+                        "in_vc": v,
+                        "out_port": ivc.output_port
+                        if ivc.output_vc >= 0
+                        else front.out_port,
+                        "state": "active"
+                        if ivc.output_vc >= 0
+                        else ("routing" if front.out_port < 0 else "vc_alloc"),
+                    }
+                )
+                if len(stalled) >= _MAX_STALLED_PACKETS:
+                    break
+            if len(stalled) >= _MAX_STALLED_PACKETS:
+                break
+        if len(stalled) >= _MAX_STALLED_PACKETS:
+            break
+
+    snapshot: Dict[str, Any] = {
+        "cycle": net.time,
+        "stall_cycles": stall_cycles,
+        "in_flight_flits": net.in_flight_flits(),
+        "source_backlog": net.total_backlog(),
+        "occupied_routers": len(routers),
+        "router_occupancy": routers[:_MAX_ROUTERS_IN_SNAPSHOT],
+        "stalled_packets": stalled,
+    }
+    fs = getattr(net, "fault_state", None)
+    if fs is not None:
+        snapshot["active_link_faults"] = [
+            {"router": r, "port": p}
+            for r, p in fs.active_link_faults(net.time)
+        ]
+        snapshot["fault_counters"] = fs.summary()
+    return snapshot
+
+
+class Watchdog:
+    """Polls a network for forward progress; raises when it stalls."""
+
+    def __init__(self, net: "Network", limit: int) -> None:
+        if limit < 1:
+            raise ValueError("watchdog limit must be >= 1 cycle")
+        self.limit = int(limit)
+        self.interval = min(self.limit, _MAX_POLL_INTERVAL)
+        self._last_progress = self._progress(net)
+        self._progress_cycle = net.time
+        self._next_poll = net.time + self.interval
+
+    @staticmethod
+    def _progress(net: "Network") -> int:
+        return (
+            net.total_injected_flits()
+            + net.total_ejected_flits()
+            + sum(r.switch_grants for r in net.routers)
+        )
+
+    def poll(self, net: "Network") -> None:
+        """Cheap per-cycle hook; does real work every ``interval``.
+
+        Raises :class:`WatchdogError` when no flit has been injected,
+        ejected or granted the switch for at least ``limit`` cycles
+        while flits are in flight or sources are backlogged.
+        """
+        now = net.time
+        if now < self._next_poll:
+            return
+        self._next_poll = now + self.interval
+
+        progress = self._progress(net)
+        if progress != self._last_progress:
+            self._last_progress = progress
+            self._progress_cycle = now
+            return
+
+        stalled = now - self._progress_cycle
+        if stalled < self.limit:
+            return
+        if net.in_flight_flits() == 0 and net.total_backlog() == 0:
+            # Idle, not deadlocked (e.g. a long drain after low load).
+            self._progress_cycle = now
+            return
+        snapshot = deadlock_snapshot(net, stalled)
+        raise WatchdogError(
+            f"no forward progress for {stalled} cycles at cycle {now} "
+            f"({snapshot['in_flight_flits']} flits in flight, "
+            f"{snapshot['source_backlog']} packets backlogged)",
+            snapshot,
+        )

@@ -60,6 +60,18 @@ class InputVC:
         if len(self.queue) > self.high_water:
             self.high_water = len(self.queue)
 
+    def force_push(self, flit: Flit) -> None:
+        """Append past the depth limit.
+
+        Only the fault injector uses this: a duplicated credit can let
+        the upstream router legitimately overrun this buffer, and the
+        overflow is the fault's observable effect rather than a
+        flow-control bug (the router counts it as ``buffer_overflows``).
+        """
+        self.queue.append(flit)
+        if len(self.queue) > self.high_water:
+            self.high_water = len(self.queue)
+
     def assign_output(self, port: int, vc: int) -> None:
         self.output_port = port
         self.output_vc = vc

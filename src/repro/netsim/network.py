@@ -41,6 +41,12 @@ class Network:
         self.on_delivery: Optional[Callable[[Packet, int], None]] = None
         # Optional repro.obs instrumentation (None = zero overhead).
         self.observer: Optional["SimObserver"] = None
+        # Optional repro.faults injection (None = fault-free fast path).
+        self.fault_state = None
+        # True only when the attached fault state schedules credit
+        # faults; keeps the per-credit delivery loop on a single local
+        # truthiness check otherwise.
+        self._credit_faults_armed = False
 
     def attach_observer(self, observer: Optional["SimObserver"]) -> None:
         """Wire one observer into the network, every router and every
@@ -50,6 +56,16 @@ class Network:
             router.observer = observer
         for terminal in self.terminals:
             terminal.observer = observer
+
+    def attach_fault_state(self, fault_state) -> None:
+        """Wire a :class:`repro.faults.FaultState` into the network and
+        every router (pass ``None`` to detach)."""
+        self.fault_state = fault_state
+        self._credit_faults_armed = (
+            fault_state is not None and fault_state.has_credit_faults
+        )
+        for router in self.routers:
+            router.attach_fault_state(fault_state)
 
     # ------------------------------------------------------------------
     # event scheduling (called by routers/terminals)
@@ -79,11 +95,26 @@ class Network:
                 obj.receive_flit(self, port, vc, flit)
             else:  # terminal ejection
                 obj.receive_flit(self, vc, flit, now)
-        for kind, obj, port, vc in self._credit_events.pop(now, ()):
-            if kind == "router":
-                obj.receive_credit(port, vc)
-            else:
-                obj.receive_credit(vc)
+        if self._credit_faults_armed:
+            fs = self.fault_state
+            for kind, obj, port, vc in self._credit_events.pop(now, ()):
+                if kind == "router":
+                    event = fs.credit_event(obj.id, port, vc, now)
+                    if event is not None:
+                        if event == "drop":
+                            fs.counters["credits_dropped"] += 1
+                            continue  # the credit vanishes in transit
+                        fs.counters["credits_duplicated"] += 1
+                        obj.receive_credit(port, vc)
+                    obj.receive_credit(port, vc)
+                else:
+                    obj.receive_credit(vc)
+        else:
+            for kind, obj, port, vc in self._credit_events.pop(now, ()):
+                if kind == "router":
+                    obj.receive_credit(port, vc)
+                else:
+                    obj.receive_credit(vc)
 
         for term in self.terminals:
             term.step(self, now)
@@ -119,6 +150,32 @@ class Network:
 
     def total_backlog(self) -> int:
         return sum(t.backlog for t in self.terminals)
+
+    def total_switch_grants(self) -> int:
+        return sum(r.switch_grants for r in self.routers)
+
+    def stranded_packets(self) -> int:
+        """Distinct packets with flits still inside the fabric.
+
+        After the drain phase this is the count of packets that faults
+        (or genuine deadlock) left stuck -- the ``packets_lost`` figure
+        on :class:`~repro.netsim.simulator.SimulationResult`.  Source
+        backlog is excluded: packets never injected are a throughput
+        degradation, not a loss.
+        """
+        pids = set()
+        for r in self.routers:
+            for port in r.input_vcs:
+                for ivc in port:
+                    for flit in ivc.queue:
+                        pids.add(flit.packet.pid)
+        for events in self._flit_events.values():
+            for _, _, _, _, flit in events:
+                pids.add(flit.packet.pid)
+        for t in self.terminals:
+            for flit in t._flits:
+                pids.add(flit.packet.pid)
+        return len(pids)
 
     def channel_utilization(self) -> Dict[Tuple[int, int], float]:
         """Flits per cycle sent on each router-to-router channel.

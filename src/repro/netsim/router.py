@@ -114,6 +114,34 @@ class Router:
         # null-object fast path: every hook site below is one attribute
         # load + identity check when observability is disabled.
         self.observer: Optional["SimObserver"] = None
+        # Optional fault injection (repro.faults), wired the same way:
+        # ``None`` keeps every hook below to one identity check, so
+        # fault-free runs are bit-identical to pre-fault builds.
+        self.fault_state = None
+        # Precomputed {output port: frozenset(stuck vcs)} for this
+        # router (None when it has no stuck VCs), set by
+        # attach_fault_state().
+        self._stuck_by_port = None
+
+    # ------------------------------------------------------------------
+    def attach_fault_state(self, fault_state) -> None:
+        """Wire a :class:`repro.faults.FaultState` into this router.
+
+        Precomputes the per-router views (stuck-VC map, allocator-level
+        VC mask) so the per-cycle cost in fault mode stays proportional
+        to the faults that actually touch this router.
+        """
+        self.fault_state = fault_state
+        if fault_state is None:
+            self._stuck_by_port = None
+            self.vc_alloc.fault_mask = None
+            self.sw_alloc.fault_mask = None
+            return
+        self._stuck_by_port = fault_state.stuck_by_port(self.id)
+        # Defense in depth: the allocator itself also refuses stuck VCs,
+        # so a future request-generation change cannot silently grant
+        # a faulted resource.
+        self.vc_alloc.fault_mask = fault_state.stuck_flat(self.id, self.num_vcs)
 
     # ------------------------------------------------------------------
     # wiring (topology builder API)
@@ -144,15 +172,31 @@ class Router:
                 flit.out_port = self.route_fn(network, self, flit.packet)
             else:
                 flit.out_port = -1  # routed in a dedicated pipeline cycle
-        self.input_vcs[port][vc].push(flit)
+        ivc = self.input_vcs[port][vc]
+        fs = self.fault_state
+        if fs is not None and len(ivc.queue) >= ivc.depth:
+            # A duplicated credit let the upstream router overrun this
+            # buffer.  Absorb the flit (one elastic slot) and count it
+            # instead of tearing the run down -- the overflow is the
+            # injected fault's observable effect, not a model bug.
+            fs.counters["buffer_overflows"] += 1
+            ivc.force_push(flit)
+        else:
+            ivc.push(flit)
         self._busy.add((port, vc))
         if self.observer is not None:
             self.observer.flit_arrived(self.id, port, vc, flit, network.time)
 
     def receive_credit(self, port: int, vc: int) -> None:
-        self.credits[port][vc] += 1
-        if self.credits[port][vc] > self.buffer_depth:
+        if self.credits[port][vc] >= self.buffer_depth:
+            fs = self.fault_state
+            if fs is not None:
+                # Duplicated credit beyond buffer capacity: clamp so the
+                # counter stays meaningful, but record the excess.
+                fs.counters["credit_overflows_absorbed"] += 1
+                return
             raise RuntimeError("credit overflow: flow-control accounting bug")
+        self.credits[port][vc] += 1
 
     # ------------------------------------------------------------------
     # one allocation cycle
@@ -172,6 +216,18 @@ class Router:
             wins0 = self.speculative_wins
             miss0 = self.misspeculations
 
+        fs = self.fault_state
+        if fs is not None:
+            # Link faults active this cycle: mask the affected output
+            # ports at both the request-generation level (below) and
+            # inside the switch allocator (backstop).
+            blocked = fs.blocked_ports(self.id, now)
+            self.sw_alloc.fault_mask = blocked
+            stuck = self._stuck_by_port
+        else:
+            blocked = None
+            stuck = None
+
         any_va = False
         any_ns = False
         any_sp = False
@@ -182,6 +238,9 @@ class Router:
             front = ivc.queue[0]
             if ivc.output_vc >= 0:
                 # Active: bid non-speculatively if a credit exists.
+                if blocked is not None and ivc.output_port in blocked:
+                    fs.counters["link_blocked_requests"] += 1
+                    continue  # link down: the flit waits in place
                 if self.credits[ivc.output_port][ivc.output_vc] > 0:
                     ns_req[p][v] = ivc.output_port
                     any_ns = True
@@ -197,6 +256,9 @@ class Router:
                 # Waiting for VC allocation: request free legal VCs
                 # at the routed output port, and bid speculatively.
                 q = front.out_port
+                if blocked is not None and q in blocked:
+                    fs.counters["link_blocked_requests"] += 1
+                    continue  # link down: don't bid for a VC there yet
                 pkt = front.packet
                 holders = self.output_holder[q]
                 cands = tuple(
@@ -204,6 +266,17 @@ class Router:
                     for u in part.class_vcs(pkt.message_class, pkt.resource_class)
                     if holders[u] is None
                 )
+                if stuck is not None and cands:
+                    stuck_here = stuck.get(q)
+                    if stuck_here:
+                        kept = tuple(
+                            u
+                            for u in cands
+                            if u not in stuck_here
+                            or not fs.vc_stuck(self.id, q, u, now)
+                        )
+                        fs.counters["stuck_vc_masked"] += len(cands) - len(kept)
+                        cands = kept
                 if cands:
                     va_req[p * V + v] = VCRequest(q, cands)
                     waiting.append((p, v))

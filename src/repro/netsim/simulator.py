@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, fields
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
+from ..faults.plan import FaultPlan
+from ..faults.watchdog import Watchdog
 from .flit import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -68,6 +70,14 @@ class SimulationConfig:
     # Lookahead routing (paper default).  False adds a routing pipeline
     # stage for head flits (ablation baseline).
     lookahead: bool = True
+    # Fault injection (repro.faults); None is the fault-free fast path
+    # and serializes exactly as pre-fault configs did, so existing
+    # caches and goldens stay valid.
+    faults: Optional[FaultPlan] = None
+    # Livelock/deadlock watchdog: abort with a diagnostic snapshot when
+    # no flit moves for this many cycles while work is pending.  0
+    # disables the watchdog (and is omitted from the serialized form).
+    watchdog_cycles: int = 0
 
     @property
     def packet_rate(self) -> float:
@@ -75,8 +85,20 @@ class SimulationConfig:
         return self.injection_rate / FLITS_PER_TRANSACTION
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-dict form (JSON- and pickle-friendly)."""
-        return asdict(self)
+        """Plain-dict form (JSON- and pickle-friendly).
+
+        The fault fields are *omitted* at their disabled defaults so the
+        serialized form -- and therefore every cache key derived from it
+        -- is byte-identical to what pre-fault builds produced.
+        """
+        out = asdict(self)
+        if self.faults is None:
+            del out["faults"]
+        else:
+            out["faults"] = self.faults.to_dict()
+        if self.watchdog_cycles == 0:
+            del out["watchdog_cycles"]
+        return out
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "SimulationConfig":
@@ -86,7 +108,11 @@ class SimulationConfig:
         extra config fields) can still be read where that is safe.
         """
         known = {f.name for f in fields(cls)}
-        return cls(**{k: v for k, v in data.items() if k in known})
+        kwargs = {k: v for k, v in data.items() if k in known}
+        faults = kwargs.get("faults")
+        if faults is not None and not isinstance(faults, FaultPlan):
+            kwargs["faults"] = FaultPlan.from_dict(faults)
+        return cls(**kwargs)
 
 
 @dataclass
@@ -105,6 +131,13 @@ class SimulationResult:
     latency_by_class: Dict[int, float] = field(default_factory=dict)
     latency_summary: Optional[LatencySummary] = None
     latency_stderr: float = float("nan")
+    # Fault-injection outcomes.  Computed only when the config carries a
+    # non-empty FaultPlan; fault-free runs report the defaults, so cache
+    # entries written before these fields existed deserialize to the
+    # same values a fresh fault-free run produces.
+    degraded_throughput: float = 1.0  # accepted/injected flit-rate ratio
+    packets_lost: int = 0  # packets stranded in the fabric after drain
+    fault_counters: Dict[str, int] = field(default_factory=dict)
 
     def __str__(self) -> str:
         state = " (saturated)" if self.saturated else ""
@@ -137,6 +170,12 @@ class SimulationResult:
             out["p50"] = self.latency_summary.p50
             out["p95"] = self.latency_summary.p95
             out["p99"] = self.latency_summary.p99
+        if self.fault_counters:
+            # Present only for fault-injected runs, so fault-free sweep
+            # logs keep their exact pre-fault shape.
+            out["degraded_throughput"] = self.degraded_throughput
+            out["packets_lost"] = self.packets_lost
+            out["fault_counters"] = dict(self.fault_counters)
         return out
 
     def to_payload(self) -> Dict[str, Any]:
@@ -246,6 +285,16 @@ def run_simulation(
         observer.run_started(cfg)
         net.attach_observer(observer)
 
+    fault_state = None
+    if cfg.faults is not None and not cfg.faults.is_empty:
+        horizon = cfg.warmup_cycles + cfg.measure_cycles + cfg.drain_cycles
+        fault_state = cfg.faults.materialize(
+            [r.num_ports for r in net.routers],
+            net.routers[0].num_vcs,
+            horizon,
+        )
+        net.attach_fault_state(fault_state)
+
     measured: List[Packet] = []
     window_start = cfg.warmup_cycles
     window_end = cfg.warmup_cycles + cfg.measure_cycles
@@ -256,15 +305,26 @@ def run_simulation(
 
     net.on_delivery = on_delivery
 
-    net.run(cfg.warmup_cycles)
+    if cfg.watchdog_cycles > 0:
+        watchdog = Watchdog(net, cfg.watchdog_cycles)
+
+        def run_cycles(n: int) -> None:
+            for _ in range(n):
+                net.step()
+                watchdog.poll(net)
+
+    else:
+        run_cycles = net.run  # fault-free fast path: unchanged loop
+
+    run_cycles(cfg.warmup_cycles)
     inj0 = net.total_injected_flits()
     ej0 = net.total_ejected_flits()
     backlog0 = net.total_backlog()
-    net.run(cfg.measure_cycles)
+    run_cycles(cfg.measure_cycles)
     inj1 = net.total_injected_flits()
     ej1 = net.total_ejected_flits()
     backlog1 = net.total_backlog()
-    net.run(cfg.drain_cycles)
+    run_cycles(cfg.drain_cycles)
     if observer is not None:
         observer.run_finished(net, cfg)
 
@@ -302,6 +362,17 @@ def run_simulation(
         or (expected_measured > 0 and len(measured) < 0.75 * expected_measured)
     )
 
+    if fault_state is not None:
+        degraded_throughput = (
+            accepted_rate / injected_rate if injected_rate > 0 else 1.0
+        )
+        packets_lost = net.stranded_packets()
+        fault_counters = fault_state.summary()
+    else:
+        degraded_throughput = 1.0
+        packets_lost = 0
+        fault_counters = {}
+
     return SimulationResult(
         config=cfg,
         avg_latency=avg_latency,
@@ -315,4 +386,7 @@ def run_simulation(
         latency_by_class=latency_by_class,
         latency_summary=summary,
         latency_stderr=stderr,
+        degraded_throughput=degraded_throughput,
+        packets_lost=packets_lost,
+        fault_counters=fault_counters,
     )

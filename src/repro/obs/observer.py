@@ -135,6 +135,16 @@ class SimObserver:
         """Final sample at the end of a run (so cumulative counters are
         complete even when the run length is not a sampling multiple)."""
         self.sample(network, network.time)
+        fault_state = getattr(network, "fault_state", None)
+        if fault_state is not None:
+            self._write_row(
+                {
+                    "kind": "fault_counters",
+                    "cycle": network.time,
+                    "ctx": dict(self._ctx),
+                    "value": fault_state.summary(),
+                }
+            )
         if self.tracer is not None:
             delta = LatencyBreakdown(
                 **{

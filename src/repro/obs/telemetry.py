@@ -101,6 +101,19 @@ class JsonlReporter(SweepReporter):
             }
         )
 
+    def point_failed(self, cfg, failure, stats: SweepStats) -> None:
+        self._write(
+            {
+                "kind": "point_failed",
+                "key": config_key(cfg),
+                "config": cfg.to_dict(),
+                "failure": failure.to_dict(),
+                "completed": stats.completed,
+                "total": stats.total,
+                "elapsed_s": stats.elapsed,
+            }
+        )
+
     def sweep_finished(self, stats: SweepStats) -> None:
         self._write(
             {
@@ -109,6 +122,8 @@ class JsonlReporter(SweepReporter):
                 "total": stats.total,
                 "cache_hits": stats.cache_hits,
                 "simulated": stats.simulated,
+                "failed": stats.failed,
+                "retries": stats.retries,
                 "elapsed_s": stats.elapsed,
                 "sims_per_sec": stats.sims_per_sec,
                 "ts": time.time(),
@@ -144,6 +159,8 @@ def build_run_manifest(
             "total": len(configs),
             "cached": stats.cache_hits if stats is not None else None,
             "simulated": stats.simulated if stats is not None else None,
+            "failed": stats.failed if stats is not None else None,
+            "retries": stats.retries if stats is not None else None,
         },
         "config_keys": [config_key(cfg) for cfg in configs],
         "cache": (

@@ -166,7 +166,8 @@ class TestManifest:
         path = write_run_manifest(tmp_path / "manifest.json", manifest)
         loaded = json.loads(path.read_text())
         assert loaded["schema"] == MANIFEST_SCHEMA
-        assert loaded["points"] == {"total": 2, "cached": 1, "simulated": 1}
+        assert loaded["points"] == {"total": 2, "cached": 1, "simulated": 1,
+                                    "failed": 0, "retries": 0}
         assert len(loaded["config_keys"]) == 2
         assert loaded["cache"]["path"] == str(cache.path)
         assert loaded["host"]["python"]

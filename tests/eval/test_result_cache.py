@@ -19,6 +19,7 @@ from repro.eval.runner import (
     run_point,
     run_sweep,
 )
+from repro.faults import FaultPlan
 from repro.netsim.simulator import SimulationConfig, SimulationResult
 from repro.netsim.stats import LatencySummary
 
@@ -98,11 +99,33 @@ class TestKeying:
             float: lambda v: v + 0.015625,
             bool: lambda v: not v,
         }
+        # Optional fields default to a sentinel that is *omitted* from
+        # the serialized form; bump them to their smallest enabled value.
+        overrides = {"faults": FaultPlan(stuck_vc_rate=0.25)}
         for f in dataclasses.fields(SimulationConfig):
-            variant = dataclasses.replace(
-                base, **{f.name: bumped[type(getattr(base, f.name))](getattr(base, f.name))}
-            )
+            value = getattr(base, f.name)
+            if f.name in overrides:
+                new_value = overrides[f.name]
+            else:
+                new_value = bumped[type(value)](value)
+            variant = dataclasses.replace(base, **{f.name: new_value})
             assert config_key(variant) != config_key(base), f.name
+
+    def test_fault_plan_details_affect_the_key(self):
+        # Not just faults-vs-no-faults: two different plans must key
+        # differently, and the same plan twice must key identically.
+        a = SimulationConfig(faults=FaultPlan(seed=1, link_rate=0.01))
+        b = SimulationConfig(faults=FaultPlan(seed=2, link_rate=0.01))
+        c = SimulationConfig(faults=FaultPlan(seed=1, link_rate=0.01))
+        assert config_key(a) != config_key(b)
+        assert config_key(a) == config_key(c)
+
+    def test_disabled_fault_fields_keep_legacy_key(self):
+        # faults=None / watchdog_cycles=0 serialize exactly as pre-fault
+        # configs did, so caches written before the fields existed stay
+        # valid.  The expected digest is pinned from the pre-fault build.
+        assert "faults" not in SimulationConfig().to_dict()
+        assert "watchdog_cycles" not in SimulationConfig().to_dict()
 
     def test_salt_affects_the_key(self):
         cfg = SimulationConfig()
@@ -165,6 +188,63 @@ class TestCorruptionRecovery:
         doc["salt"] = "sim-rev-999"
         path.write_text(json.dumps(doc))
         assert ResultCache(path).get(cfg) is None
+
+    def test_garbage_file_quarantined_for_inspection(self, tmp_path):
+        path = tmp_path / "c.json"
+        path.write_text("{this is not json")
+        ResultCache(path)
+        corrupt = tmp_path / "c.json.corrupt"
+        assert corrupt.exists()
+        assert corrupt.read_text() == "{this is not json"
+
+    def test_checksum_mismatch_recovers_intact_entries(self, tmp_path):
+        # Tampered content under a stale checksum: salvage every entry
+        # that still deserializes, drop the rest, and say so.
+        path = tmp_path / "c.json"
+        cache = ResultCache(path)
+        good_cfg = SimulationConfig(injection_rate=0.1)
+        bad_cfg = SimulationConfig(injection_rate=0.2)
+        cache.put(good_cfg, _result(good_cfg))
+        cache.put(bad_cfg, _result(bad_cfg))
+        doc = json.loads(path.read_text())
+        bad_key = ResultCache(path).key(bad_cfg)
+        doc["entries"][bad_key] = {"vandalized": True}
+        path.write_text(json.dumps(doc))  # checksum now stale
+
+        warnings = []
+        from repro.obs.metrics import add_warning_sink, remove_warning_sink
+
+        add_warning_sink(warnings.append)
+        try:
+            fresh = ResultCache(path)
+        finally:
+            remove_warning_sink(warnings.append)
+        assert fresh.get(good_cfg) == _result(good_cfg)
+        assert fresh.get(bad_cfg) is None
+        codes = [w.code for w in warnings]
+        assert "cache_checksum_mismatch" in codes
+
+    def test_flush_failure_warns_instead_of_raising(self, tmp_path, monkeypatch):
+        import os as os_mod
+
+        path = tmp_path / "c.json"
+        cache = ResultCache(path)
+
+        def broken_replace(src, dst):
+            raise OSError("disk on fire")
+
+        warnings = []
+        from repro.obs.metrics import add_warning_sink, remove_warning_sink
+
+        add_warning_sink(warnings.append)
+        monkeypatch.setattr(os_mod, "replace", broken_replace)
+        try:
+            cache.put(SimulationConfig(), _result(SimulationConfig()))
+        finally:
+            remove_warning_sink(warnings.append)
+        assert any(w.code == "cache_flush_failed" for w in warnings)
+        # The in-memory entry survives even though the disk write failed.
+        assert cache.get(SimulationConfig()) is not None
 
     def test_writes_are_atomic(self, tmp_path):
         path = tmp_path / "c.json"

@@ -1,0 +1,98 @@
+"""Watchdog behaviour: fires on a wedged fabric, never on a healthy one.
+
+A total blackout plan (every link of every router permanently down)
+guarantees zero forward progress, so the watchdog must abort with a
+:class:`WatchdogError` whose snapshot survives pickling -- that error
+crosses the process-pool pipe as a structured point failure.
+"""
+
+from dataclasses import replace
+
+import pickle
+
+import pytest
+
+from repro.eval.runner import run_sweep
+from repro.faults import FaultPlan, LinkFault, WatchdogError
+from repro.netsim.simulator import SimulationConfig, run_simulation
+
+CFG = SimulationConfig(
+    injection_rate=0.2,
+    warmup_cycles=60,
+    measure_cycles=180,
+    drain_cycles=180,
+)
+
+# Generous bounds: faults on routers/ports that don't exist are simply
+# never queried.
+BLACKOUT = FaultPlan(
+    link_faults=tuple(
+        LinkFault(r, p, 0, None) for r in range(64) for p in range(10)
+    )
+)
+
+
+class TestFires:
+    def test_blackout_aborts_with_snapshot(self):
+        cfg = replace(CFG, faults=BLACKOUT, watchdog_cycles=50)
+        with pytest.raises(WatchdogError) as exc_info:
+            run_simulation(cfg)
+        snapshot = exc_info.value.snapshot
+        assert snapshot["source_backlog"] > 0 or snapshot["in_flight_flits"] > 0
+        assert snapshot["stall_cycles"] >= 50
+        assert snapshot["fault_counters"]["link_fault_events"] == len(
+            BLACKOUT.link_faults
+        )
+
+    def test_error_pickles_with_snapshot(self):
+        err = WatchdogError("wedged", {"cycle": 123, "stall_cycles": 50})
+        clone = pickle.loads(pickle.dumps(err))
+        assert isinstance(clone, WatchdogError)
+        assert clone.snapshot == err.snapshot
+        assert str(clone) == str(err)
+
+    def test_run_sweep_records_watchdog_failure(self):
+        cfg = replace(CFG, faults=BLACKOUT, watchdog_cycles=50)
+        results = run_sweep([cfg], on_failure="record")
+        assert results == [None]
+
+    def test_failure_carries_the_snapshot(self):
+        from repro.eval.runner import NullReporter
+
+        captured = []
+
+        class Capture(NullReporter):
+            def point_failed(self, cfg, failure, stats):
+                captured.append(failure)
+
+        cfg = replace(CFG, faults=BLACKOUT, watchdog_cycles=50)
+        run_sweep([cfg], on_failure="record", reporter=Capture())
+        (failure,) = captured
+        assert failure.error == "WatchdogError"
+        assert isinstance(failure.detail, dict)
+        assert failure.detail["stall_cycles"] >= 50
+
+
+class TestDoesNotFire:
+    def test_healthy_run_unaffected(self):
+        armed = run_simulation(replace(CFG, watchdog_cycles=100))
+        plain = run_simulation(CFG)
+        # Config differs (watchdog_cycles is part of it); every measured
+        # number must not.
+        a, b = armed.to_payload(), plain.to_payload()
+        a.pop("config"), b.pop("config")
+        assert a == b
+
+    def test_low_rate_drain_is_not_a_deadlock(self):
+        # A long idle drain has no progress *and* no pending work; the
+        # watchdog must treat that as idle, not wedged.
+        cfg = replace(
+            CFG, injection_rate=0.01, drain_cycles=600, watchdog_cycles=40
+        )
+        run_simulation(cfg)  # must not raise
+
+    def test_limit_validated(self):
+        from repro.faults import Watchdog
+
+        with pytest.raises(ValueError):
+            Watchdog(None, 0)  # limit checked before the net is touched

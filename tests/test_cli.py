@@ -28,6 +28,22 @@ class TestParser:
         assert args.trace is None
         assert args.sample_every == 100
 
+    def test_sweep_hardening_defaults(self):
+        args = build_parser().parse_args(["sweep"])
+        assert args.faults is None
+        assert args.watchdog is None
+        assert args.timeout is None
+        assert args.retries == 0
+        assert args.backoff == 1.0
+        assert args.resume is False
+        assert args.checkpoint is None
+
+    def test_faults_subcommand_defaults(self):
+        args = build_parser().parse_args(["faults"])
+        assert args.archs == "sep_if,sep_of,wf"
+        assert args.kind == "vcs"
+        assert args.iterations == 5
+
     def test_report_args(self):
         args = build_parser().parse_args(["report", "somedir", "--top", "3"])
         assert args.dir == "somedir"
@@ -120,6 +136,47 @@ class TestCommands:
         rc = main(["sweep", "--rates", "0.05", "--cycles", "300"])
         assert rc == 0
         assert (tmp_path / "sweeps.manifest.json").exists()
+
+    def test_sweep_with_faults_is_deterministic(self, capsys, tmp_path):
+        argv = ["sweep", "--rates", "0.05,0.1", "--cycles", "240",
+                "--faults", "vcs=0.05,seed=3", "--no-cache"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert first == second
+        assert "zero-load" in first
+
+    def test_sweep_bad_fault_spec_rejected(self, capsys):
+        rc = main(["sweep", "--faults", "gremlins=1"])
+        assert rc == 2
+        assert "bad --faults spec" in capsys.readouterr().err
+
+    def test_sweep_resume_checkpoint_cycle(self, capsys, tmp_path):
+        ckpt = tmp_path / "sweep.ckpt.jsonl"
+        argv = ["sweep", "--rates", "0.05", "--cycles", "240", "--no-cache",
+                "--resume", "--checkpoint", str(ckpt)]
+        assert main(argv) == 0
+        capsys.readouterr()
+        # Clean completion removes the journal; a rerun starts fresh.
+        assert not ckpt.exists()
+        assert main(argv) == 0
+        assert "zero-load" in capsys.readouterr().out
+
+    def test_faults_command_smoke(self, capsys, tmp_path):
+        rc = main(
+            ["faults", "--archs", "sep_if", "--rates", "0.0", "--cycles",
+             "120", "--iterations", "1", "--no-cache"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "saturation throughput vs vcs fault rate" in out
+        assert "sep_if" in out
+
+    def test_faults_command_rejects_bad_arch(self, capsys):
+        rc = main(["faults", "--archs", "quantum"])
+        assert rc == 2
+        assert "--archs" in capsys.readouterr().err
 
     def test_report_missing_dir(self, capsys, tmp_path):
         rc = main(["report", str(tmp_path / "nope")])
