@@ -1,0 +1,44 @@
+#!/usr/bin/env python
+"""Fast-kernel vs. reference-kernel throughput benchmark.
+
+Thin wrapper over :mod:`repro.eval.kernel_bench` (the same engine backs
+``repro bench``).  Emits ``BENCH_kernel.json`` in the current directory
+unless ``--output`` says otherwise::
+
+    PYTHONPATH=src python benchmarks/kernel_bench.py [--quick]
+        [--output BENCH_kernel.json]
+
+Gate a fresh report against a committed baseline with
+``scripts/check_bench_regression.py``.
+"""
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.eval.kernel_bench import (  # noqa: E402
+    format_bench,
+    run_kernel_bench,
+    write_report,
+)
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--quick", action="store_true",
+                    help="short windows, mesh points only (CI smoke)")
+    ap.add_argument("--output", default="BENCH_kernel.json",
+                    help="report path (default: BENCH_kernel.json)")
+    args = ap.parse_args()
+
+    report = run_kernel_bench(quick=args.quick, progress=print)
+    write_report(report, Path(args.output))
+    print(format_bench(report))
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

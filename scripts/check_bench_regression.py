@@ -1,0 +1,105 @@
+#!/usr/bin/env python
+"""Kernel-benchmark regression gate.
+
+Compares a fresh ``BENCH_kernel.json`` against a committed baseline and
+fails (exit 1) when the fast kernel's *warm speedup ratio* on any
+baseline point has regressed by more than ``--threshold`` (default
+20%).
+
+The gate deliberately trends the speedup ratio -- reference wall time
+over fast wall time on the same host and run -- rather than absolute
+cycles/sec: both kernels execute the identical cycle schedule, so the
+ratio cancels host speed, load and Python-version effects that would
+make an absolute-throughput gate flap in CI.
+
+Usage::
+
+    python scripts/check_bench_regression.py CURRENT.json BASELINE.json
+        [--threshold 0.20] [--floor LABEL=X ...]
+
+``--floor`` additionally enforces an absolute minimum speedup on a
+named point (e.g. ``--floor mesh-V8-wf-r0.15=3.0`` pins the paper-map
+acceptance criterion for the flagship design point).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+
+def load(path: str) -> dict:
+    data = json.loads(Path(path).read_text())
+    if "points" not in data:
+        raise SystemExit(f"error: {path} is not a kernel-bench report")
+    return data
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("current", help="freshly generated BENCH_kernel.json")
+    ap.add_argument("baseline", help="committed baseline report")
+    ap.add_argument("--threshold", type=float, default=0.20,
+                    help="max allowed fractional speedup regression "
+                         "(default: 0.20)")
+    ap.add_argument("--floor", action="append", default=[],
+                    metavar="LABEL=X",
+                    help="absolute minimum warm speedup for a point; "
+                         "repeatable")
+    args = ap.parse_args(argv)
+
+    current = load(args.current)
+    baseline = load(args.baseline)
+    cur_points = {p["label"]: p for p in current["points"]}
+    base_points = {p["label"]: p for p in baseline["points"]}
+
+    failures = []
+    for label, base in sorted(base_points.items()):
+        cur = cur_points.get(label)
+        if cur is None:
+            failures.append(f"{label}: missing from current report")
+            continue
+        want = base["speedup_warm"] * (1.0 - args.threshold)
+        got = cur["speedup_warm"]
+        status = "ok" if got >= want else "REGRESSED"
+        print(f"{label}: warm speedup {got:.2f}x "
+              f"(baseline {base['speedup_warm']:.2f}x, "
+              f"gate >= {want:.2f}x) {status}")
+        if got < want:
+            failures.append(
+                f"{label}: warm speedup {got:.2f}x < {want:.2f}x "
+                f"(baseline {base['speedup_warm']:.2f}x - {args.threshold:.0%})"
+            )
+
+    for spec in args.floor:
+        label, _, floor_s = spec.partition("=")
+        if not floor_s:
+            raise SystemExit(f"error: bad --floor spec {spec!r} "
+                             "(expected LABEL=X)")
+        floor = float(floor_s)
+        cur = cur_points.get(label)
+        if cur is None:
+            failures.append(f"{label}: --floor named a missing point")
+        elif cur["speedup_warm"] < floor:
+            failures.append(
+                f"{label}: warm speedup {cur['speedup_warm']:.2f}x "
+                f"below the absolute floor {floor:.2f}x"
+            )
+        else:
+            print(f"{label}: floor {floor:.2f}x satisfied "
+                  f"({cur['speedup_warm']:.2f}x)")
+
+    if failures:
+        print("\nbench regression gate FAILED:")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

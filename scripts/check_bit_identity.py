@@ -1,0 +1,146 @@
+#!/usr/bin/env python
+"""Differential bit-identity check: fast kernel vs. reference kernel.
+
+Runs every design point in a seeded config matrix (allocator
+architectures x topologies x faults on/off x observer on/off) under
+both allocation kernels and asserts the resulting
+:class:`~repro.netsim.simulator.SimulationResult` payloads -- every
+statistic, down to the last misspeculation counter -- are identical.
+For observed runs the collected metrics rows must match as well.
+
+This is the command-line face of the equivalence harness (the pytest
+face lives in ``tests/perf/test_kernel_equivalence.py``); CI runs it
+with ``--quick``, and any optimisation work on the fast kernel should
+keep it green at full depth:
+
+    PYTHONPATH=src python scripts/check_bit_identity.py [--quick] [-v]
+
+Exit status 0 iff every point is identical.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional, Tuple
+
+from repro.faults.plan import FaultPlan, LinkFault, StuckVC
+from repro.netsim.simulator import SimulationConfig, run_simulation
+from repro.obs.observer import SimObserver
+
+# Short but non-trivial windows: long enough to reach steady state and
+# exercise contention, misspeculation and (for fault points) blocked
+# links, short enough that the full matrix stays a few minutes.
+WINDOWS = dict(warmup_cycles=200, measure_cycles=600, drain_cycles=600)
+
+FAULT_PLAN = FaultPlan(
+    seed=7,
+    link_rate=0.0002,
+    mean_downtime=30,
+    link_faults=(LinkFault(router=9, port=1, start=250, end=450),),
+    stuck_vcs=(StuckVC(router=3, port=2, vc=1, start=0),),
+)
+
+
+def config_matrix(quick: bool) -> List[Tuple[str, SimulationConfig, bool]]:
+    """(label, config, observed) triples for the sweep."""
+    points: List[Tuple[str, SimulationConfig, bool]] = []
+    archs = ["sep_if", "sep_of", "wf"]
+    topologies = ["mesh", "fbfly"]
+    for arch in archs:
+        for topo in topologies:
+            for faulted in (False, True):
+                for observed in (False, True):
+                    if quick and faulted != observed:
+                        # Quick mode: plain and fully-loaded points
+                        # only (arch x topo coverage is preserved).
+                        continue
+                    arbiter = "m" if arch == "sep_of" else "rr"
+                    cfg = SimulationConfig(
+                        topology=topo,
+                        vcs_per_class=2,
+                        injection_rate=0.30,
+                        vc_alloc_arch=arch,
+                        vc_alloc_arbiter=arbiter,
+                        sw_alloc_arch=arch,
+                        sw_alloc_arbiter=arbiter,
+                        speculation="pessimistic" if arch != "sep_of" else "conventional",
+                        seed=11,
+                        faults=FAULT_PLAN if faulted else None,
+                        **WINDOWS,
+                    )
+                    label = (
+                        f"{arch}/{topo}"
+                        f"{'/faults' if faulted else ''}"
+                        f"{'/observer' if observed else ''}"
+                    )
+                    points.append((label, cfg, observed))
+    return points
+
+
+def run_point(
+    cfg: SimulationConfig, observed: bool
+) -> Tuple[dict, dict, Optional[List[dict]], Optional[List[dict]]]:
+    """Run one design point under both kernels."""
+    obs_fast = SimObserver(sample_every=100) if observed else None
+    obs_ref = SimObserver(sample_every=100) if observed else None
+    fast = run_simulation(cfg, observer=obs_fast, kernel="fast")
+    ref = run_simulation(cfg, observer=obs_ref, kernel="reference")
+    return (
+        fast.to_payload(),
+        ref.to_payload(),
+        obs_fast.rows if obs_fast is not None else None,
+        obs_ref.rows if obs_ref is not None else None,
+    )
+
+
+def diff_payloads(fast: dict, ref: dict) -> List[str]:
+    """Human-readable field-level differences (empty = identical)."""
+    out = []
+    for key in sorted(set(fast) | set(ref)):
+        a, b = fast.get(key), ref.get(key)
+        if a != b and not (a != a and b != b):  # NaN == NaN for our purposes
+            out.append(f"  {key}: fast={a!r} reference={b!r}")
+    return out
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="half matrix (plain + faults-and-observer points); CI smoke",
+    )
+    parser.add_argument(
+        "-v", "--verbose", action="store_true", help="print per-point timing"
+    )
+    args = parser.parse_args(argv)
+
+    points = config_matrix(args.quick)
+    failures = 0
+    for label, cfg, observed in points:
+        t0 = time.perf_counter()
+        fast, ref, rows_fast, rows_ref = run_point(cfg, observed)
+        dt = time.perf_counter() - t0
+        problems = diff_payloads(fast, ref)
+        if observed and rows_fast != rows_ref:
+            problems.append("  observer metrics rows differ")
+        if problems:
+            failures += 1
+            print(f"MISMATCH {label}")
+            for line in problems:
+                print(line)
+        elif args.verbose:
+            print(f"ok {label} ({dt:.1f}s)")
+
+    total = len(points)
+    if failures:
+        print(f"{failures}/{total} design points differ between kernels")
+        return 1
+    print(f"ALL IDENTICAL ({total} design points)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

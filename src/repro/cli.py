@@ -15,7 +15,9 @@ Exposes the experiment harness without writing any Python:
 * ``faults``      -- saturation throughput vs injected fault rate per
   allocator architecture (robustness extension, beyond the paper);
 * ``report``      -- summarize a ``--metrics`` telemetry directory
-  (top stall sources, matching efficiency vs. injection rate).
+  (top stall sources, matching efficiency vs. injection rate);
+* ``bench``       -- fast-kernel vs reference-kernel throughput
+  benchmark (writes ``BENCH_kernel.json``; see docs/PERFORMANCE.md).
 """
 
 from __future__ import annotations
@@ -45,6 +47,38 @@ from .obs.metrics import emit_warning
 from .obs.observer import SimObserver
 
 __all__ = ["main"]
+
+
+def _positive_int(value: str) -> int:
+    """argparse type: integer >= 1 (e.g. worker counts)."""
+    n = int(value)
+    if n < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {n}")
+    return n
+
+
+def _nonnegative_int(value: str) -> int:
+    """argparse type: integer >= 0 (e.g. retry counts)."""
+    n = int(value)
+    if n < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {n}")
+    return n
+
+
+def _positive_float(value: str) -> float:
+    """argparse type: float > 0 (e.g. wall-clock timeouts)."""
+    x = float(value)
+    if x <= 0:
+        raise argparse.ArgumentTypeError(f"must be > 0, got {x}")
+    return x
+
+
+def _nonnegative_float(value: str) -> float:
+    """argparse type: float >= 0 (e.g. retry backoff)."""
+    x = float(value)
+    if x < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {x}")
+    return x
 
 
 def _point(args) -> DesignPoint:
@@ -387,6 +421,18 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_bench(args) -> int:
+    """Fast-kernel vs reference-kernel throughput benchmark."""
+    from .eval.kernel_bench import format_bench, run_kernel_bench, write_report
+
+    progress = (lambda msg: print(msg, file=sys.stderr)) if args.progress else None
+    report = run_kernel_bench(quick=args.quick, progress=progress)
+    write_report(report, Path(args.output))
+    print(format_bench(report))
+    print(f"wrote {args.output}")
+    return 0
+
+
 def cmd_report(args) -> int:
     from .obs.telemetry import summarize_metrics_dir
 
@@ -445,7 +491,7 @@ def build_parser() -> argparse.ArgumentParser:
             p.set_defaults(fn=cmd_simulate)
         else:
             p.add_argument("--rates", default="0.05,0.15,0.25,0.35")
-            p.add_argument("--jobs", type=int, default=1,
+            p.add_argument("--jobs", type=_positive_int, default=1,
                            help="worker processes (1 = serial; results "
                                 "are identical either way)")
             p.add_argument("--no-cache", action="store_true",
@@ -479,16 +525,17 @@ def build_parser() -> argparse.ArgumentParser:
                                 "forward progress (default: off, or "
                                 "max(1000, --cycles) when --faults is "
                                 "given; 0 disables)")
-            p.add_argument("--timeout", type=float, default=None,
+            p.add_argument("--timeout", type=_positive_float, default=None,
                            metavar="SECONDS",
                            help="per-point wall-clock limit; a point "
                                 "still running is killed and retried "
                                 "(implies worker processes)")
-            p.add_argument("--retries", type=int, default=0, metavar="K",
+            p.add_argument("--retries", type=_nonnegative_int, default=0,
+                           metavar="K",
                            help="re-run a crashed/timed-out/failed point "
                                 "up to K times before recording a "
                                 "failure (default: 0)")
-            p.add_argument("--backoff", type=float, default=1.0,
+            p.add_argument("--backoff", type=_nonnegative_float, default=1.0,
                            metavar="SECONDS",
                            help="base retry delay, doubled per attempt "
                                 "(default: 1.0)")
@@ -532,6 +579,17 @@ def build_parser() -> argparse.ArgumentParser:
                    help="sweep cache file (default: $REPRO_SWEEP_CACHE "
                         "or ~/.cache/repro-noc-sweeps.json)")
     p.set_defaults(fn=cmd_faults)
+
+    p = sub.add_parser(
+        "bench",
+        help="fast-kernel throughput benchmark (BENCH_kernel.json)")
+    p.add_argument("--quick", action="store_true",
+                   help="short windows, mesh points only (CI smoke)")
+    p.add_argument("--output", default="BENCH_kernel.json",
+                   help="report path (default: BENCH_kernel.json)")
+    p.add_argument("--progress", action="store_true",
+                   help="report per-point results on stderr as they land")
+    p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
         "report", help="summarize a --metrics telemetry directory")

@@ -66,6 +66,24 @@ class Arbiter(ABC):
     def reset(self) -> None:
         """Restore the initial priority state."""
 
+    def select_sparse(self, indices: Sequence[int]) -> Optional[int]:
+        """Sparse-form :meth:`select`: ``indices`` lists the requesting
+        inputs in ascending order.
+
+        Returns exactly what ``select(dense)`` would for the equivalent
+        dense request vector (``None`` only when ``indices`` is empty).
+        This is the simulator's hot-path entry point -- no validation is
+        performed, and the ascending-order precondition is relied upon.
+        The base implementation densifies; concrete arbiters override
+        it with O(len(indices)) scans.
+        """
+        if not indices:
+            return None
+        dense = [False] * self.num_inputs
+        for i in indices:
+            dense[i] = True
+        return self.select(dense)
+
     def arbitrate(self, requests: Sequence[bool], update: bool = True) -> Optional[int]:
         """Select a winner and (by default) immediately commit the update."""
         winner = self.select(requests)
@@ -106,6 +124,9 @@ class FixedPriorityArbiter(Arbiter):
     def reset(self) -> None:  # stateless
         return None
 
+    def select_sparse(self, indices: Sequence[int]) -> Optional[int]:
+        return indices[0] if indices else None
+
 
 class RoundRobinArbiter(Arbiter):
     """Rotating-priority arbiter (``rr``).
@@ -140,11 +161,25 @@ class RoundRobinArbiter(Arbiter):
         return None
 
     def advance(self, winner: int) -> None:
-        self._check_winner(winner)
-        self._pointer = (winner + 1) % self.num_inputs
+        # Validation is inlined: advance() runs ~1e6 times per simulated
+        # second on the simulator hot path and the extra call is costly.
+        n = self.num_inputs
+        if not 0 <= winner < n:
+            raise ValueError(f"winner {winner} out of range [0, {n})")
+        w = winner + 1
+        self._pointer = w if w < n else 0
 
     def reset(self) -> None:
         self._pointer = 0
+
+    def select_sparse(self, indices: Sequence[int]) -> Optional[int]:
+        # First requester at or after the pointer, else the first
+        # requester overall (cyclic priority; indices are ascending).
+        p = self._pointer
+        for i in indices:
+            if i >= p:
+                return i
+        return indices[0] if indices else None
 
 
 class MatrixArbiter(Arbiter):
@@ -189,12 +224,31 @@ class MatrixArbiter(Arbiter):
         return None
 
     def advance(self, winner: int) -> None:
-        self._check_winner(winner)
         n = self.num_inputs
+        if not 0 <= winner < n:
+            raise ValueError(f"winner {winner} out of range [0, {n})")
+        beats = self._beats
+        row_w = beats[winner]
         for j in range(n):
             if j != winner:
-                self._beats[winner][j] = False
-                self._beats[j][winner] = True
+                row_w[j] = False
+                beats[j][winner] = True
+
+    def select_sparse(self, indices: Sequence[int]) -> Optional[int]:
+        # The matrix relation restricted to the requesters is still a
+        # total order, so exactly one requester is unbeaten; the dense
+        # scan returns the lowest-indexed such input, which this
+        # reproduces because ``indices`` is ascending.
+        beats = self._beats
+        for i in indices:
+            row_i = None
+            for j in indices:
+                if j != i and beats[j][i]:
+                    row_i = j
+                    break
+            if row_i is None:
+                return i
+        return None
 
 
 class TreeArbiter(Arbiter):
@@ -238,7 +292,11 @@ class TreeArbiter(Arbiter):
         return top * gs + local
 
     def advance(self, winner: int) -> None:
-        self._check_winner(winner)
+        # Range check inlined (this runs once per grant per cycle on
+        # the simulator hot path); the sub-arbiters re-validate the
+        # decomposed indices anyway.
+        if not 0 <= winner < self.num_inputs:
+            self._check_winner(winner)
         g, local = divmod(winner, self.group_size)
         self._group_arbs[g].advance(local)
         self._top_arb.advance(g)
@@ -247,6 +305,30 @@ class TreeArbiter(Arbiter):
         for arb in self._group_arbs:
             arb.reset()
         self._top_arb.reset()
+
+    def select_sparse(self, indices: Sequence[int]) -> Optional[int]:
+        # Group the (ascending) requesters; per-group locals stay
+        # ascending and so does the group-id list.  Equivalent to the
+        # dense path: a group's "any" bit is set exactly when it has a
+        # requester (group arbiters always pick a winner from a
+        # non-empty request set).
+        if not indices:
+            return None
+        gs = self.group_size
+        by_group: dict = {}
+        for idx in indices:
+            g, local = divmod(idx, gs)
+            lst = by_group.get(g)
+            if lst is None:
+                by_group[g] = [local]
+            else:
+                lst.append(local)
+        top = self._top_arb.select_sparse(list(by_group))
+        if top is None:
+            return None
+        local = self._group_arbs[top].select_sparse(by_group[top])
+        assert local is not None
+        return top * gs + local
 
 
 _ARBITER_KINDS = {

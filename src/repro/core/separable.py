@@ -19,7 +19,7 @@ traffic-pattern-dependent starvation).
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 import numpy as np
 
@@ -60,21 +60,47 @@ class SeparableAllocator(Allocator):
         self._col_arbs: List[Arbiter] = [
             arbiter_factory(num_requesters) for _ in range(num_resources)
         ]
+        # Arbiter advances staged by the most recent
+        # ``allocate(..., commit=False)`` call, keyed by requester row.
+        self._pending: Dict[int, Tuple[Tuple[Arbiter, int], ...]] = {}
 
     def reset(self) -> None:
         for arb in self._row_arbs:
             arb.reset()
         for arb in self._col_arbs:
             arb.reset()
+        self._pending.clear()
+
+    def _commit_all(self) -> None:
+        for advances in self._pending.values():
+            for arb, winner in advances:
+                arb.advance(winner)
+        self._pending.clear()
+
+    def commit(self, rows: Iterable[int]) -> None:
+        """Apply staged priority updates for the surviving grants only.
+
+        Mirrors :meth:`repro.core.switch_allocator.SwitchAllocator.commit`:
+        after an ``allocate(..., commit=False)`` call, ``rows`` names the
+        requester rows whose grants were actually used; every other
+        staged update is discarded, leaving those arbiters' priority
+        state untouched (update-on-success).
+        """
+        pending = self._pending
+        for i in rows:
+            for arb, winner in pending.pop(i, ()):
+                arb.advance(winner)
+        pending.clear()
 
 
 class SeparableInputFirstAllocator(SeparableAllocator):
     """``sep_if``: requester-side arbitration, then resource-side."""
 
-    def allocate(self, requests: np.ndarray) -> np.ndarray:
+    def allocate(self, requests: np.ndarray, commit: bool = True) -> np.ndarray:
         req = self._validated(requests)
         m, n = self.shape
         grants = np.zeros((m, n), dtype=bool)
+        self._pending = {}
 
         # Stage 1: each requester selects a single resource to bid on.
         bids: List[Optional[int]] = [None] * m
@@ -93,18 +119,23 @@ class SeparableInputFirstAllocator(SeparableAllocator):
                 continue
             grants[winner, j] = True
             # Both stages succeeded for this (winner, j) pair.
-            self._row_arbs[winner].advance(j)
-            self._col_arbs[j].advance(winner)
+            self._pending[winner] = (
+                (self._row_arbs[winner], j),
+                (self._col_arbs[j], winner),
+            )
+        if commit:
+            self._commit_all()
         return grants
 
 
 class SeparableOutputFirstAllocator(SeparableAllocator):
     """``sep_of``: resource-side arbitration, then requester-side."""
 
-    def allocate(self, requests: np.ndarray) -> np.ndarray:
+    def allocate(self, requests: np.ndarray, commit: bool = True) -> np.ndarray:
         req = self._validated(requests)
         m, n = self.shape
         grants = np.zeros((m, n), dtype=bool)
+        self._pending = {}
 
         # Stage 1: each resource picks a winner among its column.
         offers: List[Optional[int]] = [None] * n
@@ -122,6 +153,10 @@ class SeparableOutputFirstAllocator(SeparableAllocator):
             if choice is None:
                 continue
             grants[i, choice] = True
-            self._row_arbs[i].advance(choice)
-            self._col_arbs[choice].advance(i)
+            self._pending[i] = (
+                (self._row_arbs[i], choice),
+                (self._col_arbs[choice], i),
+            )
+        if commit:
+            self._commit_all()
         return grants

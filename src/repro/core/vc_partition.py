@@ -113,6 +113,24 @@ class VCPartition:
         base = self.vc_index(message_class, resource_class, 0)
         return list(range(base, base + self.vcs_per_class))
 
+    def class_vcs_tuple(self, message_class: int, resource_class: int) -> Tuple[int, ...]:
+        """Cached tuple form of :meth:`class_vcs` (ascending indices).
+
+        The router's per-cycle request generation calls this once per
+        waiting head flit, so the table is precomputed on first use
+        (the partition is frozen, so it can never go stale).
+        """
+        try:
+            table = self._class_vcs_table
+        except AttributeError:
+            table = {}
+            for m in range(self.num_message_classes):
+                for r in range(self.num_resource_classes):
+                    base = (m * self.num_resource_classes + r) * self.vcs_per_class
+                    table[m, r] = tuple(range(base, base + self.vcs_per_class))
+            object.__setattr__(self, "_class_vcs_table", table)
+        return table[message_class, resource_class]
+
     def _check_class(self, message_class: int, resource_class: int) -> None:
         if not 0 <= message_class < self.num_message_classes:
             raise ValueError(f"message class {message_class} out of range")

@@ -1,0 +1,157 @@
+"""Fast-kernel throughput benchmark (``repro bench``).
+
+Measures simulator throughput -- simulated cycles per wall-clock second
+-- for the fast allocation kernel and the reference kernel on a fixed
+matrix of design points, and emits a machine-readable report
+(``BENCH_kernel.json``).  Each kernel's first run of a point is
+reported as *cold* (includes allocator/bytecode warm-up and
+memory-allocator growth); *warm* is the best of ``warm_repeats``
+further runs, interleaved between the kernels so slow host-speed drift
+hits both alike (steady-state; the number the regression gate trends).
+
+Because both kernels execute the identical cycle schedule (they are
+bit-identical by construction -- see ``scripts/check_bit_identity.py``),
+the warm speedup ratio ``fast / reference`` is a machine-independent
+figure of merit: CI gates on it rather than on absolute cycles/sec,
+which vary with host load and hardware (see
+``scripts/check_bench_regression.py``).
+
+The flagship point is the 8x8 mesh with V=8 VCs under the paper's
+wavefront allocator; the fast kernel is expected to hold >= 3x there.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..netsim.simulator import SIMULATOR_REV, SimulationConfig, run_simulation
+
+__all__ = ["BENCH_SCHEMA", "bench_points", "run_kernel_bench", "format_bench"]
+
+BENCH_SCHEMA = "repro/kernel-bench/v1"
+
+# warmup/measure/drain windows.  The quick windows are sized so the
+# *fast* kernel still runs ~2s wall per point: much shorter and
+# scheduler jitter (10-20% at ~1s) swamps the speedup ratio the
+# regression gate trends.
+_FULL_WINDOWS = dict(warmup_cycles=1000, measure_cycles=4000, drain_cycles=4000)
+_QUICK_WINDOWS = dict(warmup_cycles=400, measure_cycles=1600, drain_cycles=1600)
+
+
+def bench_points(quick: bool = False) -> List[Dict[str, Any]]:
+    """The benchmark matrix: ``{"label", "config"}`` dicts.
+
+    All points use the 8x8 mesh / flattened butterfly design points of
+    the paper with V = 8 VCs (``vcs_per_class=4``) -- the configuration
+    the fast kernel was tuned on.  ``quick`` keeps the cross-arch mesh
+    points only and shortens the windows (CI smoke).
+    """
+    windows = _QUICK_WINDOWS if quick else _FULL_WINDOWS
+    matrix = [
+        # (label, topology, arch, injection rate)
+        ("mesh-V8-wf-r0.15", "mesh", "wf", 0.15),
+        ("mesh-V8-sep_if-r0.15", "mesh", "sep_if", 0.15),
+        ("mesh-V8-sep_of-r0.15", "mesh", "sep_of", 0.15),
+        ("mesh-V8-wf-r0.45", "mesh", "wf", 0.45),
+        ("fbfly-V8-sep_if-r0.15", "fbfly", "sep_if", 0.15),
+        ("fbfly-V8-wf-r0.15", "fbfly", "wf", 0.15),
+    ]
+    if quick:
+        matrix = [m for m in matrix if m[1] == "mesh" and m[3] == 0.15]
+    points = []
+    for label, topo, arch, rate in matrix:
+        cfg = SimulationConfig(
+            topology=topo,
+            vcs_per_class=4,
+            injection_rate=rate,
+            vc_alloc_arch=arch,
+            sw_alloc_arch=arch,
+            speculation="pessimistic",
+            seed=3,
+            **windows,
+        )
+        points.append({"label": label, "config": cfg})
+    return points
+
+
+def _time_run(cfg: SimulationConfig, kernel: str) -> float:
+    t0 = time.perf_counter()
+    run_simulation(cfg, kernel=kernel)
+    return time.perf_counter() - t0
+
+
+def run_kernel_bench(
+    quick: bool = False, progress: Optional[Any] = None, warm_repeats: int = 2
+) -> Dict[str, Any]:
+    """Run the full matrix under both kernels; return the report dict."""
+    report: Dict[str, Any] = {
+        "schema": BENCH_SCHEMA,
+        "simulator_rev": SIMULATOR_REV,
+        "quick": quick,
+        "points": [],
+    }
+    for point in bench_points(quick):
+        cfg: SimulationConfig = point["config"]
+        # Nominal schedule length; both kernels execute the identical
+        # cycle sequence, so ratios are exact even if the drain window
+        # empties early.
+        cycles = cfg.warmup_cycles + cfg.measure_cycles + cfg.drain_cycles
+        entry: Dict[str, Any] = {
+            "label": point["label"],
+            "config": cfg.to_dict(),
+            "cycles": cycles,
+        }
+        cold = {k: _time_run(cfg, k) for k in ("fast", "reference")}
+        # Warm repeats interleave the kernels so any monotone host-speed
+        # drift biases both timings alike and cancels in the ratio;
+        # min() is the standard noise-robust wall-clock estimator.
+        warm_times: Dict[str, List[float]] = {"fast": [], "reference": []}
+        for _ in range(max(1, warm_repeats)):
+            for kernel in ("fast", "reference"):
+                warm_times[kernel].append(_time_run(cfg, kernel))
+        for kernel in ("fast", "reference"):
+            warm = min(warm_times[kernel])
+            entry[kernel] = {
+                "cold_s": round(cold[kernel], 4),
+                "warm_s": round(warm, 4),
+                "cold_cycles_per_s": round(cycles / cold[kernel], 1),
+                "warm_cycles_per_s": round(cycles / warm, 1),
+            }
+        entry["speedup_cold"] = round(
+            entry["reference"]["cold_s"] / entry["fast"]["cold_s"], 3
+        )
+        entry["speedup_warm"] = round(
+            entry["reference"]["warm_s"] / entry["fast"]["warm_s"], 3
+        )
+        report["points"].append(entry)
+        if progress is not None:
+            progress(
+                f"{point['label']}: fast {entry['fast']['warm_cycles_per_s']:.0f} "
+                f"cyc/s, reference {entry['reference']['warm_cycles_per_s']:.0f} "
+                f"cyc/s, speedup {entry['speedup_warm']:.2f}x"
+            )
+    return report
+
+
+def format_bench(report: Dict[str, Any]) -> str:
+    """Human-readable table for one report."""
+    lines = [
+        f"kernel benchmark (simulator rev {report['simulator_rev']}, "
+        f"{'quick' if report['quick'] else 'full'} matrix)",
+        f"{'point':<24} {'fast cyc/s':>12} {'ref cyc/s':>12} "
+        f"{'cold x':>8} {'warm x':>8}",
+    ]
+    for p in report["points"]:
+        lines.append(
+            f"{p['label']:<24} {p['fast']['warm_cycles_per_s']:>12.0f} "
+            f"{p['reference']['warm_cycles_per_s']:>12.0f} "
+            f"{p['speedup_cold']:>8.2f} {p['speedup_warm']:>8.2f}"
+        )
+    return "\n".join(lines)
+
+
+def write_report(report: Dict[str, Any], path: Path) -> None:
+    path.write_text(json.dumps(report, indent=2) + "\n")

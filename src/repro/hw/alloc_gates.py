@@ -108,10 +108,20 @@ def build_wavefront_matrix(nl: Netlist, requests: NetMatrix) -> NetMatrix:
     if n == 1:
         return [[requests[0][0]]]
 
-    # Rotating one-hot diagonal pointer (pure DFF ring, no gates).
+    # Rotating one-hot diagonal pointer: a DFF ring that advances only
+    # when at least one request is present ("rotate after every
+    # allocation" -- an empty matrix allocates nothing, so the priority
+    # diagonal must hold; see WavefrontAllocator).  A non-empty matrix
+    # always produces a grant, so enabling on the request OR is exactly
+    # the grant-issued condition without putting the grant logic in
+    # front of the state update.
     ptr = [nl.reg() for _ in range(n)]
+    rotate_en = or_reduce(nl, [r for row in requests for r in row])
+    en_leaves = fanout_tree(nl, rotate_en, n)
     for d in range(n):
-        nl.connect_reg(ptr[d], ptr[(d - 1) % n])
+        nl.connect_reg(
+            ptr[d], nl.gate("MUX2", ptr[d], ptr[(d - 1) % n], en_leaves[d])
+        )
 
     # Requests fan out to every copy through buffer trees.
     req_leaves = [[fanout_tree(nl, requests[i][j], n) for j in range(n)] for i in range(n)]
@@ -206,8 +216,12 @@ def build_wavefront_matrix_rotated(nl: Netlist, requests: NetMatrix) -> NetMatri
             eq_terms.append(inc[b] if bit else nl.gate("INV", inc[b]))
         nwrap = or_reduce(nl, [nl.gate("INV", t) for t in eq_terms])
         nxt = [nl.gate("AND2", inc[b], nwrap) for b in range(bits)]
+    # Hold the counter on request-less cycles (same rotate-on-allocation
+    # rule as the replicated array's pointer ring).
+    rotate_en = or_reduce(nl, [r for row in requests for r in row])
+    en_leaves = fanout_tree(nl, rotate_en, bits)
     for b in range(bits):
-        nl.connect_reg(cnt[b], nxt[b])
+        nl.connect_reg(cnt[b], nl.gate("MUX2", cnt[b], nxt[b], en_leaves[b]))
 
     def barrel_rotate(matrix: NetMatrix, up: bool) -> NetMatrix:
         """Rotate rows by the counter (up=True: row i <- row i+d)."""
@@ -262,7 +276,9 @@ def rotated_wavefront_gate_estimate(n: int) -> int:
     bits = max(1, (n - 1).bit_length())
     shifters = 2 * n * n * bits
     array = 4 * n * n
-    return shifters + array + 4 * bits
+    # Rotate-enable: request OR tree plus one hold mux per counter bit.
+    enable = n * n // 3 + bits
+    return shifters + array + 4 * bits + enable
 
 
 def wavefront_gate_estimate(n: int) -> int:
@@ -276,7 +292,9 @@ def wavefront_gate_estimate(n: int) -> int:
     tiles = 4 * n * n * n
     mux = int(n * n * (n + n / 3.0))
     buffers = int(n * n * (n / 3.0)) + int(n * (n * n / 3.0))
-    return tiles + mux + buffers
+    # Rotate-enable: request OR tree plus one hold mux per ring stage.
+    enable = n * n // 3 + n
+    return tiles + mux + buffers + enable
 
 
 def separable_gate_estimate(

@@ -58,25 +58,38 @@ def recover_timing(
     report = analyze_timing(nl)
     initial = report.delay_ps
     best = initial
+    # Sizing state of the best netlist seen so far.  Upsizing a
+    # critical-path gate also raises the input load it presents to its
+    # drivers, so a round can make the overall path *slower*; such a
+    # round must be rolled back, not just excluded from the report,
+    # or the caller's netlist ends up worse than it started.
+    best_sizes = list(nl.sizes)
     resized = 0
     it = 0
     kinds = nl.kinds
     sizes = nl.sizes
     for it in range(1, max_iterations + 1):
-        changed = False
+        round_resized = 0
         for net in report.critical_path:
             k = kinds[net]
             if k < 0 or k == _DFF:
                 continue
             if sizes[net] < MAX_SIZE:
                 sizes[net] = min(sizes[net] * upsize_factor, MAX_SIZE)
-                resized += 1
-                changed = True
-        if not changed:
+                round_resized += 1
+        if not round_resized:
             break
         report = analyze_timing(nl)
-        if report.delay_ps > best * (1.0 - min_improvement):
-            best = min(best, report.delay_ps)
+        if report.delay_ps < best:
+            resized += round_resized
+            improvement = 1.0 - report.delay_ps / best
+            best = report.delay_ps
+            best_sizes = list(sizes)
+            if improvement < min_improvement:
+                break
+        else:
+            # The round regressed (or went sideways): restore the best
+            # sizing and stop searching.
+            sizes[:] = best_sizes
             break
-        best = report.delay_ps
     return SizingResult(initial, best, it, resized)

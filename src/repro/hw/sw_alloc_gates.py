@@ -48,18 +48,30 @@ def _core(
     arch: str,
     arbiter: str,
     req: List[List[List[int]]],
-) -> Tuple[NetMatrix, List[List[int]]]:
-    """One switch allocator core; returns (crossbar, per-port VC grants)."""
+    defer_updates: bool = False,
+):
+    """One switch allocator core.
+
+    Returns ``(crossbar, per-port VC grants, finalize)``.  With
+    ``defer_updates=False`` all priority-state update logic is emitted
+    immediately and ``finalize`` is ``None``.  With ``defer_updates=True``
+    the update logic is withheld and ``finalize(surv_row, surv_col)``
+    must be called later with per-input-port / per-output-port *survival*
+    nets; updates are then gated on survival.  The speculative wrapper
+    uses this so that a masked speculative grant does not advance the
+    speculative core's priority state (update-on-success, mirroring
+    :class:`repro.core.speculative.SpeculativeSwitchAllocator`).
+    """
     if arch == "sep_if":
-        return _core_sep_if(nl, P, V, arbiter, req)
+        return _core_sep_if(nl, P, V, arbiter, req, defer_updates)
     if arch == "sep_of":
-        return _core_sep_of(nl, P, V, arbiter, req)
+        return _core_sep_of(nl, P, V, arbiter, req, defer_updates)
     if arch == "wf":
-        return _core_wf(nl, P, V, req)
+        return _core_wf(nl, P, V, req, defer_updates)
     raise ValueError(f"unknown switch allocator arch {arch!r}")
 
 
-def _core_sep_if(nl, P, V, arbiter, req):
+def _core_sep_if(nl, P, V, arbiter, req, defer_updates=False):
     # Stage 1: per input port, a V-input arbiter over active VCs.
     vgrants: List[List[int]] = []
     vc_fins = []
@@ -81,9 +93,13 @@ def _core_sep_if(nl, P, V, arbiter, req):
     # Stage 2: per output port, a P-input arbiter.  Its grants drive the
     # crossbar control signals directly (Figure 8a).
     xbar: NetMatrix = [[0] * P for _ in range(P)]
+    out_fins = []
     for q in range(P):
         g, fin = build_arbiter(nl, arbiter, [preq[p][q] for p in range(P)])
-        fin(None)
+        if defer_updates:
+            out_fins.append(fin)
+        else:
+            fin(None)
         for p in range(P):
             xbar[p][q] = g[p]
 
@@ -91,14 +107,24 @@ def _core_sep_if(nl, P, V, arbiter, req):
     vc_out: List[List[int]] = []
     for p in range(P):
         success = or_reduce(nl, xbar[p])
-        vc_fins[p](success)
+        if not defer_updates:
+            vc_fins[p](success)
         vc_out.append(
             [nl.gate("AND2", vgrants[p][v], success) for v in range(V)]
         )
-    return xbar, vc_out
+    if not defer_updates:
+        return xbar, vc_out, None
+
+    def finalize(surv_row, surv_col):
+        for p in range(P):
+            vc_fins[p](surv_row[p])
+        for q in range(P):
+            out_fins[q](surv_col[q])
+
+    return xbar, vc_out, finalize
 
 
-def _core_sep_of(nl, P, V, arbiter, req):
+def _core_sep_of(nl, P, V, arbiter, req, defer_updates=False):
     # Port-level requests combine all VCs (Figure 8b).
     preq = [
         [or_reduce(nl, [req[p][v][q] for v in range(V)]) for q in range(P)]
@@ -118,13 +144,17 @@ def _core_sep_of(nl, P, V, arbiter, req):
     # output.
     xbar: NetMatrix = [[0] * P for _ in range(P)]
     vc_out: List[List[int]] = []
+    vc_fins = []
     for p in range(P):
         elig = []
         for v in range(V):
             terms = [nl.gate("AND2", req[p][v][q], offers[p][q]) for q in range(P)]
             elig.append(or_reduce(nl, terms))
         g, fin = build_arbiter(nl, arbiter, elig)
-        fin(None)
+        if defer_updates:
+            vc_fins.append(fin)
+        else:
+            fin(None)
         vc_out.append(g)
         # Crossbar controls are generated after allocation completes
         # (the output arbiters cannot drive them directly here).
@@ -133,13 +163,22 @@ def _core_sep_of(nl, P, V, arbiter, req):
                 nl, [nl.gate("AND2", g[v], req[p][v][q]) for v in range(V)]
             )
             xbar[p][q] = nl.gate("AND2", offers[p][q], acc)
-    for q in range(P):
-        success = or_reduce(nl, [xbar[p][q] for p in range(P)])
-        out_fins[q](success)
-    return xbar, vc_out
+    if not defer_updates:
+        for q in range(P):
+            success = or_reduce(nl, [xbar[p][q] for p in range(P)])
+            out_fins[q](success)
+        return xbar, vc_out, None
+
+    def finalize(surv_row, surv_col):
+        for p in range(P):
+            vc_fins[p](surv_row[p])
+        for q in range(P):
+            out_fins[q](surv_col[q])
+
+    return xbar, vc_out, finalize
 
 
-def _core_wf(nl, P, V, req):
+def _core_wf(nl, P, V, req, defer_updates=False):
     # Port-level requests; the wavefront grants at most one output per
     # input, so its outputs drive the crossbar directly (Figure 8c).
     preq = [
@@ -152,6 +191,7 @@ def _core_wf(nl, P, V, req):
     # shared rotating-mask register, combinationally replicated per
     # output port over the VCs requesting that output.
     vc_out: List[List[int]] = []
+    pending_masks: List[Tuple[int, List[int], List[int]]] = []
     for p in range(P):
         if V == 1:
             sel_by_q = [[nl.const(1)] for _ in range(P)]
@@ -175,6 +215,9 @@ def _core_wf(nl, P, V, req):
             grants_v.append(or_reduce(nl, terms))
         vc_out.append(grants_v)
         if mask is not None:
+            if defer_updates:
+                pending_masks.append((p, mask, grants_v))
+                continue
             # Rotate the shared mask past the winning VC on success.
             any_gnt = or_reduce(nl, grants_v)
             upd = fanout_tree(nl, any_gnt, V)
@@ -182,7 +225,25 @@ def _core_wf(nl, P, V, req):
             for v in range(V):
                 nxt = nl.const(0) if v == 0 else pre[v - 1]
                 nl.connect_reg(mask[v], nl.gate("MUX2", mask[v], nxt, upd[v]))
-    return xbar, vc_out
+    if not defer_updates:
+        return xbar, vc_out, None
+
+    def finalize(surv_row, surv_col):
+        # Rotate the shared mask only when the port's grant survived the
+        # speculation masking (survival implies this core granted, so no
+        # extra AND with the core's own any-grant is needed).  The
+        # wavefront's priority diagonal itself still rotates per
+        # *allocation* -- see build_wavefront_matrix -- matching the
+        # behavioural model.
+        del surv_col  # wavefront mask state is per input port only
+        for p, mask, grants_v in pending_masks:
+            upd = fanout_tree(nl, surv_row[p], V)
+            pre = prefix_or(nl, grants_v)
+            for v in range(V):
+                nxt = nl.const(0) if v == 0 else pre[v - 1]
+                nl.connect_reg(mask[v], nl.gate("MUX2", mask[v], nxt, upd[v]))
+
+    return xbar, vc_out, finalize
 
 
 # ----------------------------------------------------------------------
@@ -204,7 +265,7 @@ def build_switch_allocator_netlist(
 
     req_ns = _build_requests(nl, P, V, "ns_")
     if speculation == "nonspec":
-        xbar, vc_out = _core(nl, P, V, arch, arbiter, req_ns)
+        xbar, vc_out, _ = _core(nl, P, V, arch, arbiter, req_ns)
         for p in range(P):
             for q in range(P):
                 nl.mark_output(xbar[p][q], f"xbar_{p}_{q}")
@@ -229,8 +290,13 @@ def build_switch_allocator_netlist(
             for q in range(P)
         ]
 
-    xbar_ns, vc_ns = _core(nl, P, V, arch, arbiter, req_ns)
-    xbar_sp, vc_sp = _core(nl, P, V, arch, arbiter, req_sp)
+    xbar_ns, vc_ns, _ = _core(nl, P, V, arch, arbiter, req_ns)
+    # The speculative core's priority updates are deferred until the
+    # masked (surviving) grants exist: a killed speculative grant must
+    # leave the core's arbiter state untouched.
+    xbar_sp, vc_sp, sp_finalize = _core(
+        nl, P, V, arch, arbiter, req_sp, defer_updates=True
+    )
 
     if speculation == "conventional":
         # Row/column busy bits from non-speculative GRANTS: the
@@ -245,6 +311,8 @@ def build_switch_allocator_netlist(
         [nl.gate("INV", nl.gate("OR2", row_busy[p], col_busy[q])) for q in range(P)]
         for p in range(P)
     ]
+    masked_all: NetMatrix = []
+    surv_row: List[int] = []
     for p in range(P):
         masked_row = []
         for q in range(P):
@@ -253,14 +321,20 @@ def build_switch_allocator_netlist(
             nl.mark_output(
                 nl.gate("OR2", xbar_ns[p][q], masked), f"xbar_{p}_{q}"
             )
+        masked_all.append(masked_row)
         # A speculative VC grant is only valid if the port's speculative
         # crossbar grant survived the masking.
         surv = or_reduce(nl, masked_row)
+        surv_row.append(surv)
         for v in range(V):
             nl.mark_output(vc_ns[p][v], f"vcgnt_ns_{p}_{v}")
             nl.mark_output(
                 nl.gate("AND2", vc_sp[p][v], surv), f"vcgnt_sp_{p}_{v}"
             )
+    surv_col = [
+        or_reduce(nl, [masked_all[p][q] for p in range(P)]) for q in range(P)
+    ]
+    sp_finalize(surv_row, surv_col)
     nl.validate()
     return nl
 

@@ -69,13 +69,17 @@ class Packet:
     inject_time: Optional[int] = None  # head flit entered the network
     arrival_time: Optional[int] = None  # tail flit ejected
 
+    # Cached copy of ``ptype.message_class``: the router's per-cycle
+    # request generation reads this once per waiting head flit, and a
+    # plain attribute beats a property + enum-attribute chain there.
+    message_class: int = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        self.message_class = self.ptype.message_class
+
     @property
     def size(self) -> int:
         return self.ptype.size
-
-    @property
-    def message_class(self) -> int:
-        return self.ptype.message_class
 
     def make_flits(self) -> List["Flit"]:
         """The packet's flit train (head first, tail last)."""

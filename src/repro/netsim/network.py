@@ -54,8 +54,20 @@ class Network:
         self.observer = observer
         for router in self.routers:
             router.observer = observer
+            # An observer expects per-cycle stall events; drop any
+            # fast-kernel stall latch so the generic path runs again.
+            router._alloc_idle = False
         for terminal in self.terminals:
             terminal.observer = observer
+
+    def set_kernel(self, kernel: str) -> None:
+        """Select the allocation kernel (``"fast"`` or ``"reference"``)
+        on every router; see :attr:`repro.netsim.router.Router.kernel`."""
+        if kernel not in ("fast", "reference"):
+            raise ValueError(f"unknown simulation kernel {kernel!r}")
+        for router in self.routers:
+            router.kernel = kernel
+            router._alloc_idle = False  # latch belongs to the fast kernel
 
     def attach_fault_state(self, fault_state) -> None:
         """Wire a :class:`repro.faults.FaultState` into the network and
@@ -74,12 +86,23 @@ class Network:
         self, when: int, kind: str, obj: object, port: int, vc: int, flit: Flit
     ) -> None:
         """Deliver ``flit`` into (obj, port, vc) at cycle ``when``."""
-        self._flit_events.setdefault(when, []).append((kind, obj, port, vc, flit))
+        # get()-then-append instead of setdefault: avoids building a
+        # throwaway empty list on every call (this runs once per flit
+        # per hop).
+        events = self._flit_events.get(when)
+        if events is None:
+            self._flit_events[when] = [(kind, obj, port, vc, flit)]
+        else:
+            events.append((kind, obj, port, vc, flit))
 
     def schedule_credit(
         self, when: int, kind: str, obj: object, port: int, vc: int
     ) -> None:
-        self._credit_events.setdefault(when, []).append((kind, obj, port, vc))
+        events = self._credit_events.get(when)
+        if events is None:
+            self._credit_events[when] = [(kind, obj, port, vc)]
+        else:
+            events.append((kind, obj, port, vc))
 
     def record_delivery(self, packet: Packet, now: int) -> None:
         if self.on_delivery is not None:
@@ -119,7 +142,13 @@ class Network:
         for term in self.terminals:
             term.step(self, now)
         for router in self.routers:
-            router.allocation_step(self, now)
+            # allocation_step with its guards hoisted: skip empty or
+            # latched-idle routers without a call (the idle latch is
+            # only ever set by the fast kernel, so reference runs see a
+            # plain busy check), and dispatch straight to the selected
+            # kernel's step method.
+            if router._busy and not router._alloc_idle:
+                router._alloc_step(self, now)
 
         if self.observer is not None:
             self.observer.cycle_end(self, now)

@@ -54,6 +54,7 @@ class Router:
         speculation: str = "pessimistic",
         buffer_depth: int = 8,
         lookahead: bool = True,
+        kernel: str = "fast",
     ) -> None:
         self.id = router_id
         self.num_ports = num_ports
@@ -66,6 +67,15 @@ class Router:
         #: a head flit spends one cycle in a routing stage before it can
         #: request a VC (the ablation baseline).
         self.lookahead = lookahead
+        #: Allocation kernel: ``"fast"`` (sparse request generation and
+        #: sparse allocator cores) or ``"reference"`` (the original dense
+        #: implementation).  Both produce bit-identical simulations --
+        #: the differential harness in ``tests/perf`` enforces this --
+        #: so ``"reference"`` exists as the equivalence oracle and as a
+        #: debugging fallback, selectable via ``run_simulation(...,
+        #: kernel=...)`` / ``repro simulate --kernel``.  (A property:
+        #: assignment also rebinds the dispatched step method.)
+        self.kernel = kernel
 
         P, V = num_ports, self.num_vcs
         self.input_vcs: List[List[InputVC]] = [
@@ -95,8 +105,24 @@ class Router:
         self.sw_alloc.check_requests = False
 
         # Input VCs with at least one buffered flit, kept incrementally
-        # so the per-cycle scan touches only occupied VCs.
+        # so the per-cycle scan touches only occupied VCs.  Entries are
+        # flat ``p * V + v`` indices: ints sort and hash faster than
+        # tuples on the per-cycle hot path.
         self._busy: set = set()
+        # Flat-index lookup tables for the fast kernel: one list index
+        # replaces a divmod / double subscript per busy VC per cycle.
+        self._ivc_flat: List[InputVC] = [
+            ivc for port_vcs in self.input_vcs for ivc in port_vcs
+        ]
+        self._pv_pairs: List[Tuple[int, int]] = [
+            (p, v) for p in range(P) for v in range(V)
+        ]
+        # Fast-kernel stall latch: True when the last allocation cycle
+        # produced zero requests with no observer/faults attached.  A
+        # fully stalled router stays stalled until a flit or credit
+        # arrives (its own holders/credits only change through its own
+        # departures), so allocation_step can skip it outright.
+        self._alloc_idle = False
 
         # Reusable request buffers (avoid per-cycle allocation).
         self._va_requests: List[Optional[VCRequest]] = [None] * (P * V)
@@ -124,6 +150,23 @@ class Router:
         self._stuck_by_port = None
 
     # ------------------------------------------------------------------
+    @property
+    def kernel(self) -> str:
+        return self._kernel
+
+    @kernel.setter
+    def kernel(self, value: str) -> None:
+        # Rebinding the dispatch target here lets the network's cycle
+        # loop call ``_alloc_step`` directly, skipping a per-router
+        # per-cycle wrapper frame and string compare.
+        self._kernel = value
+        self._alloc_step = (
+            self._allocation_step_fast
+            if value == "fast"
+            else self._allocation_step_reference
+        )
+
+    # ------------------------------------------------------------------
     def attach_fault_state(self, fault_state) -> None:
         """Wire a :class:`repro.faults.FaultState` into this router.
 
@@ -132,6 +175,7 @@ class Router:
         to the faults that actually touch this router.
         """
         self.fault_state = fault_state
+        self._alloc_idle = False
         if fault_state is None:
             self._stuck_by_port = None
             self.vc_alloc.fault_mask = None
@@ -182,8 +226,18 @@ class Router:
             fs.counters["buffer_overflows"] += 1
             ivc.force_push(flit)
         else:
-            ivc.push(flit)
-        self._busy.add((port, vc))
+            # Inlined InputVC.push (once per flit per hop).
+            queue = ivc.queue
+            n = len(queue)
+            if n >= ivc.depth:
+                raise RuntimeError(
+                    "input VC overflow: credit-based flow control violated"
+                )
+            queue.append(flit)
+            if n >= ivc.high_water:
+                ivc.high_water = n + 1
+        self._busy.add(port * self.num_vcs + vc)
+        self._alloc_idle = False
         if self.observer is not None:
             self.observer.flit_arrived(self.id, port, vc, flit, network.time)
 
@@ -197,11 +251,198 @@ class Router:
                 return
             raise RuntimeError("credit overflow: flow-control accounting bug")
         self.credits[port][vc] += 1
+        self._alloc_idle = False
 
     # ------------------------------------------------------------------
     # one allocation cycle
     # ------------------------------------------------------------------
     def allocation_step(self, network: "Network", now: int) -> None:
+        if self._busy and not self._alloc_idle:
+            self._alloc_step(network, now)
+
+    def _allocation_step_fast(self, network: "Network", now: int) -> None:
+        """Sparse allocation cycle (the profiled hot path).
+
+        Builds the VA/SA request sets directly in the sparse form the
+        allocators' ``allocate_sparse`` entry points consume, touching
+        only occupied VCs.  Iterates ``_busy`` in sorted order to
+        satisfy the allocators' ascending-index preconditions; every
+        step below is order-independent (requests land in fixed slots,
+        route calls are RNG-free and read state that only mutates after
+        allocation), so the result is bit-identical to the reference
+        path regardless of set iteration order.
+
+        While building the request set the loop also detects the
+        *uncontested* case -- no VC/speculative requests, at most one
+        switch request per input port and per output port.  Such a
+        request set is granted in full by every allocator architecture,
+        so the matching machinery is skipped entirely and only the
+        arbiter priority updates are committed
+        (:meth:`~repro.core.speculative.SpeculativeSwitchAllocator.grant_uncontested`);
+        at typical loads this covers the majority of router cycles.
+        Observer runs always take the generic path so the per-cycle
+        instrumentation counts stay identical.
+        """
+        obs = self.observer
+        if obs is not None:
+            wins0 = self.speculative_wins
+            miss0 = self.misspeculations
+
+        fs = self.fault_state
+        if fs is not None:
+            blocked = fs.blocked_ports(self.id, now)
+            self.sw_alloc.fault_mask = blocked
+            stuck = self._stuck_by_port
+        else:
+            blocked = None
+            stuck = None
+
+        ivc_flat = self._ivc_flat
+        pv_pairs = self._pv_pairs
+        credits = self.credits
+        output_holder = self.output_holder
+        class_vcs = self.partition.class_vcs_tuple
+
+        va_items: List[Tuple[int, int, List[int]]] = []
+        ns_items: List[Tuple[int, int, int]] = []
+        sp_items: List[Tuple[int, int, int]] = []
+        ns_append = ns_items.append
+
+        uncontested = obs is None
+        prev_p = -1
+        out_seen = 0  # bitmask of output ports already requested
+        did_route = False
+
+        for pv in sorted(self._busy):
+            ivc = ivc_flat[pv]
+            u = ivc.output_vc
+            if u >= 0:
+                # Active: bid non-speculatively if a credit exists.
+                q = ivc.output_port
+                if blocked is not None and q in blocked:
+                    fs.counters["link_blocked_requests"] += 1
+                    continue  # link down: the flit waits in place
+                if credits[q][u] > 0:
+                    p, v = pv_pairs[pv]
+                    ns_append((p, v, q))
+                    if p == prev_p or (out_seen >> q) & 1:
+                        uncontested = False
+                    prev_p = p
+                    out_seen |= 1 << q
+                elif obs is not None:
+                    obs.credit_stall(self.id, q, u)
+            else:
+                front = ivc.queue[0]
+                if not front.is_head:
+                    continue
+                q = front.out_port
+                if q < 0:
+                    front.out_port = self.route_fn(network, self, front.packet)
+                    did_route = True
+                    continue
+                if blocked is not None and q in blocked:
+                    fs.counters["link_blocked_requests"] += 1
+                    continue
+                pkt = front.packet
+                holders = output_holder[q]
+                cands = [
+                    w
+                    for w in class_vcs(pkt.message_class, pkt.resource_class)
+                    if holders[w] is None
+                ]
+                if stuck is not None and cands:
+                    stuck_here = stuck.get(q)
+                    if stuck_here:
+                        kept = [
+                            w
+                            for w in cands
+                            if w not in stuck_here
+                            or not fs.vc_stuck(self.id, q, w, now)
+                        ]
+                        fs.counters["stuck_vc_masked"] += len(cands) - len(kept)
+                        cands = kept
+                if cands:
+                    p, v = pv_pairs[pv]
+                    va_items.append((pv, q, cands))
+                    sp_items.append((p, v, q))
+                    uncontested = False
+                elif obs is not None:
+                    obs.vc_starved(self.id, q)
+
+        if not ns_items and not sp_items:
+            # Zero requests and no state touched: with no faults or
+            # observer attached the request set cannot change until a
+            # flit or credit arrives here, so latch the stall and skip
+            # the scan on subsequent cycles (receive_flit /
+            # receive_credit clear the latch).
+            if fs is None and obs is None and not did_route:
+                self._alloc_idle = True
+            return
+
+        if uncontested:
+            # Conflict-free cycle: every request wins by construction.
+            self.sw_alloc.grant_uncontested(ns_items)
+            depart = self._depart
+            for p, v, _q in ns_items:
+                depart(network, now, p, v)
+            return
+
+        va_grants: List[Optional[Tuple[int, int]]] = []
+        if va_items:
+            va_grants = self.vc_alloc.allocate_sparse(va_items)
+
+        result = self.sw_alloc.allocate_sparse(ns_items, sp_items)
+
+        # Commit this cycle's VC grants.
+        granted_now = {}
+        for (flat, _q, _cands), g in zip(va_items, va_grants):
+            if g is not None:
+                p, v = pv_pairs[flat]
+                q, u = g
+                ivc = ivc_flat[flat]
+                ivc.assign_output(q, u)
+                output_holder[q][u] = (p, v)
+                granted_now[(p, v)] = g
+                if obs is not None:
+                    obs.vc_granted(self.id, p, v, ivc.queue[0], now)
+
+        # Non-speculative switch winners depart.
+        depart = self._depart
+        for p, g in enumerate(result.nonspec):
+            if g is not None:
+                depart(network, now, p, g[0])
+
+        # Speculative winners depart only if their VC allocation also
+        # succeeded this cycle and the granted VC has a credit.
+        for p, g in enumerate(result.spec):
+            if g is None:
+                continue
+            v, q = g
+            vag = granted_now.get((p, v))
+            if vag is not None and vag[0] == q and credits[q][vag[1]] > 0:
+                self.speculative_wins += 1
+                depart(network, now, p, v)
+            else:
+                self.misspeculations += 1
+        self.misspeculations += result.spec_discarded
+
+        if obs is not None:
+            obs.alloc_cycle(
+                self.id,
+                now,
+                va_requests=len(va_items),
+                va_grants=len(granted_now),
+                sa_nonspec_requests=len(ns_items),
+                sa_spec_requests=len(sp_items),
+                sa_nonspec_grants=result.grant_counts()[0],
+                sa_spec_wins=self.speculative_wins - wins0,
+                sa_spec_kills=self.misspeculations - miss0,
+            )
+
+    def _allocation_step_reference(self, network: "Network", now: int) -> None:
+        """Dense allocation cycle -- the original implementation, kept
+        as the equivalence oracle for the fast kernel (only the busy-set
+        bookkeeping, shared with the fast path, uses flat indices)."""
         P, V = self.num_ports, self.num_vcs
         part = self.partition
         va_req = self._va_requests
@@ -233,7 +474,8 @@ class Router:
         any_sp = False
         waiting: List[Tuple[int, int]] = []
         touched: List[Tuple[int, int]] = []
-        for p, v in self._busy:
+        for pv in self._busy:
+            p, v = self._pv_pairs[pv]
             ivc = self.input_vcs[p][v]
             front = ivc.queue[0]
             if ivc.output_vc >= 0:
@@ -358,33 +600,57 @@ class Router:
 
     # ------------------------------------------------------------------
     def _depart(self, network: "Network", now: int, p: int, v: int) -> None:
-        """Send the front flit of input VC (p, v) through the crossbar."""
-        ivc = self.input_vcs[p][v]
+        """Send the front flit of input VC (p, v) through the crossbar.
+
+        The buffer pop and event scheduling are inlined (rather than
+        going through ``InputVC.pop_front`` / ``Network.schedule_*``):
+        this runs once per flit per hop and the call overhead dominates
+        the work.  Semantics are identical to those helpers.
+        """
+        pv = p * self.num_vcs + v
+        ivc = self._ivc_flat[pv]
         q, u = ivc.output_port, ivc.output_vc
-        flit, finished = ivc.pop_front()
-        if not ivc.queue:
-            self._busy.discard((p, v))
+        queue = ivc.queue
+        flit = queue.popleft()
+        if flit.is_tail:
+            # Tail: the packet releases its input VC and output VC.
+            ivc.output_port = -1
+            ivc.output_vc = -1
+            self.output_holder[q][u] = None
+        if not queue:
+            self._busy.discard(pv)
         self.switch_grants += 1
         self.port_flits[q] += 1
 
-        # Consume a downstream credit and release the output VC on tail.
-        self.credits[q][u] -= 1
-        assert self.credits[q][u] >= 0, "negative credits"
-        if finished:
-            self.output_holder[q][u] = None
+        # Consume a downstream credit.
+        cr = self.credits[q]
+        cr[u] -= 1
+        assert cr[u] >= 0, "negative credits"
 
         # SA grant in cycle `now`, switch traversal in `now+1`, `latency`
         # cycles on the wire; the downstream buffer write makes the flit
         # eligible for allocation in `now + 2 + latency`.
         kind, neighbor, dest_port, latency = self.out_links[q]
-        network.schedule_flit(now + 2 + latency, kind, neighbor, dest_port, u, flit)
+        when = now + 2 + latency
+        events = network._flit_events
+        lst = events.get(when)
+        if lst is None:
+            events[when] = [(kind, neighbor, dest_port, u, flit)]
+        else:
+            lst.append((kind, neighbor, dest_port, u, flit))
 
         # The buffer slot frees at switch traversal (`now+1`); the credit
         # travels upstream and is usable one cycle after it lands.
         up = self.upstream[p]
         if up is not None:
             up_kind, up_obj, up_port, up_lat = up
-            network.schedule_credit(now + 2 + up_lat, up_kind, up_obj, up_port, v)
+            when = now + 2 + up_lat
+            events = network._credit_events
+            lst = events.get(when)
+            if lst is None:
+                events[when] = [(up_kind, up_obj, up_port, v)]
+            else:
+                lst.append((up_kind, up_obj, up_port, v))
 
         if self.observer is not None:
             self.observer.flit_departed(self.id, p, v, q, u, flit, now)

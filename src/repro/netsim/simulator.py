@@ -36,7 +36,11 @@ __all__ = [
 # Bump whenever a change alters the *numbers* a simulation produces for
 # an unchanged SimulationConfig (pipeline timing, RNG draw order,
 # saturation heuristics, ...), so stale cached sweeps are invalidated.
-SIMULATOR_REV = 1
+# rev 2: speculative switch allocation no longer advances arbiter
+# priority state for masked (discarded) speculative grants, and the
+# wavefront priority diagonal holds on request-free cycles -- both
+# change allocation outcomes under contention.
+SIMULATOR_REV = 2
 
 # Average flits per transaction (request + its reply): read = 1 + 5,
 # write = 5 + 1, so 6 either way; each transaction injects at two
@@ -230,8 +234,16 @@ def _resolve_pattern(name: str, num_terminals: int):
         raise ValueError(f"unknown traffic pattern {name!r}") from None
 
 
-def build_network(cfg: SimulationConfig) -> Network:
-    """Instantiate the configured topology with traffic attached."""
+def build_network(cfg: SimulationConfig, kernel: str = "fast") -> Network:
+    """Instantiate the configured topology with traffic attached.
+
+    ``kernel`` selects the routers' allocation implementation:
+    ``"fast"`` (sparse, the default) or ``"reference"`` (the dense
+    oracle).  The two are bit-identical by contract -- see
+    ``tests/perf/test_kernel_equivalence.py`` -- so the choice never
+    affects results, only wall-clock speed, and deliberately does NOT
+    enter the simulation config (or its cache key).
+    """
     kwargs = dict(
         dest_fn=_resolve_pattern(cfg.traffic_pattern, 64),
         vcs_per_class=cfg.vcs_per_class,
@@ -247,12 +259,15 @@ def build_network(cfg: SimulationConfig) -> Network:
         lookahead=cfg.lookahead,
     )
     if cfg.topology == "mesh":
-        return build_mesh(8, **kwargs)
-    if cfg.topology == "fbfly":
-        return build_fbfly(4, 4, 4, **kwargs)
-    if cfg.topology == "torus":
-        return build_torus(8, **kwargs)
-    raise ValueError(f"unknown topology {cfg.topology!r}")
+        net = build_mesh(8, **kwargs)
+    elif cfg.topology == "fbfly":
+        net = build_fbfly(4, 4, 4, **kwargs)
+    elif cfg.topology == "torus":
+        net = build_torus(8, **kwargs)
+    else:
+        raise ValueError(f"unknown topology {cfg.topology!r}")
+    net.set_kernel(kernel)
+    return net
 
 
 def run_simulation_worker(cfg_dict: Dict[str, Any]) -> Dict[str, Any]:
@@ -269,7 +284,9 @@ def run_simulation_worker(cfg_dict: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def run_simulation(
-    cfg: SimulationConfig, observer: Optional["SimObserver"] = None
+    cfg: SimulationConfig,
+    observer: Optional["SimObserver"] = None,
+    kernel: str = "fast",
 ) -> SimulationResult:
     """Warm up, measure, drain; return latency/throughput statistics.
 
@@ -279,8 +296,12 @@ def run_simulation(
     returns bit-identical statistics to an uninstrumented one.  The
     parallel sweep path (:func:`run_simulation_worker`) is always
     uninstrumented; instrumented sweeps run inline.
+
+    ``kernel`` selects the allocation implementation (``"fast"`` /
+    ``"reference"``); results are bit-identical either way (see
+    :func:`build_network`).
     """
-    net = build_network(cfg)
+    net = build_network(cfg, kernel=kernel)
     if observer is not None:
         observer.run_started(cfg)
         net.attach_observer(observer)
@@ -329,8 +350,11 @@ def run_simulation(
         observer.run_finished(net, cfg)
 
     n_terms = net.num_terminals
-    injected_rate = (inj1 - inj0) / (cfg.measure_cycles * n_terms)
-    accepted_rate = (ej1 - ej0) / (cfg.measure_cycles * n_terms)
+    # A zero-length measurement window (legal, e.g. warmup-only probe
+    # runs) has no rate denominator; report zero rather than dividing.
+    meas_flit_slots = cfg.measure_cycles * n_terms
+    injected_rate = (inj1 - inj0) / meas_flit_slots if meas_flit_slots else 0.0
+    accepted_rate = (ej1 - ej0) / meas_flit_slots if meas_flit_slots else 0.0
 
     if measured:
         latencies = [p.arrival_time - p.birth_time for p in measured]

@@ -68,6 +68,9 @@ class Terminal:
         self.packet_rate = packet_rate
         self.read_fraction = read_fraction
         self.rng = rng
+        # Bound method for the per-cycle geometric draw (saves two
+        # attribute loads per terminal per cycle on the hot path).
+        self._rand = rng.random
         self.dest_fn = dest_fn
         self.num_terminals = num_terminals
 
@@ -121,10 +124,10 @@ class Terminal:
     # ------------------------------------------------------------------
     def step(self, network: "Network", now: int) -> None:
         # 1. Generate new request traffic (geometric process).
-        if self.packet_rate > 0 and self.rng.random() < self.packet_rate:
+        if self.packet_rate > 0 and self._rand() < self.packet_rate:
             ptype = (
                 PacketType.READ_REQUEST
-                if self.rng.random() < self.read_fraction
+                if self._rand() < self.read_fraction
                 else PacketType.WRITE_REQUEST
             )
             dest = self.dest_fn(self.rng, self.id, self.num_terminals)
@@ -192,7 +195,7 @@ class Terminal:
         part = self.router.partition
         best = None
         best_credits = 0
-        for u in part.class_vcs(pkt.message_class, pkt.resource_class):
+        for u in part.class_vcs_tuple(pkt.message_class, pkt.resource_class):
             if self.credits[u] > best_credits:
                 best = u
                 best_credits = self.credits[u]

@@ -206,8 +206,35 @@ class TestWavefront:
     def test_diagonal_rotates(self):
         wf = WavefrontAllocator(4, 4)
         assert wf.priority_diagonal == 0
-        wf.allocate(np.zeros((4, 4), dtype=bool))
+        req = np.zeros((4, 4), dtype=bool)
+        req[1, 2] = True
+        wf.allocate(req)
         assert wf.priority_diagonal == 1
+
+    def test_idle_cycles_hold_the_diagonal(self):
+        """Rotate-after-every-*allocation*: an empty request matrix
+        performs no allocation, so the priority diagonal must not move
+        (regression for the idle-cycle rotation bug)."""
+        wf = WavefrontAllocator(4, 4)
+        empty = np.zeros((4, 4), dtype=bool)
+        req = np.zeros((4, 4), dtype=bool)
+        req[0, 0] = True
+
+        seen = []
+        # Interleave idle cycles with real allocations: the diagonal
+        # sequence must be driven by allocations alone.
+        for _ in range(3):
+            seen.append(wf.priority_diagonal)
+            wf.allocate(empty)
+            assert wf.priority_diagonal == seen[-1]
+            grants = wf.allocate(req)
+            assert grants.any()
+        assert seen == [0, 1, 2]
+
+    def test_fixed_priority_ablation_unaffected_by_idle(self):
+        wf = WavefrontAllocator(3, 3, rotate_priority=False)
+        wf.allocate(np.zeros((3, 3), dtype=bool))
+        assert wf.priority_diagonal == 0
 
     def test_fixed_priority_variant_starves(self):
         wf = WavefrontAllocator(2, 2, rotate_priority=False)

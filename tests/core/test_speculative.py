@@ -213,3 +213,107 @@ class TestMasking:
         ns[0][0] = 1
         res = alloc.allocate(ns, _none_reqs(4, 2))
         assert res.nonspec[0] == (0, 1)
+
+
+def _arbiter_state(arb):
+    """Deep-copy the priority state of any behavioural arbiter kind."""
+    state = {}
+    if hasattr(arb, "_pointer"):
+        state["pointer"] = arb._pointer
+    if hasattr(arb, "_beats"):
+        state["beats"] = [list(row) for row in arb._beats]
+    if hasattr(arb, "_group_arbs"):  # tree arbiter
+        state["groups"] = [_arbiter_state(a) for a in arb._group_arbs]
+        state["top"] = _arbiter_state(arb._top_arb)
+    return state
+
+
+def _spec_core_state(alloc):
+    core = alloc._spec_alloc
+    return {
+        "vc": [_arbiter_state(a) for a in core._vc_arbs],
+        "port": [_arbiter_state(a) for a in core._port_arbs],
+    }
+
+
+class TestKilledSpeculationLeavesPriorityUntouched:
+    """A speculative grant masked off by the filter never happened, so
+    the speculative core's arbiter priority state must not advance
+    (update-on-success, the same iSLIP discipline the separable stages
+    apply between their own two stages)."""
+
+    @pytest.mark.parametrize("arbiter", ["rr", "m"])
+    @pytest.mark.parametrize("arch", ["sep_if", "sep_of"])
+    def test_pessimistic_kill_is_stateless(self, arch, arbiter):
+        P, V = 4, 2
+        alloc = SpeculativeSwitchAllocator(
+            P, V, arch=arch, arbiter=arbiter, scheme="pessimistic"
+        )
+        ns = _none_reqs(P, V)
+        ns[0][0] = 3
+        spec = _none_reqs(P, V)
+        spec[1][1] = 3  # masked: output 3 carries a non-spec request
+        before = _spec_core_state(alloc)
+        res = alloc.allocate(ns, spec)
+        assert res.spec == [None] * P
+        assert res.spec_discarded == 1
+        assert _spec_core_state(alloc) == before
+
+    @pytest.mark.parametrize("arbiter", ["rr", "m"])
+    def test_conventional_kill_is_stateless(self, arbiter):
+        P, V = 4, 2
+        alloc = SpeculativeSwitchAllocator(
+            P, V, arbiter=arbiter, scheme="conventional"
+        )
+        ns = _none_reqs(P, V)
+        ns[0][0] = 2
+        spec = _none_reqs(P, V)
+        spec[3][0] = 2  # masked: output 2 carries a non-spec grant
+        before = _spec_core_state(alloc)
+        res = alloc.allocate(ns, spec)
+        assert res.spec == [None] * P
+        assert res.spec_discarded == 1
+        assert _spec_core_state(alloc) == before
+
+    @pytest.mark.parametrize("arbiter", ["rr", "m"])
+    def test_surviving_grant_still_advances(self, arbiter):
+        P, V = 4, 2
+        alloc = SpeculativeSwitchAllocator(
+            P, V, arbiter=arbiter, scheme="pessimistic"
+        )
+        spec = _none_reqs(P, V)
+        spec[1][0] = 2
+        spec[1][1] = 3  # contends in the VC stage at input 1
+        before = _spec_core_state(alloc)
+        res = alloc.allocate(_none_reqs(P, V), spec)
+        assert res.spec[1] is not None
+        assert _spec_core_state(alloc) != before
+
+    def test_kill_does_not_shift_later_cycles(self):
+        # End-to-end fairness check: two allocators that see the same
+        # surviving grants must agree on all later cycles, regardless of
+        # interleaved killed speculation.
+        P, V = 4, 2
+        a = SpeculativeSwitchAllocator(P, V, scheme="pessimistic")
+        b = SpeculativeSwitchAllocator(P, V, scheme="pessimistic")
+
+        # a sees a killed speculative grant; b sees nothing that cycle.
+        ns = _none_reqs(P, V)
+        ns[0][0] = 3
+        spec = _none_reqs(P, V)
+        spec[1][0] = 3
+        res = a.allocate(ns, spec)
+        assert res.spec_discarded == 1
+        res_b = b.allocate(ns, _none_reqs(P, V))
+        assert res.nonspec == res_b.nonspec
+
+        # From here on, identical speculative traffic must produce
+        # identical grants -- the killed grant left no trace in a.
+        spec2 = _none_reqs(P, V)
+        spec2[1][0] = 0
+        spec2[1][1] = 2
+        spec2[2][0] = 0
+        for _ in range(3):
+            ra = a.allocate(_none_reqs(P, V), spec2)
+            rb = b.allocate(_none_reqs(P, V), spec2)
+            assert ra.spec == rb.spec

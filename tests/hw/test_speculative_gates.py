@@ -23,9 +23,18 @@ def _make_sim(P, V, arch, scheme):
         # core second); each builder creates its P pointer registers
         # before its per-port pre-selection masks.
         regs = [i for i, k in enumerate(nl.kinds) if k == _DFF]
-        # Identify ring registers: they are DFFs whose D input is
-        # another DFF (pure rotation), which only the rings have.
-        ring = [q for q in regs if nl.kinds[nl.reg_d[q]] == _DFF]
+        # Identify ring registers: their D input is a hold-mux whose
+        # *both* data legs are DFFs (self + previous ring stage).  The
+        # arbiter pointer registers also sit behind MUX2 cells, but
+        # with a combinational next-state on the update leg, so this
+        # shape is unique to the rotate-enabled diagonal rings.
+        _MUX2 = CELL_INDEX["MUX2"]
+        ring = [
+            q
+            for q in regs
+            if nl.kinds[nl.reg_d[q]] == _MUX2
+            and all(nl.kinds[f] == _DFF for f in nl.fanins[nl.reg_d[q]][:2])
+        ]
         assert len(ring) == 2 * P
         for q in ring:
             sim.set_register(q, 0)

@@ -1,0 +1,93 @@
+"""Tests for the kernel-bench regression gate
+(``scripts/check_bench_regression.py``)."""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "scripts"))
+import check_bench_regression as gate  # noqa: E402
+
+
+def _report(speedups: dict) -> dict:
+    return {
+        "schema": "repro/kernel-bench/v1",
+        "simulator_rev": 2,
+        "quick": True,
+        "points": [
+            {
+                "label": label,
+                "cycles": 1800,
+                "fast": {"cold_s": 1.0, "warm_s": 1.0,
+                         "cold_cycles_per_s": 1800.0,
+                         "warm_cycles_per_s": 1800.0},
+                "reference": {"cold_s": s, "warm_s": s,
+                              "cold_cycles_per_s": 1800.0 / s,
+                              "warm_cycles_per_s": 1800.0 / s},
+                "speedup_cold": s,
+                "speedup_warm": s,
+            }
+            for label, s in speedups.items()
+        ],
+    }
+
+
+def _write(tmp_path, name, report):
+    path = tmp_path / name
+    path.write_text(json.dumps(report))
+    return str(path)
+
+
+class TestGate:
+    def test_passes_within_threshold(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _report({"a": 3.0, "b": 2.0}))
+        cur = _write(tmp_path, "cur.json", _report({"a": 2.5, "b": 1.9}))
+        assert gate.main([cur, base]) == 0
+        assert "passed" in capsys.readouterr().out
+
+    def test_fails_beyond_threshold(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _report({"a": 3.0}))
+        cur = _write(tmp_path, "cur.json", _report({"a": 2.0}))
+        assert gate.main([cur, base]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSED" in out and "FAILED" in out
+
+    def test_threshold_is_configurable(self, tmp_path):
+        base = _write(tmp_path, "base.json", _report({"a": 3.0}))
+        cur = _write(tmp_path, "cur.json", _report({"a": 2.0}))
+        assert gate.main([cur, base, "--threshold", "0.40"]) == 0
+
+    def test_missing_point_fails(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _report({"a": 3.0, "b": 2.0}))
+        cur = _write(tmp_path, "cur.json", _report({"a": 3.0}))
+        assert gate.main([cur, base]) == 1
+        assert "missing" in capsys.readouterr().out
+
+    def test_extra_current_points_ignored(self, tmp_path):
+        base = _write(tmp_path, "base.json", _report({"a": 3.0}))
+        cur = _write(tmp_path, "cur.json", _report({"a": 3.0, "new": 0.5}))
+        assert gate.main([cur, base]) == 0
+
+    def test_floor_enforced(self, tmp_path, capsys):
+        base = _write(tmp_path, "base.json", _report({"a": 3.4}))
+        cur = _write(tmp_path, "cur.json", _report({"a": 3.1}))
+        # Within the 20% relative gate but below an absolute floor.
+        assert gate.main([cur, base, "--floor", "a=3.2"]) == 1
+        assert "floor" in capsys.readouterr().out
+        assert gate.main([cur, base, "--floor", "a=3.0"]) == 0
+
+    def test_bad_floor_spec_rejected(self, tmp_path):
+        base = _write(tmp_path, "base.json", _report({"a": 3.0}))
+        cur = _write(tmp_path, "cur.json", _report({"a": 3.0}))
+        with pytest.raises(SystemExit):
+            gate.main([cur, base, "--floor", "nonsense"])
+
+    def test_non_report_json_rejected(self, tmp_path):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        with pytest.raises(SystemExit):
+            gate.load(str(bogus))

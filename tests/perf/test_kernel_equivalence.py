@@ -1,0 +1,335 @@
+"""Differential equivalence harness: fast kernel vs. reference kernel.
+
+Two layers of defence pin the fast simulation kernel to the reference
+implementation:
+
+1. End-to-end differential runs: every design point of the bit-identity
+   matrix (``scripts/check_bit_identity.py``) at reduced depth, fast and
+   reference kernels side by side, asserting the full
+   ``SimulationResult`` payloads (and observer metric rows) match
+   exactly.  CI runs the same matrix at full depth via the script.
+2. Component-level property tests: the sparse allocator entry points
+   used only by the fast kernel (``allocate_sparse``,
+   ``grant_uncontested``, ``allocate_pairs``) against the dense paths
+   used by the reference kernel, over randomized multi-cycle request
+   streams, comparing both the grants and the post-cycle arbiter
+   priority state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.arbiters import (
+    FixedPriorityArbiter,
+    MatrixArbiter,
+    RoundRobinArbiter,
+    TreeArbiter,
+)
+from repro.core.speculative import SpeculativeSwitchAllocator
+from repro.core.switch_allocator import SwitchAllocator
+from repro.core.vc_allocator import VCAllocator, VCRequest
+from repro.core.vc_partition import VCPartition
+from repro.core.wavefront import WavefrontAllocator
+
+# The CLI face of the harness owns the config matrix; reuse it here so
+# the two can never drift apart.
+sys.path.insert(0, str(Path(__file__).resolve().parents[2] / "scripts"))
+import check_bit_identity as cbi  # noqa: E402
+
+
+# ---------------------------------------------------------------------------
+# Layer 1: end-to-end differential runs
+# ---------------------------------------------------------------------------
+
+# Shorter than the script's windows (this runs in tier-1 on every
+# commit); still long enough to pass warmup, fill the network and
+# exercise the drain logic.
+_WINDOWS = dict(warmup_cycles=80, measure_cycles=250, drain_cycles=400)
+
+
+def _design_points():
+    params = []
+    for label, cfg, observed in cbi.config_matrix(quick=True):
+        cfg = dataclasses.replace(cfg, **_WINDOWS)
+        params.append(pytest.param(cfg, observed, id=label.replace("/", "-")))
+    return params
+
+
+@pytest.mark.parametrize("cfg,observed", _design_points())
+def test_kernels_bit_identical(cfg, observed):
+    fast, ref, rows_fast, rows_ref = cbi.run_point(cfg, observed)
+    assert cbi.diff_payloads(fast, ref) == []
+    if observed:
+        assert rows_fast == rows_ref
+
+
+# ---------------------------------------------------------------------------
+# Layer 2: sparse-vs-dense component properties
+# ---------------------------------------------------------------------------
+
+
+def _arb_state(arb):
+    """Complete priority state of an arbiter, as a comparable value."""
+    if isinstance(arb, RoundRobinArbiter):
+        return ("rr", arb.pointer)
+    if isinstance(arb, MatrixArbiter):
+        return ("m", tuple(tuple(row) for row in arb._beats))
+    if isinstance(arb, TreeArbiter):
+        return (
+            "tree",
+            tuple(_arb_state(a) for a in arb._group_arbs),
+            _arb_state(arb._top_arb),
+        )
+    assert isinstance(arb, FixedPriorityArbiter)
+    return ("fixed",)
+
+
+def _sw_state(alloc: SwitchAllocator):
+    state = [_arb_state(a) for a in alloc._vc_arbs]
+    state += [_arb_state(a) for a in alloc._port_arbs]
+    if alloc._wavefront is not None:
+        state.append(("wf", alloc._wavefront.priority_diagonal))
+    return state
+
+
+def _vc_state(alloc: VCAllocator):
+    state = [_arb_state(a) for a in alloc._input_arbs]
+    state += [_arb_state(a) for a in alloc._output_arbs]
+    state += [("wf", wf.priority_diagonal) for wf in alloc._wavefronts]
+    return state
+
+
+# -- wavefront pair sweep ---------------------------------------------------
+
+
+@st.composite
+def _wf_case(draw):
+    m = draw(st.integers(1, 6))
+    n = draw(st.integers(1, 6))
+    rotations = draw(st.integers(0, max(m, n) - 1))
+    cells = draw(
+        st.sets(
+            st.tuples(st.integers(0, m - 1), st.integers(0, n - 1)),
+            max_size=m * n,
+        )
+    )
+    return m, n, rotations, sorted(cells)
+
+
+@given(case=_wf_case())
+@settings(max_examples=200, deadline=None)
+def test_wavefront_pairs_matches_dense(case):
+    m, n, rotations, cells = case
+    dense_wf = WavefrontAllocator(m, n)
+    pair_wf = WavefrontAllocator(m, n)
+    for _ in range(rotations):
+        dense_wf.advance_priority()
+        pair_wf.advance_priority()
+
+    req = np.zeros((m, n), dtype=bool)
+    for i, j in cells:
+        req[i, j] = True
+    dense_grants = dense_wf.allocate(req)
+    pair_grants = pair_wf.allocate_pairs(cells)
+
+    assert set(pair_grants) == set(zip(*(x.tolist() for x in np.nonzero(dense_grants))))
+    assert pair_wf.priority_diagonal == dense_wf.priority_diagonal
+
+
+# -- switch allocator -------------------------------------------------------
+
+_P, _V = 4, 3
+
+
+@st.composite
+def _sw_cycles(draw, max_cycles=4):
+    cycles = []
+    for _ in range(draw(st.integers(1, max_cycles))):
+        items = []
+        for p in range(_P):
+            for v in range(_V):
+                if draw(st.booleans()):
+                    items.append((p, v, draw(st.integers(0, _P - 1))))
+        cycles.append(items)
+    return cycles
+
+
+def _sw_dense(items):
+    requests = [[None] * _V for _ in range(_P)]
+    for p, v, q in items:
+        requests[p][v] = q
+    return requests
+
+
+@pytest.mark.parametrize("arch", ["sep_if", "sep_of", "wf"])
+@pytest.mark.parametrize("arbiter", ["rr", "m"])
+@given(cycles=_sw_cycles())
+@settings(max_examples=40, deadline=None)
+def test_switch_sparse_matches_dense(arch, arbiter, cycles):
+    dense_alloc = SwitchAllocator(_P, _V, arch, arbiter)
+    sparse_alloc = SwitchAllocator(_P, _V, arch, arbiter)
+    for items in cycles:
+        dense_grants = dense_alloc.allocate(_sw_dense(items))
+        sparse_grants = sparse_alloc.allocate_sparse(items)
+        assert sparse_grants == dense_grants
+    assert _sw_state(sparse_alloc) == _sw_state(dense_alloc)
+
+
+@st.composite
+def _uncontested_items(draw):
+    ports = sorted(draw(st.sets(st.integers(0, _P - 1), min_size=1)))
+    outs = draw(st.permutations(list(range(_P))))
+    return [
+        (p, draw(st.integers(0, _V - 1)), outs[k]) for k, p in enumerate(ports)
+    ]
+
+
+@pytest.mark.parametrize("arch", ["sep_if", "sep_of", "wf"])
+@pytest.mark.parametrize("arbiter", ["rr", "m"])
+@given(warmup=_sw_cycles(max_cycles=2), items=_uncontested_items())
+@settings(max_examples=40, deadline=None)
+def test_grant_uncontested_matches_sparse(arch, arbiter, warmup, items):
+    full = SwitchAllocator(_P, _V, arch, arbiter)
+    shortcut = SwitchAllocator(_P, _V, arch, arbiter)
+    for cycle in warmup:  # start from a randomized priority state
+        full.allocate_sparse(cycle)
+        shortcut.allocate_sparse(cycle)
+
+    grants = full.allocate_sparse(items)
+    shortcut.grant_uncontested(items)
+
+    # A conflict-free request set is granted in full by every arch ...
+    expected = [None] * _P
+    for p, v, q in items:
+        expected[p] = (v, q)
+    assert grants == expected
+    # ... and the shortcut leaves the arbiters in the identical state.
+    assert _sw_state(shortcut) == _sw_state(full)
+
+
+# -- speculative switch allocation ------------------------------------------
+
+
+@st.composite
+def _spec_cycles(draw, max_cycles=4):
+    cycles = []
+    for _ in range(draw(st.integers(1, max_cycles))):
+        ns, sp = [], []
+        for p in range(_P):
+            for v in range(_V):
+                kind = draw(st.integers(0, 3))
+                if kind == 1:
+                    ns.append((p, v, draw(st.integers(0, _P - 1))))
+                elif kind == 2:
+                    sp.append((p, v, draw(st.integers(0, _P - 1))))
+        cycles.append((ns, sp))
+    return cycles
+
+
+@pytest.mark.parametrize("scheme", ["pessimistic", "conventional"])
+@pytest.mark.parametrize("arch", ["sep_if", "wf"])
+@given(cycles=_spec_cycles())
+@settings(max_examples=40, deadline=None)
+def test_speculative_sparse_matches_dense(scheme, arch, cycles):
+    dense_alloc = SpeculativeSwitchAllocator(_P, _V, arch, "rr", scheme)
+    sparse_alloc = SpeculativeSwitchAllocator(_P, _V, arch, "rr", scheme)
+    for ns_items, sp_items in cycles:
+        dense = dense_alloc.allocate(_sw_dense(ns_items), _sw_dense(sp_items))
+        sparse = sparse_alloc.allocate_sparse(ns_items, sp_items)
+        assert sparse.nonspec == dense.nonspec
+        assert sparse.spec == dense.spec
+        assert sparse.spec_discarded == dense.spec_discarded
+    assert _sw_state(sparse_alloc._nonspec_alloc) == _sw_state(
+        dense_alloc._nonspec_alloc
+    )
+    assert _sw_state(sparse_alloc._spec_alloc) == _sw_state(dense_alloc._spec_alloc)
+
+
+def test_speculative_ns_empty_commits_inline():
+    """The ns-empty shortcut must grant AND advance exactly like the
+    staged path (nothing can be masked when the nonspec side is idle)."""
+    for scheme in ("pessimistic", "conventional"):
+        fast = SpeculativeSwitchAllocator(_P, _V, "sep_if", "rr", scheme)
+        ref = SpeculativeSwitchAllocator(_P, _V, "sep_if", "rr", scheme)
+        sp_items = [(0, 1, 2), (1, 0, 2), (2, 2, 0)]
+        out_fast = fast.allocate_sparse([], sp_items)
+        out_ref = ref.allocate(_sw_dense([]), _sw_dense(sp_items))
+        assert out_fast.nonspec == out_ref.nonspec
+        assert out_fast.spec == out_ref.spec
+        assert out_fast.spec_discarded == out_ref.spec_discarded == 0
+        assert _sw_state(fast._spec_alloc) == _sw_state(ref._spec_alloc)
+
+
+# -- VC allocator -----------------------------------------------------------
+
+_PARTITIONS = {
+    "single-class": VCPartition(1, 1, 3),
+    "two-classes": VCPartition(2, 1, 2),
+}
+
+
+@st.composite
+def _vc_cycles(draw, partition, num_ports, max_cycles=4):
+    V = partition.num_vcs
+    legal = {
+        v: [u for u in range(V) if partition.legal_transition(v, u)]
+        for v in range(V)
+    }
+    cycles = []
+    for _ in range(draw(st.integers(1, max_cycles))):
+        items = []
+        for i in range(num_ports * V):
+            if draw(st.booleans()):
+                cands = sorted(
+                    draw(st.sets(st.sampled_from(legal[i % V]), min_size=1))
+                )
+                items.append((i, draw(st.integers(0, num_ports - 1)), tuple(cands)))
+        cycles.append(items)
+    return cycles
+
+
+def _vc_dense(items, n):
+    requests = [None] * n
+    for i, q, cands in items:
+        requests[i] = VCRequest(q, cands)
+    return requests
+
+
+@pytest.mark.parametrize("part_name", sorted(_PARTITIONS))
+@pytest.mark.parametrize("arch", ["sep_if", "sep_of", "wf"])
+@pytest.mark.parametrize("arbiter", ["rr", "m"])
+@pytest.mark.parametrize("masked", [False, True])
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_vc_sparse_matches_dense(part_name, arch, arbiter, masked, data):
+    partition = _PARTITIONS[part_name]
+    P = 3
+    n = P * partition.num_vcs
+    dense_alloc = VCAllocator(P, partition, arch, arbiter)
+    sparse_alloc = VCAllocator(P, partition, arch, arbiter)
+    if masked:
+        # Two stuck output VCs (a faulted run): both paths must prune
+        # candidates identically, including fully-masked requests.
+        mask = frozenset({1, n - 1})
+        dense_alloc.fault_mask = mask
+        sparse_alloc.fault_mask = mask
+    cycles = data.draw(_vc_cycles(partition, P))
+    for items in cycles:
+        dense_grants = dense_alloc.allocate(_vc_dense(items, n))
+        sparse_grants = sparse_alloc.allocate_sparse(items)
+        assert len(sparse_grants) == len(items)
+        for pos, (i, _q, _cands) in enumerate(items):
+            assert sparse_grants[pos] == dense_grants[i]
+        granted_idx = {i for i, _q, _c in items}
+        for i in range(n):
+            if i not in granted_idx:
+                assert dense_grants[i] is None
+    assert _vc_state(sparse_alloc) == _vc_state(dense_alloc)

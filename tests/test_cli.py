@@ -38,6 +38,39 @@ class TestParser:
         assert args.resume is False
         assert args.checkpoint is None
 
+    @pytest.mark.parametrize("argv", [
+        ["sweep", "--jobs", "0"],
+        ["sweep", "--jobs", "-2"],
+        ["sweep", "--timeout", "0"],
+        ["sweep", "--timeout", "-5"],
+        ["sweep", "--retries", "-1"],
+        ["sweep", "--backoff", "-0.5"],
+    ])
+    def test_sweep_rejects_nonsensical_runner_values(self, argv, capsys):
+        # Bad worker/hardening values must die at the argparse layer
+        # (exit code 2) before any simulation work starts.
+        with pytest.raises(SystemExit) as exc:
+            build_parser().parse_args(argv)
+        assert exc.value.code == 2
+        err = capsys.readouterr().err
+        assert "must be" in err
+
+    @pytest.mark.parametrize("argv,attr,expected", [
+        (["sweep", "--jobs", "4"], "jobs", 4),
+        (["sweep", "--timeout", "2.5"], "timeout", 2.5),
+        (["sweep", "--retries", "0"], "retries", 0),
+        (["sweep", "--backoff", "0"], "backoff", 0.0),
+    ])
+    def test_sweep_accepts_boundary_runner_values(self, argv, attr, expected):
+        args = build_parser().parse_args(argv)
+        assert getattr(args, attr) == expected
+
+    def test_bench_defaults(self):
+        args = build_parser().parse_args(["bench"])
+        assert args.quick is False
+        assert args.output == "BENCH_kernel.json"
+        assert args.progress is False
+
     def test_faults_subcommand_defaults(self):
         args = build_parser().parse_args(["faults"])
         assert args.archs == "sep_if,sep_of,wf"
@@ -182,6 +215,34 @@ class TestCommands:
         rc = main(["report", str(tmp_path / "nope")])
         assert rc == 1
         assert "not a directory" in capsys.readouterr().err
+
+    def test_bench_writes_report(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        from repro.eval import kernel_bench
+
+        # Shrink the windows so the smoke test stays fast; the real
+        # quick windows are exercised by the CI bench-smoke job.
+        monkeypatch.setattr(
+            kernel_bench, "_QUICK_WINDOWS",
+            dict(warmup_cycles=40, measure_cycles=120, drain_cycles=120),
+        )
+        out_path = tmp_path / "BENCH_kernel.json"
+        rc = main(["bench", "--quick", "--output", str(out_path)])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "kernel benchmark" in out
+        assert "wrote" in out
+
+        report = json.loads(out_path.read_text())
+        assert report["schema"] == "repro/kernel-bench/v1"
+        assert report["quick"] is True
+        labels = [p["label"] for p in report["points"]]
+        assert "mesh-V8-wf-r0.15" in labels
+        for point in report["points"]:
+            assert point["speedup_warm"] > 0
+            assert point["fast"]["warm_cycles_per_s"] > 0
+            assert point["reference"]["warm_cycles_per_s"] > 0
 
     def test_cost_switch(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_COST_CACHE", str(tmp_path / "c.json"))
