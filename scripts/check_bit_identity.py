@@ -26,7 +26,7 @@ import time
 from typing import List, Optional, Tuple
 
 from repro.faults.plan import FaultPlan, LinkFault, StuckVC
-from repro.netsim.simulator import SimulationConfig, run_simulation
+from repro.netsim.simulator import SimulationConfig, build_network, run_simulation
 from repro.obs.observer import SimObserver
 
 # Short but non-trivial windows: long enough to reach steady state and
@@ -79,6 +79,24 @@ def config_matrix(quick: bool) -> List[Tuple[str, SimulationConfig, bool]]:
     return points
 
 
+def kernel_probe() -> Optional[str]:
+    """Error message if either allocation kernel cannot be selected.
+
+    A removed or broken kernel must fail this harness loudly -- an
+    exception here, swallowed into an empty matrix, would otherwise
+    read as "all identical".
+    """
+    cfg = SimulationConfig(
+        topology="mesh", warmup_cycles=0, measure_cycles=1, drain_cycles=0
+    )
+    for kernel in ("fast", "reference"):
+        try:
+            build_network(cfg, kernel=kernel)
+        except Exception as exc:  # noqa: BLE001 -- report, don't crash
+            return f"{kernel!r} kernel unavailable: {exc}"
+    return None
+
+
 def run_point(
     cfg: SimulationConfig, observed: bool
 ) -> Tuple[dict, dict, Optional[List[dict]], Optional[List[dict]]]:
@@ -118,6 +136,21 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
 
     points = config_matrix(args.quick)
+    if not points:
+        # "ALL IDENTICAL (0 design points)" is a vacuous pass; refuse it.
+        print(
+            "error: the design-point matrix is empty -- nothing was "
+            "compared, so bit identity is NOT established",
+            file=sys.stderr,
+        )
+        return 2
+    problem = kernel_probe()
+    if problem is not None:
+        print(
+            f"error: {problem} -- bit identity cannot be checked",
+            file=sys.stderr,
+        )
+        return 2
     failures = 0
     for label, cfg, observed in points:
         t0 = time.perf_counter()

@@ -1,0 +1,423 @@
+"""Netlist design-rule checker (DRC).
+
+A graph-based static checker over :class:`~repro.hw.netlist.Netlist`,
+modelled on the structural lint/DRC pass that precedes synthesis in an
+RTL flow.  The netlist representation makes some violations impossible
+to *construct* through the public API (gates may only reference earlier
+nets, ``connect_reg`` refuses double connection), but the checker
+verifies the invariants on the data itself so that corrupted, hand-
+edited or future-representation netlists are caught too -- and so the
+rules have teeth in tests, which seed synthetic defects by mutating the
+columnar arrays directly.
+
+Rules (catalogue with examples in ``docs/STATIC_ANALYSIS.md``):
+
+========================  ========  ==========================================
+rule id                   severity  violation
+========================  ========  ==========================================
+``DRC-COMB-LOOP``         error     combinational cycle through non-register
+                                    gates (register D->Q edges break paths)
+``DRC-UNDRIVEN``          error     fanin or register-D reference to a net id
+                                    that no node drives
+``DRC-MULTI-DRIVEN``      error     net driven both by combinational logic and
+                                    a register update (``reg_d`` attached to a
+                                    non-DFF node)
+``DRC-UNCONNECTED-REG``   error     register whose D input was never connected
+``DRC-FLOATING``          warning   gate or register output with no consumers
+                                    that is not a primary output
+``DRC-UNUSED-INPUT``      warning   primary input net with no consumers
+``DRC-DEAD``              warning   gate with consumers but unobservable from
+                                    every primary output
+``DRC-CONST-FOLD``        info      gate that constant-propagation or identity
+                                    rewriting would remove
+``DRC-FANOUT``            warning   net whose electrical load exceeds what the
+                                    biggest drive strength can carry
+========================  ========  ==========================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..hw.cells import CELLS, MAX_SIZE, WIRE_CAP_FF, cell_by_name
+from ..hw.netlist import KIND_CONST0, KIND_CONST1, KIND_INPUT, Netlist
+from .findings import Finding
+
+__all__ = ["DrcConfig", "NetlistDRC", "run_drc", "ALL_DRC_RULES"]
+
+_DFF_IX = next(i for i, c in enumerate(CELLS) if c.name == "DFF")
+
+ALL_DRC_RULES: Tuple[str, ...] = (
+    "DRC-COMB-LOOP",
+    "DRC-UNDRIVEN",
+    "DRC-MULTI-DRIVEN",
+    "DRC-UNCONNECTED-REG",
+    "DRC-FLOATING",
+    "DRC-UNUSED-INPUT",
+    "DRC-DEAD",
+    "DRC-CONST-FOLD",
+    "DRC-FANOUT",
+)
+
+
+@dataclass
+class DrcConfig:
+    """Tunables for the DRC run.
+
+    ``max_fanout_load`` is expressed as a multiple of a unit inverter
+    input capacitance: the default allows a max-size driver
+    (``MAX_SIZE`` from the cell library) to see up to ``fo4_per_stage``
+    equivalent FO4 loads, which every buffered net in the builders
+    satisfies -- an unbuffered broadcast net does not.
+    """
+
+    max_fanout_load: float = MAX_SIZE * 4.0
+    disabled_rules: Set[str] = field(default_factory=set)
+    #: Cap on reported findings per (rule, netlist); repetitive
+    #: structural findings past the cap collapse into one summary
+    #: finding so a pathological netlist cannot flood the report.
+    max_findings_per_rule: int = 25
+
+    def enabled(self, rule: str) -> bool:
+        return rule not in self.disabled_rules
+
+
+class NetlistDRC:
+    """Run every design rule over one netlist."""
+
+    def __init__(self, config: Optional[DrcConfig] = None) -> None:
+        self.config = config or DrcConfig()
+
+    # -- helpers -------------------------------------------------------
+    @staticmethod
+    def _net_label(nl: Netlist, nid: int) -> str:
+        kind = nl.kinds[nid] if 0 <= nid < len(nl.kinds) else None
+        if kind is None:
+            return f"net {nid} (nonexistent)"
+        if kind == KIND_INPUT:
+            name = nl.input_names.get(nid)
+            return f"net {nid} (input{f' {name}' if name else ''})"
+        if kind in (KIND_CONST0, KIND_CONST1):
+            return f"net {nid} (const{1 if kind == KIND_CONST1 else 0})"
+        return f"net {nid} ({CELLS[kind].name})"
+
+    def check(self, nl: Netlist) -> List[Finding]:
+        """All findings for ``nl``, unfiltered (baseline applies later)."""
+        cfg = self.config
+        scope = nl.name or "<unnamed>"
+        per_rule: Dict[str, List[Finding]] = {}
+        overflow: Dict[str, int] = {}
+
+        def emit(rule: str, severity: str, nid: int, message: str) -> None:
+            if not cfg.enabled(rule):
+                return
+            bucket = per_rule.setdefault(rule, [])
+            if len(bucket) >= cfg.max_findings_per_rule:
+                overflow[rule] = overflow.get(rule, 0) + 1
+                return
+            bucket.append(
+                Finding(rule, severity, scope, self._net_label(nl, nid), message)
+            )
+
+        consumers = self._consumers_checked(nl, emit)
+        self._check_registers(nl, emit)
+        self._check_loops(nl, emit)
+        self._check_liveness(nl, consumers, emit)
+        self._check_const_fold(nl, emit)
+        self._check_fanout(nl, consumers, emit)
+
+        findings = [f for bucket in per_rule.values() for f in bucket]
+        for rule, extra in overflow.items():
+            severity = next(
+                f.severity for f in per_rule[rule] if f.rule == rule
+            )
+            findings.append(
+                Finding(
+                    rule,
+                    severity,
+                    scope,
+                    "(summary)",
+                    f"{extra} further finding(s) of this rule suppressed "
+                    f"after the first {cfg.max_findings_per_rule}",
+                )
+            )
+        return findings
+
+    # -- structural integrity ------------------------------------------
+    def _consumers_checked(self, nl, emit) -> List[List[int]]:
+        """Consumer lists, reporting dangling references as DRC-UNDRIVEN."""
+        n = len(nl.kinds)
+        consumers: List[List[int]] = [[] for _ in range(n)]
+        for nid, fanin in enumerate(nl.fanins):
+            for f in fanin:
+                if not 0 <= f < n:
+                    emit(
+                        "DRC-UNDRIVEN", "error", nid,
+                        f"fanin references net {f}, which no node drives",
+                    )
+                else:
+                    consumers[f].append(nid)
+        for q, d in nl.reg_d.items():
+            if not 0 <= d < n:
+                emit(
+                    "DRC-UNDRIVEN", "error", q,
+                    f"register D references net {d}, which no node drives",
+                )
+            else:
+                consumers[d].append(q)
+        for out in nl.outputs:
+            if not 0 <= out < n:
+                emit(
+                    "DRC-UNDRIVEN", "error", out,
+                    "primary output references a net no node drives",
+                )
+        return consumers
+
+    def _check_registers(self, nl, emit) -> None:
+        n = len(nl.kinds)
+        for nid, kind in enumerate(nl.kinds):
+            if kind == _DFF_IX and nid not in nl.reg_d:
+                emit(
+                    "DRC-UNCONNECTED-REG", "error", nid,
+                    "register D input was never connected "
+                    "(missing connect_reg)",
+                )
+        for q in nl.reg_d:
+            if not 0 <= q < n:
+                continue  # reported as part of the reg map sanity below
+            if nl.kinds[q] != _DFF_IX:
+                emit(
+                    "DRC-MULTI-DRIVEN", "error", q,
+                    "net has a register update attached but is driven by "
+                    "combinational logic -- two drivers for one net",
+                )
+
+    # -- combinational loops -------------------------------------------
+    def _check_loops(self, nl, emit) -> None:
+        """Cycle detection over combinational fanin edges.
+
+        Register D->Q is a sequential edge and legitimately cyclic;
+        only gate-fanin edges participate.  Iterative three-color DFS
+        (the netlists run to millions of nets, recursion would blow the
+        stack).
+        """
+        n = len(nl.kinds)
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = [WHITE] * n
+        for root in range(n):
+            if color[root] != WHITE:
+                continue
+            stack: List[Tuple[int, int]] = [(root, 0)]
+            color[root] = GRAY
+            while stack:
+                node, edge_ix = stack[-1]
+                fanin = nl.fanins[node] if nl.kinds[node] != _DFF_IX else ()
+                if edge_ix < len(fanin):
+                    stack[-1] = (node, edge_ix + 1)
+                    child = fanin[edge_ix]
+                    if not 0 <= child < n:
+                        continue  # dangling ref; DRC-UNDRIVEN reports it
+                    if color[child] == GRAY:
+                        emit(
+                            "DRC-COMB-LOOP", "error", node,
+                            f"combinational cycle through net {child} "
+                            "(no register on the feedback path)",
+                        )
+                    elif color[child] == WHITE:
+                        color[child] = GRAY
+                        stack.append((child, 0))
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+
+    # -- liveness ------------------------------------------------------
+    def _check_liveness(self, nl, consumers, emit) -> None:
+        """Floating nets, unused inputs, and unobservable (dead) gates.
+
+        Observability: breadth-first from the primary outputs over
+        fanin edges; reaching a register output continues through its D
+        input (the register's next-state logic is observable through
+        the register).  A netlist without outputs treats every
+        register as an observability root, matching
+        :meth:`Netlist.validate`'s notion of timing endpoints.
+        """
+        n = len(nl.kinds)
+        roots = [o for o in nl.outputs if 0 <= o < n]
+        if not roots:
+            roots = [q for q in nl.reg_d if 0 <= q < n]
+        observable = [False] * n
+        frontier = []
+        for r in roots:
+            if not observable[r]:
+                observable[r] = True
+                frontier.append(r)
+        while frontier:
+            node = frontier.pop()
+            sources = list(nl.fanins[node])
+            if nl.kinds[node] == _DFF_IX and node in nl.reg_d:
+                sources.append(nl.reg_d[node])
+            for src in sources:
+                if 0 <= src < n and not observable[src]:
+                    observable[src] = True
+                    frontier.append(src)
+
+        is_output = [False] * n
+        for o in nl.outputs:
+            if 0 <= o < n:
+                is_output[o] = True
+
+        for nid, kind in enumerate(nl.kinds):
+            if kind in (KIND_CONST0, KIND_CONST1):
+                continue  # constants are wiring, not logic
+            floating = not consumers[nid] and not is_output[nid]
+            if kind == KIND_INPUT:
+                if floating:
+                    emit(
+                        "DRC-UNUSED-INPUT", "warning", nid,
+                        "primary input drives nothing",
+                    )
+                continue
+            if floating:
+                emit(
+                    "DRC-FLOATING", "warning", nid,
+                    "output drives nothing and is not a primary output",
+                )
+            elif not observable[nid]:
+                emit(
+                    "DRC-DEAD", "warning", nid,
+                    "gate is unobservable from every primary output "
+                    "(dead logic)",
+                )
+
+    # -- constant folding ----------------------------------------------
+    def _check_const_fold(self, nl, emit) -> None:
+        """Gates a constant-propagation pass would simplify away.
+
+        Tracks known-constant nets in creation order (a valid topological
+        order) and flags:
+
+        * gates whose output is a compile-time constant;
+        * gates with a constant input that reduces to a wire/inverter
+          (``AND(x, 1)``, ``OR(x, 0)``, ``MUX`` with constant select);
+        * gates with duplicated fanin nets (``AND2(a, a)``).
+        """
+        n = len(nl.kinds)
+        value: List[Optional[int]] = [None] * n
+        for nid, kind in enumerate(nl.kinds):
+            if kind == KIND_CONST0:
+                value[nid] = 0
+                continue
+            if kind == KIND_CONST1:
+                value[nid] = 1
+                continue
+            if kind < 0 or kind == _DFF_IX:
+                continue
+            cell = CELLS[kind]
+            fanin = nl.fanins[nid]
+            vals = [
+                value[f] if 0 <= f < n else None for f in fanin
+            ]
+            folded = _fold(cell.name, vals)
+            if folded is not None:
+                value[nid] = folded
+                emit(
+                    "DRC-CONST-FOLD", "info", nid,
+                    f"{cell.name} output is always {folded} "
+                    "(constant inputs)",
+                )
+                continue
+            if any(v is not None for v in vals):
+                emit(
+                    "DRC-CONST-FOLD", "info", nid,
+                    f"{cell.name} has a constant input; a wire or smaller "
+                    "cell computes the same function",
+                )
+                continue
+            if len(set(fanin)) < len(fanin):
+                emit(
+                    "DRC-CONST-FOLD", "info", nid,
+                    f"{cell.name} has duplicated fanin nets; the cell is "
+                    "reducible",
+                )
+
+    # -- fanout / load --------------------------------------------------
+    def _check_fanout(self, nl, consumers, emit) -> None:
+        """Electrical load per net vs. the strongest available driver.
+
+        Load is the sum of sink input capacitances (at the sinks'
+        current sizes) plus wire load per connection, in units of a
+        unit-inverter input cap; the limit models the most a max-size
+        driver can see before the stage effort leaves the library's
+        characterized range.  Primary inputs are exempt (the testbench
+        drives them); buffer trees exist precisely to keep internal
+        nets under this limit.
+        """
+        inv_cin = cell_by_name("INV").input_cap_ff
+        limit_ff = self.config.max_fanout_load * inv_cin
+        for nid, kind in enumerate(nl.kinds):
+            if kind < 0:  # inputs and constants are externally driven
+                continue
+            sinks = consumers[nid]
+            if len(sinks) < 2:
+                continue
+            load_ff = 0.0
+            for sink in sinks:
+                sink_kind = nl.kinds[sink]
+                cap = CELLS[sink_kind].input_cap_ff if sink_kind >= 0 else inv_cin
+                load_ff += cap * nl.sizes[sink] + WIRE_CAP_FF
+            if load_ff > limit_ff:
+                emit(
+                    "DRC-FANOUT", "warning", nid,
+                    f"net load {load_ff:.1f} fF across {len(sinks)} sinks "
+                    f"exceeds the {limit_ff:.1f} fF drive limit; insert a "
+                    "fanout tree",
+                )
+
+
+def _fold(cell_name: str, vals: Sequence[Optional[int]]) -> Optional[int]:
+    """Constant output of ``cell_name`` given per-input constants.
+
+    ``None`` marks an unknown input; returns ``None`` unless the output
+    is fully determined.
+    """
+    known = [v for v in vals if v is not None]
+    if cell_name in ("AND2", "AND3", "AND4"):
+        if 0 in known:
+            return 0
+        return 1 if len(known) == len(vals) else None
+    if cell_name in ("OR2", "OR3", "OR4"):
+        if 1 in known:
+            return 1
+        return 0 if len(known) == len(vals) else None
+    if cell_name == "NAND2":
+        if 0 in known:
+            return 1
+        return 0 if len(known) == len(vals) else None
+    if cell_name == "NOR2":
+        if 1 in known:
+            return 0
+        return 1 if len(known) == len(vals) else None
+    if cell_name == "INV":
+        return None if vals[0] is None else 1 - vals[0]
+    if cell_name == "BUF":
+        return vals[0]
+    if cell_name == "XOR2":
+        if vals[0] is None or vals[1] is None:
+            return None
+        return vals[0] ^ vals[1]
+    if cell_name == "MUX2":
+        d0, d1, sel = vals
+        if sel is not None:
+            return d1 if sel else d0
+        if d0 is not None and d0 == d1:
+            return d0
+        return None
+    return None
+
+
+def run_drc(
+    nl: Netlist, config: Optional[DrcConfig] = None
+) -> List[Finding]:
+    """Convenience wrapper: one netlist, all rules."""
+    return NetlistDRC(config).check(nl)

@@ -1,0 +1,148 @@
+"""DRC driver over every allocator netlist the paper evaluates.
+
+Enumerates the six design points (8x8 mesh V in {2,4,8}; 4x4 flattened
+butterfly V in {4,8,16}) across the allocator variants of Figures
+5/6/10/11 -- VC allocators (sparse, the paper's optimized builds) and
+switch allocators under all three speculation schemes -- builds each
+netlist, and runs the :class:`~repro.analysis.drc.NetlistDRC` over it.
+
+Design points whose gate estimate exceeds the synthesis capacity model
+are *skipped* exactly as the synthesis flow fails them (Design Compiler
+running out of memory in the paper); a skip is reported, not silently
+dropped.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, NamedTuple, Optional, Sequence, Tuple
+
+from ..eval.design_points import (
+    ALL_POINTS,
+    MESH_POINTS,
+    SPECULATION_SCHEMES,
+    SWITCH_VARIANTS,
+    VC_VARIANTS,
+    DesignPoint,
+)
+from ..hw.netlist import Netlist
+from ..hw.sw_alloc_gates import (
+    build_switch_allocator_netlist,
+    estimate_switch_allocator_gates,
+)
+from ..hw.synthesis import DEFAULT_MAX_CELLS
+from ..hw.vc_alloc_gates import (
+    build_vc_allocator_netlist,
+    estimate_vc_allocator_gates,
+)
+from .drc import DrcConfig, NetlistDRC
+from .findings import Finding
+
+__all__ = ["NetlistJob", "iter_paper_netlists", "lint_paper_netlists"]
+
+
+class NetlistJob(NamedTuple):
+    """One netlist to check, or the reason it cannot be built."""
+
+    label: str
+    builder: Optional[object]  # () -> Netlist, None when skipped
+    skip_reason: str = ""
+
+
+def _vc_jobs(point: DesignPoint, max_cells: int) -> Iterator[NetlistJob]:
+    for arch, arbiter in VC_VARIANTS:
+        label = f"vc/{point.label}/{arch}/{arbiter}/sparse"
+        estimate = estimate_vc_allocator_gates(
+            point.num_ports, point.partition, arch, arbiter, sparse=True
+        )
+        if estimate > max_cells:
+            yield NetlistJob(
+                label, None,
+                f"~{estimate} cells exceeds the {max_cells}-cell synthesis "
+                "capacity model (fails in the paper too)",
+            )
+            continue
+        yield NetlistJob(
+            label,
+            lambda p=point, a=arch, b=arbiter: build_vc_allocator_netlist(
+                p.num_ports, p.partition, a, b, sparse=True
+            ),
+        )
+
+
+def _sw_jobs(point: DesignPoint, max_cells: int) -> Iterator[NetlistJob]:
+    for arch, arbiter in SWITCH_VARIANTS:
+        for scheme in SPECULATION_SCHEMES:
+            label = f"sw/{point.label}/{arch}/{arbiter}/{scheme}"
+            estimate = estimate_switch_allocator_gates(
+                point.num_ports, point.num_vcs, arch, arbiter, scheme
+            )
+            if estimate > max_cells:
+                yield NetlistJob(
+                    label, None,
+                    f"~{estimate} cells exceeds the {max_cells}-cell "
+                    "synthesis capacity model (fails in the paper too)",
+                )
+                continue
+            yield NetlistJob(
+                label,
+                lambda p=point, a=arch, b=arbiter, s=scheme:
+                    build_switch_allocator_netlist(
+                        p.num_ports, p.num_vcs, a, b, s
+                    ),
+            )
+
+
+def iter_paper_netlists(
+    include_vc: bool = True,
+    include_sw: bool = True,
+    max_cells: int = DEFAULT_MAX_CELLS,
+    quick: bool = False,
+) -> Iterator[NetlistJob]:
+    """Lazily yield every checkable netlist job.
+
+    ``quick`` restricts to the smallest mesh design point (V=2) for
+    fast smoke runs; the full matrix is the CI configuration.
+    """
+    points: Sequence[DesignPoint] = MESH_POINTS[:1] if quick else ALL_POINTS
+    for point in points:
+        if include_vc:
+            yield from _vc_jobs(point, max_cells)
+        if include_sw:
+            yield from _sw_jobs(point, max_cells)
+
+
+def lint_paper_netlists(
+    config: Optional[DrcConfig] = None,
+    include_vc: bool = True,
+    include_sw: bool = True,
+    max_cells: int = DEFAULT_MAX_CELLS,
+    quick: bool = False,
+    progress=None,
+) -> Tuple[List[Finding], List[Tuple[str, str]], int]:
+    """Run the DRC across the paper matrix.
+
+    Returns ``(findings, skipped, checked)`` where ``skipped`` is a list
+    of ``(label, reason)`` for capacity-excluded points and ``checked``
+    counts netlists actually built and checked.  ``progress`` is an
+    optional callable receiving one status line per job.
+    """
+    drc = NetlistDRC(config)
+    findings: List[Finding] = []
+    skipped: List[Tuple[str, str]] = []
+    checked = 0
+    for job in iter_paper_netlists(include_vc, include_sw, max_cells, quick):
+        if job.builder is None:
+            skipped.append((job.label, job.skip_reason))
+            if progress is not None:
+                progress(f"skip {job.label}: {job.skip_reason}")
+            continue
+        nl: Netlist = job.builder()
+        found = drc.check(nl)
+        findings.extend(found)
+        checked += 1
+        if progress is not None:
+            progress(
+                f"drc  {job.label}: {nl.num_nets} nets, "
+                f"{len(found)} finding(s)"
+            )
+    return findings, skipped, checked

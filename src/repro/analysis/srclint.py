@@ -1,0 +1,431 @@
+"""Repo-invariant source linter.
+
+AST-based custom rules encoding contracts this repository relies on but
+no general-purpose linter knows about.  The *simulation code paths*
+(``repro/core``, ``repro/netsim``, ``repro/faults``, ``repro/hw``) must
+stay deterministic and observer-clean:
+
+========================  ========  ==========================================
+rule id                   severity  violation
+========================  ========  ==========================================
+``SRC-UNSEEDED-RANDOM``   error     module-level RNG use (``random.random()``,
+                                    ``np.random.rand()``) in simulation code:
+                                    all randomness must flow through seeded
+                                    ``Random(seed)`` / ``default_rng(seed)``
+                                    instances so runs are reproducible
+``SRC-WALL-CLOCK``        error     wall-clock reads (``time.time()``,
+                                    ``datetime.now()``...) in simulation code:
+                                    simulated time is the only clock; real
+                                    time makes results machine-dependent
+``SRC-SET-ITERATION``     error     iterating a ``set``/``frozenset`` directly
+                                    in ``repro/core`` / ``repro/netsim``:
+                                    set order depends on ``PYTHONHASHSEED``
+                                    for str keys -- wrap in ``sorted(...)``
+``SRC-OBSERVER-GUARD``    error     calling through ``observer`` or
+                                    ``fault_state`` in ``repro/netsim``
+                                    without an ``is not None`` guard: the
+                                    None fast path is the performance
+                                    contract (CHANGES.md PRs 2-3)
+========================  ========  ==========================================
+
+Scopes are decided from the path relative to the package root, so unit
+tests can lint snippets under synthetic paths.  ``# lint: ignore[RULE]``
+on the offending line suppresses a single finding in place (for the
+rare intentional exception; prefer fixing).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .findings import Finding
+
+__all__ = [
+    "lint_source_file",
+    "lint_source_tree",
+    "SIMULATION_PACKAGES",
+    "HOT_LOOP_PACKAGES",
+    "GUARDED_PACKAGES",
+    "ALL_SRC_RULES",
+]
+
+ALL_SRC_RULES: Tuple[str, ...] = (
+    "SRC-UNSEEDED-RANDOM",
+    "SRC-WALL-CLOCK",
+    "SRC-SET-ITERATION",
+    "SRC-OBSERVER-GUARD",
+)
+
+#: Packages whose code runs inside a simulation (determinism-bearing).
+SIMULATION_PACKAGES = ("core", "netsim", "faults", "hw")
+#: Packages whose hot loops must not depend on hash iteration order.
+HOT_LOOP_PACKAGES = ("core", "netsim")
+#: Packages where observer/fault_state access must stay behind the
+#: is-not-None fast path.
+GUARDED_PACKAGES = ("netsim",)
+
+#: Module-level RNG entry points (the unseeded global generators).
+_RANDOM_MODULE_FUNCS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "normalvariate", "expovariate",
+    "betavariate", "triangular", "seed", "getrandbits",
+}
+#: Wall-clock reads (monotonic counters included: any real-time read
+#: inside simulation logic makes behaviour timing-dependent).
+_WALL_CLOCK_FUNCS = {
+    ("time", "time"),
+    ("time", "time_ns"),
+    ("time", "monotonic"),
+    ("time", "monotonic_ns"),
+    ("time", "perf_counter"),
+    ("time", "perf_counter_ns"),
+    ("datetime", "now"),
+    ("datetime", "utcnow"),
+    ("datetime", "today"),
+    ("date", "today"),
+}
+#: numpy RNG constructors: fine when seeded, flagged when argument-free.
+_SEEDED_RNG_CONSTRUCTORS = {
+    "default_rng", "RandomState", "Generator", "SeedSequence",
+    "PCG64", "Philox", "MT19937", "SFC64",
+}
+#: Attribute names whose access must be None-guarded in GUARDED_PACKAGES.
+_GUARDED_ATTRS = ("observer", "fault_state")
+
+_IGNORE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9-]+(?:,\s*[A-Z0-9-]+)*)\]")
+
+
+def _block_terminates(stmts: Sequence[ast.stmt]) -> bool:
+    """True when control never falls off the end of ``stmts``."""
+    return bool(stmts) and isinstance(
+        stmts[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; None for other shapes."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _rel_package(path: str) -> Tuple[str, ...]:
+    """Path components below the ``repro`` package root, if any."""
+    parts = Path(path).parts
+    if "repro" in parts:
+        ix = len(parts) - 1 - list(reversed(parts)).index("repro")
+        return parts[ix + 1 :]
+    return parts
+
+
+class _IgnoreMap:
+    """Per-line ``# lint: ignore[RULE]`` pragmas."""
+
+    def __init__(self, code: str) -> None:
+        self.by_line: Dict[int, Set[str]] = {}
+        for lineno, line in enumerate(code.splitlines(), start=1):
+            m = _IGNORE_RE.search(line)
+            if m:
+                rules = {r.strip() for r in m.group(1).split(",")}
+                self.by_line[lineno] = rules
+
+    def ignored(self, rule: str, lineno: int) -> bool:
+        return rule in self.by_line.get(lineno, set())
+
+
+class _SourceLinter(ast.NodeVisitor):
+    def __init__(self, rel_path: str, code: str) -> None:
+        self.rel_path = rel_path
+        self.findings: List[Finding] = []
+        self._ignores = _IgnoreMap(code)
+        pkg = _rel_package(rel_path)
+        top = pkg[0] if pkg else ""
+        self.in_simulation = top in SIMULATION_PACKAGES
+        self.in_hot_loop = top in HOT_LOOP_PACKAGES
+        self.in_guarded = top in GUARDED_PACKAGES
+        #: stack of guard expressions proven non-None on this path
+        self._guards: List[Set[str]] = []
+        #: per-function aliases: local name -> guarded dotted source
+        self._alias_stack: List[Dict[str, str]] = []
+
+    # -- reporting -----------------------------------------------------
+    def _emit(self, rule: str, node: ast.AST, message: str) -> None:
+        lineno = getattr(node, "lineno", 0)
+        if self._ignores.ignored(rule, lineno):
+            return
+        self.findings.append(
+            Finding(rule, "error", self.rel_path, f"line {lineno}", message)
+        )
+
+    # -- determinism rules ---------------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.in_simulation:
+            dotted = _dotted(node.func)
+            if dotted:
+                self._check_random(node, dotted)
+                self._check_wall_clock(node, dotted)
+        if self.in_guarded:
+            self._check_observer_call(node)
+        self.generic_visit(node)
+
+    def _check_random(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        # random.random() / np.random.rand() / numpy.random.shuffle(...)
+        if (
+            len(parts) == 2
+            and parts[0] == "random"
+            and parts[1] in _RANDOM_MODULE_FUNCS
+        ):
+            self._emit(
+                "SRC-UNSEEDED-RANDOM", node,
+                f"call to module-level random.{parts[1]}(); use a seeded "
+                "random.Random(seed) instance instead",
+            )
+        elif (
+            len(parts) == 3
+            and parts[0] in ("np", "numpy")
+            and parts[1] == "random"
+        ):
+            func = parts[2]
+            if func in _SEEDED_RNG_CONSTRUCTORS:
+                # Constructing a generator is the sanctioned pattern --
+                # but only when an explicit seed is passed.
+                if not node.args and not node.keywords:
+                    self._emit(
+                        "SRC-UNSEEDED-RANDOM", node,
+                        f"{dotted}() without a seed draws entropy from the "
+                        "OS; pass an explicit seed",
+                    )
+                return
+            self._emit(
+                "SRC-UNSEEDED-RANDOM", node,
+                f"call to numpy global RNG {dotted}(); use "
+                "numpy.random.default_rng(seed) instead",
+            )
+
+    def _check_wall_clock(self, node: ast.Call, dotted: str) -> None:
+        parts = dotted.split(".")
+        if len(parts) >= 2 and (parts[-2], parts[-1]) in _WALL_CLOCK_FUNCS:
+            self._emit(
+                "SRC-WALL-CLOCK", node,
+                f"wall-clock read {dotted}() in simulation code; simulated "
+                "cycles are the only clock allowed here",
+            )
+
+    # -- set iteration order -------------------------------------------
+    def visit_comprehension(self, node: ast.comprehension) -> None:
+        if self.in_hot_loop:
+            self._check_set_iter(node.iter)
+        self.generic_visit(node)
+
+    def _check_set_iter(self, iter_node: ast.AST) -> None:
+        if isinstance(iter_node, (ast.Set, ast.SetComp)):
+            self._emit(
+                "SRC-SET-ITERATION", iter_node,
+                "iteration over a set literal/comprehension: order depends "
+                "on PYTHONHASHSEED; wrap in sorted(...)",
+            )
+        elif (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Name)
+            and iter_node.func.id in ("set", "frozenset")
+        ):
+            self._emit(
+                "SRC-SET-ITERATION", iter_node,
+                f"iteration over {iter_node.func.id}(...): order depends on "
+                "PYTHONHASHSEED; wrap in sorted(...)",
+            )
+
+    # -- observer / fault_state guards ---------------------------------
+    def _guard_exprs(self, test: ast.AST, when_true: bool) -> Set[str]:
+        """Dotted expressions proven non-None when ``test`` is truthy
+        (``when_true``) or falsy (``not when_true``)."""
+        proven: Set[str] = set()
+        if isinstance(test, ast.BoolOp):
+            # `a is not None and ...`: every conjunct holds on the true
+            # branch; no conclusions for `or` / the false branch.
+            if isinstance(test.op, ast.And) and when_true:
+                for clause in test.values:
+                    proven |= self._guard_exprs(clause, True)
+            return proven
+        if isinstance(test, ast.Compare) and len(test.ops) == 1:
+            left = _dotted(test.left)
+            is_none = (
+                isinstance(test.comparators[0], ast.Constant)
+                and test.comparators[0].value is None
+            )
+            if left and is_none:
+                if isinstance(test.ops[0], ast.IsNot) and when_true:
+                    proven.add(left)
+                elif isinstance(test.ops[0], ast.Is) and not when_true:
+                    proven.add(left)
+        elif when_true:
+            # `if self.observer:` -- truthiness implies non-None.
+            dotted = _dotted(test)
+            if dotted:
+                proven.add(dotted)
+        return proven
+
+    def visit_If(self, node: ast.If) -> None:
+        self._visit_branching(node.test, node.body, node.orelse)
+
+    def visit_IfExp(self, node: ast.IfExp) -> None:
+        self._visit_branching(node.test, [node.body], [node.orelse])
+
+    def _visit_branching(self, test, body, orelse) -> None:
+        self.visit(test)
+        self._guards.append(self._guard_exprs(test, True))
+        self._visit_block(body)
+        self._guards.pop()
+        self._guards.append(self._guard_exprs(test, False))
+        self._visit_block(orelse)
+        self._guards.pop()
+
+    def _visit_block(self, stmts: Sequence[ast.stmt]) -> None:
+        """Visit a statement list with flow narrowing.
+
+        Two statement shapes prove an expression non-None for every
+        *later* statement in the same block:
+
+        * ``if x is None: <...terminal>`` (early return/raise/continue/
+          break) -- the flip side of the branch guard;
+        * ``assert x is not None`` -- execution past it implies truth.
+        """
+        self._guards.append(set())
+        for stmt in stmts:
+            self.visit(stmt)
+            if (
+                isinstance(stmt, ast.If)
+                and not stmt.orelse
+                and _block_terminates(stmt.body)
+            ):
+                self._guards[-1] |= self._guard_exprs(stmt.test, False)
+            elif isinstance(stmt, ast.Assert):
+                self._guards[-1] |= self._guard_exprs(stmt.test, True)
+        self._guards.pop()
+
+    def visit_Module(self, node: ast.Module) -> None:
+        self._visit_block(node.body)
+
+    def visit_For(self, node: ast.For) -> None:
+        if self.in_hot_loop:
+            self._check_set_iter(node.iter)
+        self.visit(node.target)
+        self.visit(node.iter)
+        self._visit_block(node.body)
+        self._visit_block(node.orelse)
+
+    def visit_While(self, node: ast.While) -> None:
+        self.visit(node.test)
+        self._visit_block(node.body)
+        self._visit_block(node.orelse)
+
+    def visit_With(self, node: ast.With) -> None:
+        for item in node.items:
+            self.visit(item)
+        self._visit_block(node.body)
+
+    def visit_Try(self, node: ast.Try) -> None:
+        self._visit_block(node.body)
+        for handler in node.handlers:
+            self._visit_block(handler.body)
+        self._visit_block(node.orelse)
+        self._visit_block(node.finalbody)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._enter_function(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._enter_function(node)
+
+    def _enter_function(self, node) -> None:
+        for dec in node.decorator_list:
+            self.visit(dec)
+        self.visit(node.args)
+        self._alias_stack.append({})
+        outer_guards = self._guards
+        self._guards = []
+        self._visit_block(node.body)
+        self._guards = outer_guards
+        self._alias_stack.pop()
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        # Track `fs = self.fault_state` style aliases so a later
+        # `if fs is not None:` guard covers calls through `fs`.
+        if self._alias_stack and len(node.targets) == 1:
+            target = node.targets[0]
+            src = _dotted(node.value)
+            if isinstance(target, ast.Name) and src and self._is_guarded_name(src):
+                self._alias_stack[-1][target.id] = src
+        self.generic_visit(node)
+
+    @staticmethod
+    def _is_guarded_name(dotted: str) -> bool:
+        last = dotted.split(".")[-1]
+        return last in _GUARDED_ATTRS
+
+    def _check_observer_call(self, node: ast.Call) -> None:
+        """Calls shaped ``<expr>.method(...)`` where ``<expr>`` is an
+        observer-like attribute must sit under an ``is not None`` guard
+        for that same expression (or an alias of it)."""
+        if not isinstance(node.func, ast.Attribute):
+            return
+        target = _dotted(node.func.value)
+        if target is None:
+            return
+        aliases = self._alias_stack[-1] if self._alias_stack else {}
+        if not (self._is_guarded_name(target) or target in aliases):
+            return
+        # Accept a guard on the expression itself or on anything it
+        # aliases (fs -> self.fault_state).
+        candidates = {target}
+        if target in aliases:
+            candidates.add(aliases[target])
+        for guards in self._guards:
+            if candidates & guards:
+                return
+        self._emit(
+            "SRC-OBSERVER-GUARD", node,
+            f"call through {target!r} without an `is not None` guard; the "
+            "None fast path is the simulation performance contract",
+        )
+
+
+def lint_source_file(path: str, code: Optional[str] = None) -> List[Finding]:
+    """Lint one file; ``code`` overrides reading from disk (tests)."""
+    if code is None:
+        code = Path(path).read_text()
+    try:
+        tree = ast.parse(code, filename=path)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                "SRC-SYNTAX", "error", path,
+                f"line {exc.lineno or 0}", f"file does not parse: {exc.msg}",
+            )
+        ]
+    linter = _SourceLinter(path, code)
+    linter.visit(tree)
+    return linter.findings
+
+
+def lint_source_tree(root: Path) -> List[Finding]:
+    """Lint every ``*.py`` under ``root`` (the ``repro`` package dir).
+
+    Scopes are reported relative to ``root.parent`` so findings read
+    ``repro/netsim/router.py`` regardless of where the tree lives.
+    """
+    root = Path(root)
+    findings: List[Finding] = []
+    for path in sorted(root.rglob("*.py")):
+        rel = path.relative_to(root.parent)
+        findings.extend(lint_source_file(str(rel), path.read_text()))
+    return findings

@@ -17,7 +17,12 @@ Exposes the experiment harness without writing any Python:
 * ``report``      -- summarize a ``--metrics`` telemetry directory
   (top stall sources, matching efficiency vs. injection rate);
 * ``bench``       -- fast-kernel vs reference-kernel throughput
-  benchmark (writes ``BENCH_kernel.json``; see docs/PERFORMANCE.md).
+  benchmark (writes ``BENCH_kernel.json``; see docs/PERFORMANCE.md);
+* ``lint``        -- static verification (docs/STATIC_ANALYSIS.md):
+  ``--netlists`` runs the gate-level DRC over every paper design point,
+  ``--source`` runs the repo-invariant AST linter over ``src/repro``,
+  ``--rev-guard BASE`` checks the SIMULATOR_REV discipline against a
+  git base ref; findings gate CI unless baselined.
 """
 
 from __future__ import annotations
@@ -433,6 +438,100 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def cmd_lint(args) -> int:
+    """Static verification: netlist DRC + source linter + rev guard."""
+    from .analysis import (
+        Baseline,
+        DrcConfig,
+        check_simulator_rev,
+        format_findings,
+        lint_paper_netlists,
+        lint_source_tree,
+    )
+    from .analysis.findings import findings_to_json
+
+    run_netlists = args.netlists
+    run_source = args.source
+    run_rev = args.rev_guard is not None
+    if not (run_netlists or run_source or run_rev):
+        run_netlists = run_source = True
+
+    findings = []
+    meta = {}
+    if run_netlists:
+        progress = (
+            (lambda msg: print(msg, file=sys.stderr)) if args.progress else None
+        )
+        drc_kwargs = {}
+        if args.max_cells is not None:
+            drc_kwargs["max_cells"] = args.max_cells
+        drc_findings, skipped, checked = lint_paper_netlists(
+            config=DrcConfig(),
+            quick=args.quick,
+            progress=progress,
+            **drc_kwargs,
+        )
+        findings.extend(drc_findings)
+        meta["netlists_checked"] = checked
+        meta["netlists_skipped"] = [
+            {"label": label, "reason": reason} for label, reason in skipped
+        ]
+        for label, reason in skipped:
+            print(f"note: skipped {label}: {reason}", file=sys.stderr)
+    if run_source:
+        src_root = Path(args.src_root) if args.src_root else Path(__file__).parent
+        findings.extend(lint_source_tree(src_root))
+        meta["source_root"] = str(src_root)
+    if run_rev:
+        findings.extend(check_simulator_rev(Path.cwd(), args.rev_guard))
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path("lint-baseline.json").exists():
+        baseline_path = "lint-baseline.json"
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(Path(baseline_path))
+        except (OSError, ValueError) as exc:
+            print(f"error: bad baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+    else:
+        baseline = Baseline()
+    unsuppressed, suppressed = baseline.partition(findings)
+    stale = baseline.unused_entries()
+    for entry in stale:
+        print(
+            f"note: stale baseline entry matched nothing: {entry}",
+            file=sys.stderr,
+        )
+
+    if args.write_baseline:
+        new = Baseline(
+            [
+                {
+                    "rule": f.rule,
+                    "scope": f.scope,
+                    "location": f.location,
+                    "reason": "baselined by --write-baseline",
+                }
+                for f in unsuppressed
+            ]
+        )
+        new.dump(Path(args.write_baseline))
+        print(f"wrote {len(new.entries)} suppression(s) to "
+              f"{args.write_baseline}", file=sys.stderr)
+
+    if args.format == "json":
+        report = findings_to_json(unsuppressed, suppressed, meta=meta)
+    else:
+        report = format_findings(unsuppressed, suppressed=len(suppressed))
+    if args.output:
+        Path(args.output).write_text(report + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(report)
+    return 1 if unsuppressed else 0
+
+
 def cmd_report(args) -> int:
     from .obs.telemetry import summarize_metrics_dir
 
@@ -590,6 +689,40 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", action="store_true",
                    help="report per-point results on stderr as they land")
     p.set_defaults(fn=cmd_bench)
+
+    p = sub.add_parser(
+        "lint",
+        help="static verification: netlist DRC, source linter, rev guard")
+    p.add_argument("--netlists", action="store_true",
+                   help="run the gate-level DRC over every paper design "
+                        "point (default: netlists + source)")
+    p.add_argument("--source", action="store_true",
+                   help="run the repo-invariant AST linter over src/repro")
+    p.add_argument("--rev-guard", default=None, metavar="BASE_REF",
+                   help="check the SIMULATOR_REV discipline for changes "
+                        "since BASE_REF (e.g. origin/main)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="suppression file for accepted findings (default: "
+                        "lint-baseline.json in the working directory, if "
+                        "present)")
+    p.add_argument("--write-baseline", default=None, metavar="PATH",
+                   help="write the current unsuppressed findings out as a "
+                        "new baseline file")
+    p.add_argument("--format", choices=["text", "json"], default="text",
+                   help="report format (default: text)")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("--quick", action="store_true",
+                   help="DRC the smallest mesh design point only (smoke)")
+    p.add_argument("--max-cells", type=_positive_int, default=None,
+                   help="synthesis capacity model for the DRC matrix "
+                        "(default: the synthesis flow's budget)")
+    p.add_argument("--src-root", default=None, metavar="DIR",
+                   help="package directory for --source (default: the "
+                        "installed repro package)")
+    p.add_argument("--progress", action="store_true",
+                   help="report per-netlist progress on stderr")
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser(
         "report", help="summarize a --metrics telemetry directory")

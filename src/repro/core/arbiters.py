@@ -25,7 +25,7 @@ Three arbiter families from the paper are provided:
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 __all__ = [
     "Arbiter",
@@ -264,7 +264,7 @@ class TreeArbiter(Arbiter):
         self,
         num_groups: int,
         group_size: int,
-        arbiter_factory=RoundRobinArbiter,
+        arbiter_factory: Callable[[int], Arbiter] = RoundRobinArbiter,
     ) -> None:
         if num_groups < 1 or group_size < 1:
             raise ValueError("num_groups and group_size must be >= 1")

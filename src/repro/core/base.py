@@ -9,8 +9,10 @@ and at most one grant per column.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from typing import Optional, Tuple
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 __all__ = [
     "Allocator",
@@ -21,7 +23,9 @@ __all__ = [
 ]
 
 
-def as_request_matrix(requests, shape=None) -> np.ndarray:
+def as_request_matrix(
+    requests: ArrayLike, shape: Optional[Tuple[int, int]] = None
+) -> np.ndarray:
     """Coerce ``requests`` into a 2-D boolean ndarray, validating shape."""
     mat = np.asarray(requests, dtype=bool)
     if mat.ndim != 2:
@@ -85,7 +89,7 @@ class Allocator(ABC):
         self.num_resources = num_resources
 
     @property
-    def shape(self):
+    def shape(self) -> Tuple[int, int]:
         return (self.num_requesters, self.num_resources)
 
     @abstractmethod
@@ -96,5 +100,5 @@ class Allocator(ABC):
     def reset(self) -> None:
         """Restore initial priority state."""
 
-    def _validated(self, requests) -> np.ndarray:
+    def _validated(self, requests: ArrayLike) -> np.ndarray:
         return as_request_matrix(requests, shape=self.shape)

@@ -121,7 +121,7 @@ def vc_allocator_costs(
     for arch, arbiter in variants:
         for sparse in (False, True):
             variant = "sparse" if sparse else "dense"
-            key = f"vc|{point.label}|{arch}|{arbiter}|{variant}|v2"
+            key = f"vc|{point.label}|{arch}|{arbiter}|{variant}|v3"
             results.append(
                 _run(
                     key, cache, point.label, arch, arbiter, variant,
@@ -145,7 +145,7 @@ def switch_allocator_costs(
     results = []
     for arch, arbiter in variants:
         for scheme in schemes:
-            key = f"sw|{point.label}|{arch}|{arbiter}|{scheme}|v2"
+            key = f"sw|{point.label}|{arch}|{arbiter}|{scheme}|v3"
             results.append(
                 _run(
                     key, cache, point.label, arch, arbiter, scheme,

@@ -28,7 +28,12 @@ from __future__ import annotations
 import math
 from typing import Callable, List, Optional, Sequence, Tuple
 
-from .logic import fanout_tree, fixed_priority_grants, or_reduce, prefix_or
+from .logic import (
+    fanout_tree,
+    fixed_priority_grants,
+    or_reduce,
+    rotating_mask_update,
+)
 from .netlist import Netlist
 
 __all__ = [
@@ -39,6 +44,7 @@ __all__ = [
     "build_tree_rr",
     "build_arbiter",
     "arbiter_gate_estimate",
+    "is_stateless",
 ]
 
 # (grant nets, finish(update_enable_net_or_None) -> None)
@@ -47,6 +53,18 @@ ArbiterNets = Tuple[List[int], Callable[[Optional[int]], None]]
 
 def _no_state(_enable: Optional[int]) -> None:
     return None
+
+
+def is_stateless(finish: Callable[[Optional[int]], None]) -> bool:
+    """True when ``finish`` came from an arbiter with no priority state.
+
+    Fixed-priority and single-request arbiters ignore their update
+    enable entirely; callers that build an update-enable net (e.g. a
+    downstream-success OR tree) can skip the logic when nobody consumes
+    it -- otherwise the tree is dead on arrival and the netlist DRC
+    rightly flags it.
+    """
+    return finish is _no_state
 
 
 def build_fixed_priority(nl: Netlist, requests: Sequence[int]) -> ArbiterNets:
@@ -86,11 +104,7 @@ def build_round_robin(nl: Netlist, requests: Sequence[int]) -> ArbiterNets:
             if update_enable is not None
             else any_grant
         )
-        upd_leaf = fanout_tree(nl, upd, n)
-        pre = prefix_or(nl, grants)
-        for i in range(n):
-            nxt = nl.const(0) if i == 0 else pre[i - 1]
-            nl.connect_reg(mask[i], nl.gate("MUX2", mask[i], nxt, upd_leaf[i]))
+        rotating_mask_update(nl, mask, grants, upd)
 
     return grants, finish
 
@@ -127,12 +141,22 @@ def build_matrix(nl: Netlist, requests: Sequence[int]) -> ArbiterNets:
     def finish(update_enable: Optional[int]) -> None:
         # Winner i loses priority to everyone:
         # w[i][j]' = (w[i][j] AND NOT gnt[i]) OR gnt[j].
-        ngnt_leaves = [fanout_tree(nl, nl.gate("INV", g), n) for g in grants]
-        gnt_leaves = [fanout_tree(nl, g, n) for g in grants]
+        # Row i only consumes NOT gnt[i] at columns j > i and column j
+        # only consumes gnt[j] at rows i < j, so each fanout tree is
+        # sized to its actual sink count (a full-width tree leaves
+        # floating buffers the DRC flags on wide arbiters).
+        ngnt_leaves = [
+            fanout_tree(nl, nl.gate("INV", g), n - 1 - i) if i < n - 1 else []
+            for i, g in enumerate(grants)
+        ]
+        gnt_leaves = [
+            fanout_tree(nl, g, j) if j else []
+            for j, g in enumerate(grants)
+        ]
         if update_enable is not None:
             upd_leaves = fanout_tree(nl, update_enable, len(w_reg))
         for idx, ((i, j), q) in enumerate(w_reg.items()):
-            hold = nl.gate("AND2", q, ngnt_leaves[i][j])
+            hold = nl.gate("AND2", q, ngnt_leaves[i][j - i - 1])
             nxt = nl.gate("OR2", hold, gnt_leaves[j][i])
             if update_enable is not None:
                 nxt = nl.gate("MUX2", q, nxt, upd_leaves[idx])

@@ -81,6 +81,10 @@ def prefix_or(nl: Netlist, nets: Sequence[int]) -> List[int]:
     while dist < n:
         nxt = list(pre)
         for i in range(dist, n):
+            if pre[i] == pre[i - dist]:
+                continue  # OR(x, x) = x; sparse class-shared request
+                # lines feed the same net to several arbiter inputs and
+                # synthesis folds the cell away -- so we never build it.
             nxt[i] = nl.gate_ix(_IX_OR2, (pre[i], pre[i - dist]))
         pre = nxt
         dist *= 2
@@ -91,16 +95,44 @@ def fixed_priority_grants(nl: Netlist, requests: Sequence[int]) -> List[int]:
     """Grant vector of a static-priority arbiter: lowest index wins.
 
     ``gnt[i] = req[i] AND NOT OR(req[0..i-1])`` via a prefix network.
+    Only prefixes up to ``n-2`` are consumed, so the network spans
+    ``requests[:-1]`` -- the full-width tail would be dead logic (the
+    netlist DRC's ``DRC-FLOATING``/``DRC-DEAD`` rules flag it).
     """
     n = len(requests)
     if n == 1:
         return [requests[0]]
-    pre = prefix_or(nl, requests)
+    pre = prefix_or(nl, requests[:-1])
     grants = [requests[0]]
     for i in range(1, n):
         blocked = nl.gate_ix(_IX_INV, (pre[i - 1],))
         grants.append(nl.gate_ix(_IX_AND2, (requests[i], blocked)))
     return grants
+
+
+def rotating_mask_update(
+    nl: Netlist, mask: Sequence[int], grants: Sequence[int], update: int
+) -> None:
+    """Connect a registered thermometer mask's next-state logic.
+
+    The shared rotate-past-the-winner template of round-robin arbiters
+    and the wavefront VC pre-selection: on ``update`` the new mask is 1
+    strictly after the granted index (``mask'[i] = prefix(gnt)[i-1]``),
+    otherwise the mask holds.  Bit 0's next value is constant 0, so it
+    gets ``NOR(update, NOT mask[0])`` instead of a constant-input mux:
+    same function, nothing for constant propagation to clean up, and
+    still a single gate stage on the late-arriving ``update`` path (the
+    inverter sits on the register output, valid from the cycle start).
+    """
+    n = len(mask)
+    upd_leaf = fanout_tree(nl, update, n)
+    pre = prefix_or(nl, grants[:-1])
+    nmask0 = nl.gate_ix(_IX_INV, (mask[0],))
+    nl.connect_reg(mask[0], nl.gate("NOR2", upd_leaf[0], nmask0))
+    for i in range(1, n):
+        nl.connect_reg(
+            mask[i], nl.gate("MUX2", mask[i], pre[i - 1], upd_leaf[i])
+        )
 
 
 def onehot_mux(nl: Netlist, selects: Sequence[int], data: Sequence[int]) -> int:

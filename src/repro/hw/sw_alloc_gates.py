@@ -18,11 +18,11 @@ Speculation variants (Figure 9) wrap two identical allocator cores:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, List, NamedTuple, Optional, Tuple
 
 from .alloc_gates import build_wavefront_matrix, wavefront_gate_estimate
-from .arbiter_gates import arbiter_gate_estimate, build_arbiter
-from .logic import fanout_tree, fixed_priority_grants, or_reduce, prefix_or
+from .arbiter_gates import arbiter_gate_estimate, build_arbiter, is_stateless
+from .logic import fixed_priority_grants, or_reduce, rotating_mask_update
 from .netlist import Netlist
 
 __all__ = [
@@ -31,6 +31,26 @@ __all__ = [
 ]
 
 NetMatrix = List[List[int]]
+#: req[p][v][q] primary-input request nets.
+ReqNets = List[List[List[int]]]
+
+#: ``finalize(surv_row, surv_col)`` -- emit deferred priority updates.
+Finalizer = Callable[[List[int], Optional[List[int]]], None]
+
+
+class CoreNets(NamedTuple):
+    """One allocator core's nets plus its deferred-update contract.
+
+    ``needs_surv_col`` tells the speculative wrapper whether
+    ``finalize`` consumes per-output-port survival nets; the wavefront
+    core keeps state per input port only, and building the column
+    OR trees for it would leave them dangling.
+    """
+
+    xbar: NetMatrix
+    vc_out: List[List[int]]
+    finalize: Optional[Finalizer]
+    needs_surv_col: bool = True
 
 
 def _build_requests(nl: Netlist, P: int, V: int, tag: str) -> List[List[List[int]]]:
@@ -49,17 +69,18 @@ def _core(
     arbiter: str,
     req: List[List[List[int]]],
     defer_updates: bool = False,
-):
+) -> CoreNets:
     """One switch allocator core.
 
-    Returns ``(crossbar, per-port VC grants, finalize)``.  With
-    ``defer_updates=False`` all priority-state update logic is emitted
-    immediately and ``finalize`` is ``None``.  With ``defer_updates=True``
-    the update logic is withheld and ``finalize(surv_row, surv_col)``
-    must be called later with per-input-port / per-output-port *survival*
-    nets; updates are then gated on survival.  The speculative wrapper
-    uses this so that a masked speculative grant does not advance the
-    speculative core's priority state (update-on-success, mirroring
+    Returns a :class:`CoreNets`.  With ``defer_updates=False`` all
+    priority-state update logic is emitted immediately and ``finalize``
+    is ``None``.  With ``defer_updates=True`` the update logic is
+    withheld and ``finalize(surv_row, surv_col)`` must be called later
+    with per-input-port / per-output-port *survival* nets (``surv_col``
+    may be ``None`` when ``needs_surv_col`` is false); updates are then
+    gated on survival.  The speculative wrapper uses this so that a
+    masked speculative grant does not advance the speculative core's
+    priority state (update-on-success, mirroring
     :class:`repro.core.speculative.SpeculativeSwitchAllocator`).
     """
     if arch == "sep_if":
@@ -71,7 +92,14 @@ def _core(
     raise ValueError(f"unknown switch allocator arch {arch!r}")
 
 
-def _core_sep_if(nl, P, V, arbiter, req, defer_updates=False):
+def _core_sep_if(
+    nl: Netlist,
+    P: int,
+    V: int,
+    arbiter: str,
+    req: ReqNets,
+    defer_updates: bool = False,
+) -> CoreNets:
     # Stage 1: per input port, a V-input arbiter over active VCs.
     vgrants: List[List[int]] = []
     vc_fins = []
@@ -113,18 +141,27 @@ def _core_sep_if(nl, P, V, arbiter, req, defer_updates=False):
             [nl.gate("AND2", vgrants[p][v], success) for v in range(V)]
         )
     if not defer_updates:
-        return xbar, vc_out, None
+        return CoreNets(xbar, vc_out, None)
 
-    def finalize(surv_row, surv_col):
+    def finalize(
+        surv_row: List[int], surv_col: Optional[List[int]]
+    ) -> None:
         for p in range(P):
             vc_fins[p](surv_row[p])
         for q in range(P):
             out_fins[q](surv_col[q])
 
-    return xbar, vc_out, finalize
+    return CoreNets(xbar, vc_out, finalize)
 
 
-def _core_sep_of(nl, P, V, arbiter, req, defer_updates=False):
+def _core_sep_of(
+    nl: Netlist,
+    P: int,
+    V: int,
+    arbiter: str,
+    req: ReqNets,
+    defer_updates: bool = False,
+) -> CoreNets:
     # Port-level requests combine all VCs (Figure 8b).
     preq = [
         [or_reduce(nl, [req[p][v][q] for v in range(V)]) for q in range(P)]
@@ -165,20 +202,26 @@ def _core_sep_of(nl, P, V, arbiter, req, defer_updates=False):
             xbar[p][q] = nl.gate("AND2", offers[p][q], acc)
     if not defer_updates:
         for q in range(P):
+            if is_stateless(out_fins[q]):
+                continue
             success = or_reduce(nl, [xbar[p][q] for p in range(P)])
             out_fins[q](success)
-        return xbar, vc_out, None
+        return CoreNets(xbar, vc_out, None)
 
-    def finalize(surv_row, surv_col):
+    def finalize(
+        surv_row: List[int], surv_col: Optional[List[int]]
+    ) -> None:
         for p in range(P):
             vc_fins[p](surv_row[p])
         for q in range(P):
             out_fins[q](surv_col[q])
 
-    return xbar, vc_out, finalize
+    return CoreNets(xbar, vc_out, finalize)
 
 
-def _core_wf(nl, P, V, req, defer_updates=False):
+def _core_wf(
+    nl: Netlist, P: int, V: int, req: ReqNets, defer_updates: bool = False
+) -> CoreNets:
     # Port-level requests; the wavefront grants at most one output per
     # input, so its outputs drive the crossbar directly (Figure 8c).
     preq = [
@@ -194,41 +237,39 @@ def _core_wf(nl, P, V, req, defer_updates=False):
     pending_masks: List[Tuple[int, List[int], List[int]]] = []
     for p in range(P):
         if V == 1:
-            sel_by_q = [[nl.const(1)] for _ in range(P)]
-            mask = None
-        else:
-            mask = [nl.reg() for _ in range(V)]
-            sel_by_q = []
-            for q in range(P):
-                lines = [req[p][v][q] for v in range(V)]
-                masked = [nl.gate("AND2", lines[v], mask[v]) for v in range(V)]
-                gm = fixed_priority_grants(nl, masked)
-                gu = fixed_priority_grants(nl, lines)
-                anym = or_reduce(nl, masked)
-                sel_by_q.append(
-                    [nl.gate("MUX2", gu[v], gm[v], anym) for v in range(V)]
-                )
+            # The lone VC wins whenever its port gets any output; the
+            # pre-selection network degenerates to pure wiring (no
+            # constant-1 selects for synthesis to fold away).
+            vc_out.append([or_reduce(nl, xbar[p])])
+            continue
+        mask = [nl.reg() for _ in range(V)]
+        sel_by_q = []
+        for q in range(P):
+            lines = [req[p][v][q] for v in range(V)]
+            masked = [nl.gate("AND2", lines[v], mask[v]) for v in range(V)]
+            gm = fixed_priority_grants(nl, masked)
+            gu = fixed_priority_grants(nl, lines)
+            anym = or_reduce(nl, masked)
+            sel_by_q.append(
+                [nl.gate("MUX2", gu[v], gm[v], anym) for v in range(V)]
+            )
         # Combine: VC v wins if its pre-selection fires for the granted q.
         grants_v = []
         for v in range(V):
             terms = [nl.gate("AND2", sel_by_q[q][v], xbar[p][q]) for q in range(P)]
             grants_v.append(or_reduce(nl, terms))
         vc_out.append(grants_v)
-        if mask is not None:
-            if defer_updates:
-                pending_masks.append((p, mask, grants_v))
-                continue
+        if defer_updates:
+            pending_masks.append((p, mask, grants_v))
+        else:
             # Rotate the shared mask past the winning VC on success.
-            any_gnt = or_reduce(nl, grants_v)
-            upd = fanout_tree(nl, any_gnt, V)
-            pre = prefix_or(nl, grants_v)
-            for v in range(V):
-                nxt = nl.const(0) if v == 0 else pre[v - 1]
-                nl.connect_reg(mask[v], nl.gate("MUX2", mask[v], nxt, upd[v]))
+            rotating_mask_update(nl, mask, grants_v, or_reduce(nl, grants_v))
     if not defer_updates:
-        return xbar, vc_out, None
+        return CoreNets(xbar, vc_out, None)
 
-    def finalize(surv_row, surv_col):
+    def finalize(
+        surv_row: List[int], surv_col: Optional[List[int]]
+    ) -> None:
         # Rotate the shared mask only when the port's grant survived the
         # speculation masking (survival implies this core granted, so no
         # extra AND with the core's own any-grant is needed).  The
@@ -237,13 +278,9 @@ def _core_wf(nl, P, V, req, defer_updates=False):
         # behavioural model.
         del surv_col  # wavefront mask state is per input port only
         for p, mask, grants_v in pending_masks:
-            upd = fanout_tree(nl, surv_row[p], V)
-            pre = prefix_or(nl, grants_v)
-            for v in range(V):
-                nxt = nl.const(0) if v == 0 else pre[v - 1]
-                nl.connect_reg(mask[v], nl.gate("MUX2", mask[v], nxt, upd[v]))
+            rotating_mask_update(nl, mask, grants_v, surv_row[p])
 
-    return xbar, vc_out, finalize
+    return CoreNets(xbar, vc_out, finalize, needs_surv_col=False)
 
 
 # ----------------------------------------------------------------------
@@ -265,7 +302,7 @@ def build_switch_allocator_netlist(
 
     req_ns = _build_requests(nl, P, V, "ns_")
     if speculation == "nonspec":
-        xbar, vc_out, _ = _core(nl, P, V, arch, arbiter, req_ns)
+        xbar, vc_out, _, _ = _core(nl, P, V, arch, arbiter, req_ns)
         for p in range(P):
             for q in range(P):
                 nl.mark_output(xbar[p][q], f"xbar_{p}_{q}")
@@ -290,13 +327,13 @@ def build_switch_allocator_netlist(
             for q in range(P)
         ]
 
-    xbar_ns, vc_ns, _ = _core(nl, P, V, arch, arbiter, req_ns)
+    core_ns = _core(nl, P, V, arch, arbiter, req_ns)
+    xbar_ns, vc_ns = core_ns.xbar, core_ns.vc_out
     # The speculative core's priority updates are deferred until the
     # masked (surviving) grants exist: a killed speculative grant must
     # leave the core's arbiter state untouched.
-    xbar_sp, vc_sp, sp_finalize = _core(
-        nl, P, V, arch, arbiter, req_sp, defer_updates=True
-    )
+    core_sp = _core(nl, P, V, arch, arbiter, req_sp, defer_updates=True)
+    xbar_sp, vc_sp = core_sp.xbar, core_sp.vc_out
 
     if speculation == "conventional":
         # Row/column busy bits from non-speculative GRANTS: the
@@ -331,10 +368,13 @@ def build_switch_allocator_netlist(
             nl.mark_output(
                 nl.gate("AND2", vc_sp[p][v], surv), f"vcgnt_sp_{p}_{v}"
             )
-    surv_col = [
-        or_reduce(nl, [masked_all[p][q] for p in range(P)]) for q in range(P)
-    ]
-    sp_finalize(surv_row, surv_col)
+    surv_col = (
+        [or_reduce(nl, [masked_all[p][q] for p in range(P)]) for q in range(P)]
+        if core_sp.needs_surv_col
+        else None
+    )
+    assert core_sp.finalize is not None
+    core_sp.finalize(surv_row, surv_col)
     nl.validate()
     return nl
 

@@ -34,9 +34,14 @@ from .alloc_gates import (
     separable_gate_estimate,
     wavefront_gate_estimate,
 )
-from .arbiter_gates import arbiter_gate_estimate, build_arbiter
+from .arbiter_gates import arbiter_gate_estimate, build_arbiter, is_stateless
 from .logic import or_reduce
 from .netlist import Netlist
+
+#: req[p][v]: candidate output VC -> request net; dest[p][v]: P-wide
+#: one-hot destination vector (see ``_build_inputs``).
+ReqNets = List[List[Dict[int, int]]]
+DestNets = List[List[List[int]]]
 
 __all__ = ["build_vc_allocator_netlist", "estimate_vc_allocator_gates"]
 
@@ -44,7 +49,9 @@ __all__ = ["build_vc_allocator_netlist", "estimate_vc_allocator_gates"]
 class _VCStructure:
     """Static candidate structure shared by all the builders."""
 
-    def __init__(self, num_ports: int, partition: VCPartition, sparse: bool):
+    def __init__(
+        self, num_ports: int, partition: VCPartition, sparse: bool
+    ) -> None:
         self.P = num_ports
         self.part = partition
         self.V = partition.num_vcs
@@ -141,7 +148,7 @@ def build_vc_allocator_netlist(
 
 # ----------------------------------------------------------------------
 def _build_sep_if(
-    nl: Netlist, s: _VCStructure, req, dest, arbiter: str
+    nl: Netlist, s: _VCStructure, req: ReqNets, dest: DestNets, arbiter: str
 ) -> List[List[int]]:
     P, V = s.P, s.V
 
@@ -181,7 +188,7 @@ def _build_sep_if(
 
     # Grant reduction: V-wide granted-VC vector per input VC.
     grants: List[List[int]] = []
-    success_by_pv: Dict[Tuple[int, int], int] = {}
+    nets_by_pv: Dict[Tuple[int, int], List[int]] = {}
     for p in range(P):
         for v in range(V):
             vec = []
@@ -195,16 +202,20 @@ def _build_sep_if(
                 vec.append(or_reduce(nl, nets) if nets else nl.const(0))
                 all_nets.extend(nets)
             grants.append(vec)
-            success_by_pv[(p, v)] = (
-                or_reduce(nl, all_nets) if all_nets else nl.const(0)
-            )
+            nets_by_pv[(p, v)] = all_nets
     for (p, v), fin in input_finishers:
-        fin(success_by_pv[(p, v)])
+        if is_stateless(fin):
+            # Width-1 (sparse C=1) and fixed-priority input arbiters
+            # hold no state; building their downstream-success OR tree
+            # would leave it dangling.
+            continue
+        nets = nets_by_pv[(p, v)]
+        fin(or_reduce(nl, nets) if nets else None)
     return grants
 
 
 def _build_sep_of(
-    nl: Netlist, s: _VCStructure, req, dest, arbiter: str
+    nl: Netlist, s: _VCStructure, req: ReqNets, dest: DestNets, arbiter: str
 ) -> List[List[int]]:
     P, V = s.P, s.V
 
@@ -254,6 +265,8 @@ def _build_sep_of(
     # Output arbiters advance only when their offer was accepted:
     # success(q, u) = OR over requesters of (offer AND accepted VC).
     for (q, u), fin in output_finishers:
+        if is_stateless(fin):
+            continue  # no priority state -> no acceptance tree needed
         terms = []
         for key, net in offer_net.items():
             pp, vv, qq, uu = key
@@ -264,7 +277,11 @@ def _build_sep_of(
 
 
 def _build_wf(
-    nl: Netlist, s: _VCStructure, req, dest, wavefront_impl: str = "replicated"
+    nl: Netlist,
+    s: _VCStructure,
+    req: ReqNets,
+    dest: DestNets,
+    wavefront_impl: str = "replicated",
 ) -> List[List[int]]:
     P, V = s.P, s.V
     part = s.part

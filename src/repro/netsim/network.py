@@ -120,6 +120,7 @@ class Network:
                 obj.receive_flit(self, vc, flit, now)
         if self._credit_faults_armed:
             fs = self.fault_state
+            assert fs is not None  # armed only while a fault plan is installed
             for kind, obj, port, vc in self._credit_events.pop(now, ()):
                 if kind == "router":
                     event = fs.credit_event(obj.id, port, vc, now)

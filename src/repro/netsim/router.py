@@ -353,6 +353,7 @@ class Router:
                 if stuck is not None and cands:
                     stuck_here = stuck.get(q)
                     if stuck_here:
+                        assert fs is not None  # stuck map implies fault state
                         kept = [
                             w
                             for w in cands
@@ -511,6 +512,7 @@ class Router:
                 if stuck is not None and cands:
                     stuck_here = stuck.get(q)
                     if stuck_here:
+                        assert fs is not None  # stuck map implies fault state
                         kept = tuple(
                             u
                             for u in cands

@@ -1,0 +1,9 @@
+from pathlib import Path
+
+import pytest
+
+
+@pytest.fixture
+def repo_src():
+    """The repository's real ``src/`` directory."""
+    return Path(__file__).resolve().parents[2] / "src"

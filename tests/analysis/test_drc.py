@@ -1,0 +1,227 @@
+"""Per-rule netlist DRC tests: minimal synthetic defects and clean cases.
+
+The public ``Netlist`` API refuses to construct some violations
+(forward references, double register connection), so several defects
+are seeded by mutating the columnar arrays directly -- exactly the
+corruption the DRC exists to catch.
+"""
+
+import pytest
+
+from repro.analysis.drc import ALL_DRC_RULES, DrcConfig, NetlistDRC, run_drc
+from repro.hw.arbiter_gates import build_arbiter
+from repro.hw.cells import CELL_INDEX
+from repro.hw.netlist import Netlist
+
+
+def rules_of(findings):
+    return {f.rule for f in findings}
+
+
+def _clean_pair():
+    """A tiny clean netlist: AND of two inputs into a register."""
+    nl = Netlist("clean")
+    a = nl.input("a")
+    b = nl.input("b")
+    q = nl.reg()
+    nl.connect_reg(q, nl.gate("AND2", a, b))
+    nl.mark_output(q, "q")
+    return nl
+
+
+class TestCleanNetlists:
+    def test_minimal_clean_netlist(self):
+        assert run_drc(_clean_pair()) == []
+
+    @pytest.mark.parametrize("kind", ["fixed", "rr", "m"])
+    @pytest.mark.parametrize("n", [2, 4, 8])
+    def test_arbiters_are_drc_clean(self, kind, n):
+        nl = Netlist(f"{kind}{n}")
+        reqs = nl.inputs(n, "req")
+        grants, fin = build_arbiter(nl, kind, reqs)
+        fin(None)
+        for i, g in enumerate(grants):
+            nl.mark_output(g, f"gnt{i}")
+        assert run_drc(nl) == []
+
+
+class TestCombLoop:
+    def test_cycle_through_gates_detected(self):
+        nl = Netlist("loop")
+        a = nl.input("a")
+        g1 = nl.gate("AND2", a, a)
+        g2 = nl.gate("INV", g1)
+        nl.mark_output(g2, "y")
+        # Seed the loop: g1 now also reads g2 (impossible via the API).
+        nl.fanins[g1] = (g2, a)
+        assert "DRC-COMB-LOOP" in rules_of(run_drc(nl))
+
+    def test_register_feedback_is_not_a_loop(self):
+        nl = Netlist("seq")
+        q = nl.reg()
+        nl.connect_reg(q, nl.gate("INV", q))
+        nl.mark_output(q, "q")
+        assert "DRC-COMB-LOOP" not in rules_of(run_drc(nl))
+
+
+class TestUndriven:
+    def test_dangling_fanin_reference(self):
+        nl = _clean_pair()
+        gate = next(
+            i for i, k in enumerate(nl.kinds)
+            if k >= 0 and len(nl.fanins[i]) == 2
+        )
+        nl.fanins[gate] = (len(nl.kinds) + 7, nl.fanins[gate][1])
+        assert "DRC-UNDRIVEN" in rules_of(run_drc(nl))
+
+    def test_dangling_register_d(self):
+        nl = _clean_pair()
+        q = next(iter(nl.reg_d))
+        nl.reg_d[q] = len(nl.kinds) + 1
+        assert "DRC-UNDRIVEN" in rules_of(run_drc(nl))
+
+    def test_dangling_output(self):
+        nl = _clean_pair()
+        nl.outputs.append(len(nl.kinds) + 3)
+        assert "DRC-UNDRIVEN" in rules_of(run_drc(nl))
+
+
+class TestRegisterRules:
+    def test_unconnected_register(self):
+        nl = _clean_pair()
+        nl.reg()  # never connected
+        assert "DRC-UNCONNECTED-REG" in rules_of(run_drc(nl))
+
+    def test_multiply_driven_net(self):
+        nl = _clean_pair()
+        a = 0  # the input net
+        g = next(i for i, k in enumerate(nl.kinds) if k >= 0
+                 and k != CELL_INDEX["DFF"])
+        # Attach a register update to a combinational gate's output:
+        # in emitted Verilog that net would have two drivers.
+        nl.reg_d[g] = a
+        assert "DRC-MULTI-DRIVEN" in rules_of(run_drc(nl))
+
+
+class TestLiveness:
+    def test_floating_gate(self):
+        nl = _clean_pair()
+        nl.gate("INV", 0)  # drives nothing, not an output
+        findings = run_drc(nl)
+        assert rules_of(findings) == {"DRC-FLOATING"}
+        assert "INV" in findings[0].location
+
+    def test_unused_input(self):
+        nl = _clean_pair()
+        nl.input("spare")
+        assert "DRC-UNUSED-INPUT" in rules_of(run_drc(nl))
+
+    def test_dead_chain_behind_floating_gate(self):
+        nl = _clean_pair()
+        inner = nl.gate("INV", 0)
+        nl.gate("INV", inner)  # floating; `inner` has a consumer but is dead
+        rules = rules_of(run_drc(nl))
+        assert {"DRC-FLOATING", "DRC-DEAD"} <= rules
+
+    def test_register_observability_flows_through_d(self):
+        # Logic feeding only a register D is observable through the
+        # register output.
+        nl = Netlist("through")
+        a = nl.input("a")
+        q = nl.reg()
+        nl.connect_reg(q, nl.gate("INV", a))
+        nl.mark_output(q, "q")
+        assert run_drc(nl) == []
+
+    def test_outputless_netlist_uses_registers_as_roots(self):
+        nl = Netlist("no_out")
+        a = nl.input("a")
+        q = nl.reg()
+        nl.connect_reg(q, nl.gate("INV", a))
+        assert "DRC-DEAD" not in rules_of(run_drc(nl))
+
+
+class TestConstFold:
+    def test_constant_output(self):
+        nl = Netlist("k")
+        a = nl.input("a")
+        nl.mark_output(nl.gate("AND2", a, nl.const(0)), "y")
+        findings = [f for f in run_drc(nl) if f.rule == "DRC-CONST-FOLD"]
+        assert findings and "always 0" in findings[0].message
+
+    def test_constant_input_identity(self):
+        nl = Netlist("k")
+        a = nl.input("a")
+        nl.mark_output(nl.gate("OR2", a, nl.const(0)), "y")
+        assert "DRC-CONST-FOLD" in rules_of(run_drc(nl))
+
+    def test_constant_mux_select(self):
+        nl = Netlist("k")
+        a, b = nl.inputs(2)
+        nl.mark_output(nl.gate("MUX2", a, b, nl.const(1)), "y")
+        assert "DRC-CONST-FOLD" in rules_of(run_drc(nl))
+
+    def test_duplicated_fanin(self):
+        nl = Netlist("k")
+        a = nl.input("a")
+        nl.mark_output(nl.gate("OR2", a, a), "y")
+        findings = [f for f in run_drc(nl) if f.rule == "DRC-CONST-FOLD"]
+        assert findings and "duplicated" in findings[0].message
+
+    def test_propagation_through_levels(self):
+        # const0 -> INV -> AND2: the AND2's const input arrives indirectly.
+        nl = Netlist("k")
+        a = nl.input("a")
+        one = nl.gate("INV", nl.const(0))
+        nl.mark_output(nl.gate("AND2", a, one), "y")
+        found = [f for f in run_drc(nl) if f.rule == "DRC-CONST-FOLD"]
+        assert len(found) == 2  # the INV itself and the downstream AND2
+
+    def test_nonconstant_logic_unflagged(self):
+        assert "DRC-CONST-FOLD" not in rules_of(run_drc(_clean_pair()))
+
+
+class TestFanout:
+    def test_unbuffered_broadcast_flagged(self):
+        nl = Netlist("fanout")
+        a = nl.input("a")
+        hub = nl.gate("INV", a)
+        for i in range(120):
+            nl.mark_output(nl.gate("BUF", hub), f"y{i}")
+        findings = [f for f in run_drc(nl) if f.rule == "DRC-FANOUT"]
+        assert findings and "insert a fanout tree" in findings[0].message
+
+    def test_inputs_are_exempt(self):
+        # The testbench drives primary inputs; no fanout rule for them.
+        nl = Netlist("fanin")
+        a = nl.input("a")
+        for i in range(120):
+            nl.mark_output(nl.gate("BUF", a), f"y{i}")
+        assert "DRC-FANOUT" not in rules_of(run_drc(nl))
+
+
+class TestConfig:
+    def test_disabled_rule_is_silent(self):
+        nl = _clean_pair()
+        nl.gate("INV", 0)
+        cfg = DrcConfig(disabled_rules={"DRC-FLOATING"})
+        assert run_drc(nl, cfg) == []
+
+    def test_per_rule_cap_collapses_into_summary(self):
+        nl = _clean_pair()
+        for _ in range(10):
+            nl.gate("INV", 0)
+        cfg = DrcConfig(max_findings_per_rule=3)
+        findings = [f for f in run_drc(nl, cfg) if f.rule == "DRC-FLOATING"]
+        assert len(findings) == 4  # 3 itemized + 1 summary
+        summary = [f for f in findings if f.location == "(summary)"]
+        assert len(summary) == 1 and "7 further" in summary[0].message
+
+    def test_all_rules_catalogued(self):
+        checker = NetlistDRC()
+        assert set(ALL_DRC_RULES) == {
+            "DRC-COMB-LOOP", "DRC-UNDRIVEN", "DRC-MULTI-DRIVEN",
+            "DRC-UNCONNECTED-REG", "DRC-FLOATING", "DRC-UNUSED-INPUT",
+            "DRC-DEAD", "DRC-CONST-FOLD", "DRC-FANOUT",
+        }
+        assert checker.config.max_findings_per_rule > 0

@@ -1,0 +1,59 @@
+"""Tests for the paper-matrix DRC driver."""
+
+from repro.analysis.netlists import iter_paper_netlists, lint_paper_netlists
+from repro.eval.design_points import (
+    ALL_POINTS,
+    SPECULATION_SCHEMES,
+    SWITCH_VARIANTS,
+    VC_VARIANTS,
+)
+
+QUICK_JOBS = len(VC_VARIANTS) + len(SWITCH_VARIANTS) * len(SPECULATION_SCHEMES)
+
+
+class TestEnumeration:
+    def test_quick_mode_covers_one_design_point(self):
+        jobs = list(iter_paper_netlists(quick=True))
+        assert len(jobs) == QUICK_JOBS
+        assert all(job.builder is not None for job in jobs)
+
+    def test_full_matrix_spans_all_six_points(self):
+        labels = [job.label for job in iter_paper_netlists()]
+        assert len(labels) == QUICK_JOBS * len(ALL_POINTS)
+        for point in ALL_POINTS:
+            assert any(point.label in label for label in labels)
+
+    def test_capacity_model_skips_with_reason(self):
+        jobs = list(iter_paper_netlists(quick=True, max_cells=10))
+        assert all(job.builder is None for job in jobs)
+        assert all("capacity" in job.skip_reason for job in jobs)
+
+    def test_vc_and_sw_selectable(self):
+        vc = list(iter_paper_netlists(include_sw=False, quick=True))
+        sw = list(iter_paper_netlists(include_vc=False, quick=True))
+        assert len(vc) == len(VC_VARIANTS)
+        assert all(job.label.startswith("vc/") for job in vc)
+        assert all(job.label.startswith("sw/") for job in sw)
+
+
+class TestLintRun:
+    def test_quick_matrix_is_clean(self):
+        findings, skipped, checked = lint_paper_netlists(quick=True)
+        assert findings == []
+        assert skipped == []
+        assert checked == QUICK_JOBS
+
+    def test_skips_are_reported_not_checked(self):
+        findings, skipped, checked = lint_paper_netlists(
+            quick=True, max_cells=10
+        )
+        assert checked == 0 and findings == []
+        assert len(skipped) == QUICK_JOBS
+
+    def test_progress_callback_sees_every_job(self):
+        lines = []
+        lint_paper_netlists(
+            quick=True, include_sw=False, progress=lines.append
+        )
+        assert len(lines) == len(VC_VARIANTS)
+        assert all(line.startswith("drc ") for line in lines)

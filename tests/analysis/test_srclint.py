@@ -1,0 +1,243 @@
+"""Per-rule source-linter tests: minimal positive and negative snippets.
+
+Scope is derived from the (synthetic) path handed to
+``lint_source_file``, so each snippet can be linted as if it lived in
+any package without touching the real tree.
+"""
+
+import textwrap
+
+from repro.analysis.srclint import (
+    ALL_SRC_RULES,
+    GUARDED_PACKAGES,
+    HOT_LOOP_PACKAGES,
+    SIMULATION_PACKAGES,
+    lint_source_file,
+    lint_source_tree,
+)
+
+NETSIM = "repro/netsim/mod.py"
+CORE = "repro/core/mod.py"
+HW = "repro/hw/mod.py"
+EVAL = "repro/eval/mod.py"
+
+
+def rules(code, path=NETSIM):
+    return {f.rule for f in lint_source_file(path, textwrap.dedent(code))}
+
+
+class TestScopes:
+    def test_package_constants_are_consistent(self):
+        assert set(HOT_LOOP_PACKAGES) <= set(SIMULATION_PACKAGES)
+        assert set(GUARDED_PACKAGES) <= set(SIMULATION_PACKAGES)
+        assert len(ALL_SRC_RULES) == 4
+
+    def test_non_simulation_code_is_exempt(self):
+        code = "import random\nx = random.random()\n"
+        assert rules(code, EVAL) == set()
+        assert rules(code, "tools/gen.py") == set()
+        assert "SRC-UNSEEDED-RANDOM" in rules(code, CORE)
+
+
+class TestUnseededRandom:
+    def test_module_level_random_flagged(self):
+        assert "SRC-UNSEEDED-RANDOM" in rules("x = random.random()\n", CORE)
+        assert "SRC-UNSEEDED-RANDOM" in rules("random.shuffle(items)\n", HW)
+
+    def test_seeded_random_instance_allowed(self):
+        assert rules("rng = random.Random(42)\nx = rng.random()\n", CORE) == set()
+
+    def test_numpy_global_rng_flagged(self):
+        assert "SRC-UNSEEDED-RANDOM" in rules("x = np.random.rand(4)\n", CORE)
+        assert "SRC-UNSEEDED-RANDOM" in rules("numpy.random.shuffle(a)\n", CORE)
+
+    def test_seeded_numpy_constructor_allowed(self):
+        assert rules("rng = np.random.default_rng(7)\n", CORE) == set()
+        assert rules("rng = np.random.default_rng(seed=s)\n", CORE) == set()
+        assert rules("rng = numpy.random.PCG64(9)\n", CORE) == set()
+
+    def test_argless_numpy_constructor_flagged(self):
+        findings = lint_source_file(CORE, "rng = np.random.default_rng()\n")
+        assert [f.rule for f in findings] == ["SRC-UNSEEDED-RANDOM"]
+        assert "seed" in findings[0].message
+
+
+class TestWallClock:
+    def test_time_reads_flagged(self):
+        for call in ("time.time()", "time.perf_counter()", "time.monotonic_ns()"):
+            assert "SRC-WALL-CLOCK" in rules(f"t = {call}\n", CORE), call
+
+    def test_datetime_now_flagged(self):
+        assert "SRC-WALL-CLOCK" in rules("t = datetime.datetime.now()\n", CORE)
+
+    def test_sleep_is_not_a_clock_read(self):
+        assert rules("time.sleep(1)\n", CORE) == set()
+
+
+class TestSetIteration:
+    def test_for_over_set_call_flagged(self):
+        assert "SRC-SET-ITERATION" in rules(
+            "for x in set(items):\n    use(x)\n", CORE
+        )
+
+    def test_for_over_set_literal_flagged(self):
+        assert "SRC-SET-ITERATION" in rules(
+            "for x in {a, b}:\n    use(x)\n", NETSIM
+        )
+
+    def test_comprehension_over_frozenset_flagged(self):
+        assert "SRC-SET-ITERATION" in rules(
+            "ys = [f(x) for x in frozenset(items)]\n", CORE
+        )
+
+    def test_sorted_wrapper_allowed(self):
+        assert rules("for x in sorted(set(items)):\n    use(x)\n", CORE) == set()
+
+    def test_only_hot_loop_packages_checked(self):
+        assert rules("for x in set(items):\n    use(x)\n", HW) == set()
+
+
+class TestObserverGuard:
+    def test_unguarded_call_flagged(self):
+        code = """
+        def step(self):
+            self.observer.cycle_end(self, 0)
+        """
+        findings = lint_source_file(NETSIM, textwrap.dedent(code))
+        assert [f.rule for f in findings] == ["SRC-OBSERVER-GUARD"]
+        assert "self.observer" in findings[0].message
+
+    def test_is_not_none_guard_accepted(self):
+        code = """
+        def step(self):
+            if self.observer is not None:
+                self.observer.cycle_end(self, 0)
+        """
+        assert rules(code) == set()
+
+    def test_truthiness_guard_accepted(self):
+        code = """
+        def step(self):
+            if self.fault_state:
+                self.fault_state.credit_event(0, 0, 0, 0)
+        """
+        assert rules(code) == set()
+
+    def test_guard_with_conjunction_accepted(self):
+        code = """
+        def step(self, busy):
+            if self.observer is not None and busy:
+                self.observer.cycle_end(self, 0)
+        """
+        assert rules(code) == set()
+
+    def test_early_return_narrowing(self):
+        code = """
+        def step(self):
+            if self.observer is None:
+                return
+            self.observer.cycle_end(self, 0)
+        """
+        assert rules(code) == set()
+
+    def test_assert_narrowing(self):
+        code = """
+        def step(self):
+            assert self.fault_state is not None
+            self.fault_state.credit_event(0, 0, 0, 0)
+        """
+        assert rules(code) == set()
+
+    def test_alias_guard_accepted(self):
+        code = """
+        def step(self):
+            fs = self.fault_state
+            if fs is not None:
+                fs.credit_event(0, 0, 0, 0)
+        """
+        assert rules(code) == set()
+
+    def test_unguarded_alias_flagged(self):
+        code = """
+        def step(self):
+            fs = self.fault_state
+            fs.credit_event(0, 0, 0, 0)
+        """
+        assert rules(code) == {"SRC-OBSERVER-GUARD"}
+
+    def test_guard_does_not_cover_else_branch(self):
+        code = """
+        def step(self):
+            if self.observer is not None:
+                pass
+            else:
+                self.observer.cycle_end(self, 0)
+        """
+        assert rules(code) == {"SRC-OBSERVER-GUARD"}
+
+    def test_guard_does_not_leak_past_the_if(self):
+        code = """
+        def step(self):
+            if self.observer is not None:
+                pass
+            self.observer.cycle_end(self, 0)
+        """
+        assert rules(code) == {"SRC-OBSERVER-GUARD"}
+
+    def test_guard_does_not_leak_into_nested_function(self):
+        code = """
+        def outer(self):
+            if self.observer is not None:
+                def inner():
+                    self.observer.cycle_end(self, 0)
+        """
+        assert rules(code) == {"SRC-OBSERVER-GUARD"}
+
+    def test_only_guarded_packages_checked(self):
+        code = """
+        def step(self):
+            self.observer.cycle_end(self, 0)
+        """
+        assert rules(code, CORE) == set()
+
+    def test_unrelated_attributes_exempt(self):
+        code = """
+        def step(self):
+            self.router.receive_credit(0, 0)
+        """
+        assert rules(code) == set()
+
+
+class TestPragmasAndSyntax:
+    def test_inline_ignore_suppresses_one_line(self):
+        code = (
+            "def step(self):\n"
+            "    self.observer.a()  # lint: ignore[SRC-OBSERVER-GUARD]\n"
+            "    self.observer.b()\n"
+        )
+        findings = lint_source_file(NETSIM, code)
+        assert len(findings) == 1 and "line 3" in findings[0].location
+
+    def test_ignore_accepts_rule_lists(self):
+        code = "t = time.time()  # lint: ignore[SRC-WALL-CLOCK, SRC-SYNTAX]\n"
+        assert rules(code, CORE) == set()
+
+    def test_unparsable_file_yields_src_syntax(self):
+        findings = lint_source_file(CORE, "def broken(:\n")
+        assert [f.rule for f in findings] == ["SRC-SYNTAX"]
+        assert findings[0].severity == "error"
+
+
+class TestTreeLinting:
+    def test_tree_scope_is_relative_to_package_parent(self, tmp_path):
+        pkg = tmp_path / "repro" / "netsim"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "def step(self):\n    self.observer.cycle_end(self, 0)\n"
+        )
+        (pkg / "good.py").write_text("x = 1\n")
+        findings = lint_source_tree(tmp_path / "repro")
+        assert [f.scope for f in findings] == ["repro/netsim/bad.py"]
+
+    def test_real_tree_is_clean(self, repo_src):
+        assert lint_source_tree(repo_src / "repro") == []

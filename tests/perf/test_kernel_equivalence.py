@@ -63,6 +63,31 @@ def _design_points():
     return params
 
 
+def test_kernel_probe_passes_on_healthy_kernels():
+    assert cbi.kernel_probe() is None
+
+
+def test_empty_matrix_is_an_error_not_a_pass(monkeypatch, capsys):
+    """`ALL IDENTICAL (0 design points)` is a vacuous pass; the harness
+    must refuse it rather than green-light CI on nothing."""
+    monkeypatch.setattr(cbi, "config_matrix", lambda quick: [])
+    rc = cbi.main(["--quick"])
+    assert rc == 2
+    assert "NOT established" in capsys.readouterr().err
+
+
+def test_unavailable_kernel_is_an_error(monkeypatch, capsys):
+    def broken(cfg, kernel="fast"):
+        raise RuntimeError("fast kernel removed")
+
+    monkeypatch.setattr(cbi, "build_network", broken)
+    rc = cbi.main(["--quick"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "unavailable" in err
+    assert "bit identity cannot be checked" in err
+
+
 @pytest.mark.parametrize("cfg,observed", _design_points())
 def test_kernels_bit_identical(cfg, observed):
     fast, ref, rows_fast, rows_ref = cbi.run_point(cfg, observed)

@@ -258,3 +258,122 @@ class TestFiguresCommand:
         out = capsys.readouterr().out
         for fid in ("fig4", "fig7", "fig13", "fig14", "claims"):
             assert fid in out
+
+
+class TestLintCommand:
+    @staticmethod
+    def _bad_tree(tmp_path):
+        """A synthetic source tree with one observer-guard violation."""
+        pkg = tmp_path / "repro" / "netsim"
+        pkg.mkdir(parents=True)
+        (pkg / "bad.py").write_text(
+            "def step(self):\n    self.observer.cycle_end(self, 0)\n"
+        )
+        return tmp_path / "repro"
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.netlists is False and args.source is False
+        assert args.rev_guard is None
+        assert args.format == "text"
+        assert args.baseline is None and args.write_baseline is None
+        assert args.quick is False
+
+    def test_quick_netlist_matrix_is_clean(self, capsys):
+        assert main(["lint", "--netlists", "--quick"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_source_violation_fails_the_run(self, capsys, tmp_path):
+        root = self._bad_tree(tmp_path)
+        rc = main(["lint", "--source", "--src-root", str(root)])
+        assert rc == 1
+        out = capsys.readouterr().out
+        assert "SRC-OBSERVER-GUARD" in out and "bad.py" in out
+
+    def test_json_report_written_to_file(self, tmp_path):
+        import json
+
+        root = self._bad_tree(tmp_path)
+        out_path = tmp_path / "findings.json"
+        rc = main([
+            "lint", "--source", "--src-root", str(root),
+            "--format", "json", "--output", str(out_path),
+        ])
+        assert rc == 1
+        payload = json.loads(out_path.read_text())
+        assert payload["summary"]["total"] == 1
+        assert payload["findings"][0]["rule"] == "SRC-OBSERVER-GUARD"
+        assert payload["meta"]["source_root"] == str(root)
+
+    def test_baseline_suppresses_and_passes(self, capsys, tmp_path):
+        import json
+
+        root = self._bad_tree(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps({
+            "version": 1,
+            "suppressions": [{
+                "rule": "SRC-OBSERVER-GUARD",
+                "scope": "repro/netsim/bad.py",
+                "location": "*",
+                "reason": "known",
+            }],
+        }))
+        rc = main([
+            "lint", "--source", "--src-root", str(root),
+            "--baseline", str(baseline),
+        ])
+        assert rc == 0
+        assert "1 baseline-suppressed" in capsys.readouterr().out
+
+    def test_write_baseline_round_trip(self, capsys, tmp_path):
+        root = self._bad_tree(tmp_path)
+        baseline = tmp_path / "new-baseline.json"
+        rc = main([
+            "lint", "--source", "--src-root", str(root),
+            "--write-baseline", str(baseline),
+        ])
+        assert rc == 1  # findings are reported even while baselining
+        rc = main([
+            "lint", "--source", "--src-root", str(root),
+            "--baseline", str(baseline),
+        ])
+        assert rc == 0
+        capsys.readouterr()
+
+    def test_bad_baseline_is_a_usage_error(self, capsys, tmp_path):
+        root = self._bad_tree(tmp_path)
+        bad = tmp_path / "corrupt.json"
+        bad.write_text("{not json")
+        rc = main([
+            "lint", "--source", "--src-root", str(root),
+            "--baseline", str(bad),
+        ])
+        assert rc == 2
+        assert "bad baseline" in capsys.readouterr().err
+
+    def test_rev_guard_through_the_cli(self, monkeypatch, tmp_path, capsys):
+        import subprocess
+
+        def git(*args):
+            subprocess.run(
+                ["git", "-C", str(tmp_path), *args],
+                check=True, capture_output=True,
+            )
+
+        git("init", "-q", "-b", "main")
+        git("config", "user.email", "t@example.com")
+        git("config", "user.name", "T")
+        netsim = tmp_path / "src" / "repro" / "netsim"
+        netsim.mkdir(parents=True)
+        (netsim / "simulator.py").write_text("SIMULATOR_REV = 1\n")
+        git("add", "-A")
+        git("commit", "-q", "-m", "base")
+        monkeypatch.chdir(tmp_path)
+
+        assert main(["lint", "--rev-guard", "HEAD"]) == 0
+        capsys.readouterr()
+        (netsim / "simulator.py").write_text("SIMULATOR_REV = 1\nX = 2\n")
+        rc = main(["lint", "--rev-guard", "HEAD"])
+        assert rc == 1
+        assert "SRC-SIM-REV" in capsys.readouterr().out
