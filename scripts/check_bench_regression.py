@@ -2,24 +2,28 @@
 """Kernel-benchmark regression gate.
 
 Compares a fresh ``BENCH_kernel.json`` against a committed baseline and
-fails (exit 1) when the fast kernel's *warm speedup ratio* on any
-baseline point has regressed by more than ``--threshold`` (default
-20%).
+fails (exit 1) when any *warm speedup ratio* on a baseline point has
+regressed by more than ``--threshold`` (default 20%).  Two ratios are
+trended per point: ``speedup_warm`` (reference over fast) and -- when
+the baseline records it -- ``speedup_warm_compiled`` (fast over the
+generated per-design-point compiled kernel).
 
-The gate deliberately trends the speedup ratio -- reference wall time
-over fast wall time on the same host and run -- rather than absolute
-cycles/sec: both kernels execute the identical cycle schedule, so the
-ratio cancels host speed, load and Python-version effects that would
-make an absolute-throughput gate flap in CI.
+The gate deliberately trends speedup ratios -- wall times of two
+kernels on the same host and run -- rather than absolute cycles/sec:
+all kernels execute the identical cycle schedule, so the ratio cancels
+host speed, load and Python-version effects that would make an
+absolute-throughput gate flap in CI.
 
 Usage::
 
     python scripts/check_bench_regression.py CURRENT.json BASELINE.json
         [--threshold 0.20] [--floor LABEL=X ...]
+        [--floor-compiled LABEL=X ...]
 
-``--floor`` additionally enforces an absolute minimum speedup on a
-named point (e.g. ``--floor mesh-V8-wf-r0.15=3.0`` pins the paper-map
-acceptance criterion for the flagship design point).
+``--floor`` additionally enforces an absolute minimum ``speedup_warm``
+on a named point (e.g. ``--floor mesh-V8-wf-r0.15=3.0`` pins the
+paper-map acceptance criterion for the flagship design point);
+``--floor-compiled`` does the same for ``speedup_warm_compiled``.
 """
 
 from __future__ import annotations
@@ -47,8 +51,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                          "(default: 0.20)")
     ap.add_argument("--floor", action="append", default=[],
                     metavar="LABEL=X",
-                    help="absolute minimum warm speedup for a point; "
-                         "repeatable")
+                    help="absolute minimum warm speedup (reference/fast) "
+                         "for a point; repeatable")
+    ap.add_argument("--floor-compiled", action="append", default=[],
+                    metavar="LABEL=X",
+                    help="absolute minimum compiled warm speedup "
+                         "(fast/compiled) for a point; repeatable")
     args = ap.parse_args(argv)
 
     current = load(args.current)
@@ -56,41 +64,59 @@ def main(argv: Optional[List[str]] = None) -> int:
     cur_points = {p["label"]: p for p in current["points"]}
     base_points = {p["label"]: p for p in baseline["points"]}
 
+    # (json key, human name, floor specs) for each trended ratio.
+    metrics = [
+        ("speedup_warm", "warm speedup", args.floor),
+        ("speedup_warm_compiled", "compiled warm speedup",
+         args.floor_compiled),
+    ]
+
     failures = []
     for label, base in sorted(base_points.items()):
         cur = cur_points.get(label)
         if cur is None:
             failures.append(f"{label}: missing from current report")
             continue
-        want = base["speedup_warm"] * (1.0 - args.threshold)
-        got = cur["speedup_warm"]
-        status = "ok" if got >= want else "REGRESSED"
-        print(f"{label}: warm speedup {got:.2f}x "
-              f"(baseline {base['speedup_warm']:.2f}x, "
-              f"gate >= {want:.2f}x) {status}")
-        if got < want:
-            failures.append(
-                f"{label}: warm speedup {got:.2f}x < {want:.2f}x "
-                f"(baseline {base['speedup_warm']:.2f}x - {args.threshold:.0%})"
-            )
+        for key, name, _ in metrics:
+            if key not in base:
+                # Baselines predating the compiled kernel have no
+                # compiled ratio to trend against.
+                continue
+            if key not in cur:
+                failures.append(f"{label}: current report lacks {key}")
+                continue
+            want = base[key] * (1.0 - args.threshold)
+            got = cur[key]
+            status = "ok" if got >= want else "REGRESSED"
+            print(f"{label}: {name} {got:.2f}x "
+                  f"(baseline {base[key]:.2f}x, "
+                  f"gate >= {want:.2f}x) {status}")
+            if got < want:
+                failures.append(
+                    f"{label}: {name} {got:.2f}x < {want:.2f}x "
+                    f"(baseline {base[key]:.2f}x - {args.threshold:.0%})"
+                )
 
-    for spec in args.floor:
-        label, _, floor_s = spec.partition("=")
-        if not floor_s:
-            raise SystemExit(f"error: bad --floor spec {spec!r} "
-                             "(expected LABEL=X)")
-        floor = float(floor_s)
-        cur = cur_points.get(label)
-        if cur is None:
-            failures.append(f"{label}: --floor named a missing point")
-        elif cur["speedup_warm"] < floor:
-            failures.append(
-                f"{label}: warm speedup {cur['speedup_warm']:.2f}x "
-                f"below the absolute floor {floor:.2f}x"
-            )
-        else:
-            print(f"{label}: floor {floor:.2f}x satisfied "
-                  f"({cur['speedup_warm']:.2f}x)")
+    for key, name, floors in metrics:
+        for spec in floors:
+            label, _, floor_s = spec.partition("=")
+            if not floor_s:
+                raise SystemExit(f"error: bad floor spec {spec!r} "
+                                 "(expected LABEL=X)")
+            floor = float(floor_s)
+            cur = cur_points.get(label)
+            if cur is None:
+                failures.append(f"{label}: a floor named a missing point")
+            elif key not in cur:
+                failures.append(f"{label}: current report lacks {key}")
+            elif cur[key] < floor:
+                failures.append(
+                    f"{label}: {name} {cur[key]:.2f}x "
+                    f"below the absolute floor {floor:.2f}x"
+                )
+            else:
+                print(f"{label}: {name} floor {floor:.2f}x satisfied "
+                      f"({cur[key]:.2f}x)")
 
     if failures:
         print("\nbench regression gate FAILED:")

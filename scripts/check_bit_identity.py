@@ -1,19 +1,26 @@
 #!/usr/bin/env python
-"""Differential bit-identity check: fast kernel vs. reference kernel.
+"""Differential bit-identity check across the allocation kernels.
 
 Runs every design point in a seeded config matrix (allocator
-architectures x topologies x faults on/off x observer on/off) under
-both allocation kernels and asserts the resulting
-:class:`~repro.netsim.simulator.SimulationResult` payloads -- every
-statistic, down to the last misspeculation counter -- are identical.
-For observed runs the collected metrics rows must match as well.
+architectures x topologies x faults on/off x observer on/off) under the
+reference kernel and every kernel under test (default: ``fast`` and the
+generated per-design-point ``compiled`` kernel) and asserts the
+resulting :class:`~repro.netsim.simulator.SimulationResult` payloads --
+every statistic, down to the last misspeculation counter -- are
+identical.  For observed runs the collected metrics rows must match as
+well.
 
 This is the command-line face of the equivalence harness (the pytest
 face lives in ``tests/perf/test_kernel_equivalence.py``); CI runs it
-with ``--quick``, and any optimisation work on the fast kernel should
-keep it green at full depth:
+with ``--quick``, and any optimisation work on the fast or compiled
+kernels should keep it green at full depth:
 
     PYTHONPATH=src python scripts/check_bit_identity.py [--quick] [-v]
+        [--kernel NAME ...]
+
+``--kernel`` restricts the kernels under test; names are validated
+against the kernel registry (``repro.netsim.codegen.KERNELS``) and an
+unknown name exits with status 2 listing the available kernels.
 
 Exit status 0 iff every point is identical.
 """
@@ -23,11 +30,15 @@ from __future__ import annotations
 import argparse
 import sys
 import time
-from typing import List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.faults.plan import FaultPlan, LinkFault, StuckVC
+from repro.netsim.codegen import KERNELS
 from repro.netsim.simulator import SimulationConfig, build_network, run_simulation
 from repro.obs.observer import SimObserver
+
+# Kernels compared against "reference" when --kernel is not given.
+DEFAULT_KERNELS = ("fast", "compiled")
 
 # Short but non-trivial windows: long enough to reach steady state and
 # exercise contention, misspeculation and (for fault points) blocked
@@ -79,8 +90,19 @@ def config_matrix(quick: bool) -> List[Tuple[str, SimulationConfig, bool]]:
     return points
 
 
-def kernel_probe() -> Optional[str]:
-    """Error message if either allocation kernel cannot be selected.
+def validate_kernels(names: List[str]) -> Optional[str]:
+    """Error message if any requested kernel is not in the registry."""
+    unknown = [n for n in names if n not in KERNELS]
+    if unknown:
+        return (
+            f"unknown kernel(s) {', '.join(map(repr, unknown))} "
+            f"(available: {', '.join(KERNELS)})"
+        )
+    return None
+
+
+def kernel_probe(kernels: Tuple[str, ...] = DEFAULT_KERNELS) -> Optional[str]:
+    """Error message if any allocation kernel cannot be selected.
 
     A removed or broken kernel must fail this harness loudly -- an
     exception here, swallowed into an empty matrix, would otherwise
@@ -89,7 +111,7 @@ def kernel_probe() -> Optional[str]:
     cfg = SimulationConfig(
         topology="mesh", warmup_cycles=0, measure_cycles=1, drain_cycles=0
     )
-    for kernel in ("fast", "reference"):
+    for kernel in ("reference",) + tuple(kernels):
         try:
             build_network(cfg, kernel=kernel)
         except Exception as exc:  # noqa: BLE001 -- report, don't crash
@@ -98,28 +120,32 @@ def kernel_probe() -> Optional[str]:
 
 
 def run_point(
-    cfg: SimulationConfig, observed: bool
-) -> Tuple[dict, dict, Optional[List[dict]], Optional[List[dict]]]:
-    """Run one design point under both kernels."""
-    obs_fast = SimObserver(sample_every=100) if observed else None
-    obs_ref = SimObserver(sample_every=100) if observed else None
-    fast = run_simulation(cfg, observer=obs_fast, kernel="fast")
-    ref = run_simulation(cfg, observer=obs_ref, kernel="reference")
-    return (
-        fast.to_payload(),
-        ref.to_payload(),
-        obs_fast.rows if obs_fast is not None else None,
-        obs_ref.rows if obs_ref is not None else None,
-    )
+    cfg: SimulationConfig,
+    observed: bool,
+    kernels: Tuple[str, ...] = DEFAULT_KERNELS,
+) -> Tuple[Dict[str, dict], Dict[str, Optional[List[dict]]]]:
+    """Run one design point under the reference and the given kernels.
+
+    Returns ``(payloads, observer_rows)``, each keyed by kernel name
+    (with ``"reference"`` always present).
+    """
+    payloads: Dict[str, dict] = {}
+    rows: Dict[str, Optional[List[dict]]] = {}
+    for kernel in ("reference",) + tuple(kernels):
+        obs = SimObserver(sample_every=100) if observed else None
+        result = run_simulation(cfg, observer=obs, kernel=kernel)
+        payloads[kernel] = result.to_payload()
+        rows[kernel] = obs.rows if obs is not None else None
+    return payloads, rows
 
 
-def diff_payloads(fast: dict, ref: dict) -> List[str]:
+def diff_payloads(got: dict, ref: dict, name: str = "fast") -> List[str]:
     """Human-readable field-level differences (empty = identical)."""
     out = []
-    for key in sorted(set(fast) | set(ref)):
-        a, b = fast.get(key), ref.get(key)
+    for key in sorted(set(got) | set(ref)):
+        a, b = got.get(key), ref.get(key)
         if a != b and not (a != a and b != b):  # NaN == NaN for our purposes
-            out.append(f"  {key}: fast={a!r} reference={b!r}")
+            out.append(f"  {key}: {name}={a!r} reference={b!r}")
     return out
 
 
@@ -131,9 +157,30 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="half matrix (plain + faults-and-observer points); CI smoke",
     )
     parser.add_argument(
+        "--kernel",
+        action="append",
+        default=[],
+        metavar="NAME",
+        help="kernel to compare against reference (repeatable; default: "
+        f"{', '.join(DEFAULT_KERNELS)})",
+    )
+    parser.add_argument(
         "-v", "--verbose", action="store_true", help="print per-point timing"
     )
     args = parser.parse_args(argv)
+
+    bad = validate_kernels(args.kernel)
+    if bad is not None:
+        print(f"error: {bad}", file=sys.stderr)
+        return 2
+    kernels = tuple(args.kernel) if args.kernel else DEFAULT_KERNELS
+    under_test = tuple(k for k in kernels if k != "reference")
+    if not under_test:
+        print(
+            "error: no kernel under test (only 'reference' was named)",
+            file=sys.stderr,
+        )
+        return 2
 
     points = config_matrix(args.quick)
     if not points:
@@ -144,7 +191,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
-    problem = kernel_probe()
+    problem = kernel_probe(under_test)
     if problem is not None:
         print(
             f"error: {problem} -- bit identity cannot be checked",
@@ -154,11 +201,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     failures = 0
     for label, cfg, observed in points:
         t0 = time.perf_counter()
-        fast, ref, rows_fast, rows_ref = run_point(cfg, observed)
+        payloads, rows = run_point(cfg, observed, under_test)
         dt = time.perf_counter() - t0
-        problems = diff_payloads(fast, ref)
-        if observed and rows_fast != rows_ref:
-            problems.append("  observer metrics rows differ")
+        problems = []
+        for kernel in under_test:
+            problems += diff_payloads(
+                payloads[kernel], payloads["reference"], kernel
+            )
+            if observed and rows[kernel] != rows["reference"]:
+                problems.append(f"  observer metrics rows differ ({kernel})")
         if problems:
             failures += 1
             print(f"MISMATCH {label}")
@@ -171,7 +222,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if failures:
         print(f"{failures}/{total} design points differ between kernels")
         return 1
-    print(f"ALL IDENTICAL ({total} design points)")
+    print(f"ALL IDENTICAL ({total} design points, "
+          f"kernels: {', '.join(under_test)} vs reference)")
     return 0
 
 

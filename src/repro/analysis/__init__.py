@@ -24,7 +24,7 @@ from .drc import DrcConfig, NetlistDRC, run_drc
 from .findings import Baseline, Finding, format_findings
 from .netlists import iter_paper_netlists, lint_paper_netlists
 from .revguard import check_simulator_rev
-from .srclint import lint_source_file, lint_source_tree
+from .srclint import lint_generated_kernels, lint_source_file, lint_source_tree
 
 __all__ = [
     "Baseline",
@@ -37,5 +37,6 @@ __all__ = [
     "lint_paper_netlists",
     "lint_source_file",
     "lint_source_tree",
+    "lint_generated_kernels",
     "run_drc",
 ]

@@ -46,6 +46,8 @@ from .findings import Finding
 __all__ = [
     "lint_source_file",
     "lint_source_tree",
+    "lint_generated_kernels",
+    "GENERATED_KERNEL_SCOPE",
     "SIMULATION_PACKAGES",
     "HOT_LOOP_PACKAGES",
     "GUARDED_PACKAGES",
@@ -415,6 +417,33 @@ def lint_source_file(path: str, code: Optional[str] = None) -> List[Finding]:
     linter = _SourceLinter(path, code)
     linter.visit(tree)
     return linter.findings
+
+
+#: Synthetic path prefix for rendered compiled-kernel templates.  It
+#: places the generated code in the ``netsim`` scope, so every
+#: simulation-determinism rule (unseeded randomness, wall-clock reads,
+#: set iteration, observer guards) applies to it unchanged.
+GENERATED_KERNEL_SCOPE = "repro/netsim/generated"
+
+
+def lint_generated_kernels() -> List[Finding]:
+    """Lint the rendered compiled-kernel template sources.
+
+    The ``compiled`` kernel executes generated modules inside the
+    simulation, so they carry the same determinism contract as
+    hand-written ``repro/netsim`` code -- but they never exist on disk
+    for :func:`lint_source_tree` to find.  Render each representative
+    template design point and lint it under a synthetic
+    ``repro/netsim/generated/<slug>.py`` path instead.
+    """
+    from ..netsim.codegen import iter_template_sources
+
+    findings: List[Finding] = []
+    for slug, source in iter_template_sources():
+        findings.extend(
+            lint_source_file(f"{GENERATED_KERNEL_SCOPE}/{slug}.py", source)
+        )
+    return findings
 
 
 def lint_source_tree(root: Path) -> List[Finding]:

@@ -16,8 +16,9 @@ Exposes the experiment harness without writing any Python:
   allocator architecture (robustness extension, beyond the paper);
 * ``report``      -- summarize a ``--metrics`` telemetry directory
   (top stall sources, matching efficiency vs. injection rate);
-* ``bench``       -- fast-kernel vs reference-kernel throughput
-  benchmark (writes ``BENCH_kernel.json``; see docs/PERFORMANCE.md);
+* ``bench``       -- reference/fast/compiled kernel throughput
+  benchmark (writes ``BENCH_kernel.json``; ``--dump-kernel DIR`` saves
+  the generated per-design-point sources; see docs/PERFORMANCE.md);
 * ``lint``        -- static verification (docs/STATIC_ANALYSIS.md):
   ``--netlists`` runs the gate-level DRC over every paper design point,
   ``--source`` runs the repo-invariant AST linter over ``src/repro``,
@@ -427,11 +428,40 @@ def cmd_faults(args) -> int:
 
 
 def cmd_bench(args) -> int:
-    """Fast-kernel vs reference-kernel throughput benchmark."""
+    """Kernel throughput benchmark (reference / fast / compiled)."""
     from .eval.kernel_bench import format_bench, run_kernel_bench, write_report
+    from .netsim.codegen import KERNELS, iter_template_sources
+
+    kernels = list(args.kernel)
+    unknown = [k for k in kernels if k not in KERNELS]
+    if unknown:
+        print(
+            f"error: unknown kernel(s) {', '.join(map(repr, unknown))} "
+            f"(available: {', '.join(KERNELS)})",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.dump_kernel is not None:
+        dump_dir = Path(args.dump_kernel)
+        dump_dir.mkdir(parents=True, exist_ok=True)
+        count = 0
+        for slug, source in iter_template_sources():
+            (dump_dir / f"{slug}.py").write_text(source)
+            count += 1
+        print(f"dumped {count} generated kernel source(s) to {dump_dir}/",
+              file=sys.stderr)
+        if args.dump_only:
+            return 0
+    elif args.dump_only:
+        print("error: --dump-only requires --dump-kernel DIR",
+              file=sys.stderr)
+        return 2
 
     progress = (lambda msg: print(msg, file=sys.stderr)) if args.progress else None
-    report = run_kernel_bench(quick=args.quick, progress=progress)
+    report = run_kernel_bench(
+        quick=args.quick, progress=progress, kernels=kernels or None
+    )
     write_report(report, Path(args.output))
     print(format_bench(report))
     print(f"wrote {args.output}")
@@ -445,6 +475,7 @@ def cmd_lint(args) -> int:
         DrcConfig,
         check_simulator_rev,
         format_findings,
+        lint_generated_kernels,
         lint_paper_netlists,
         lint_source_tree,
     )
@@ -481,6 +512,9 @@ def cmd_lint(args) -> int:
     if run_source:
         src_root = Path(args.src_root) if args.src_root else Path(__file__).parent
         findings.extend(lint_source_tree(src_root))
+        # The compiled kernel's generated modules never exist on disk;
+        # render the template design points and lint them too.
+        findings.extend(lint_generated_kernels())
         meta["source_root"] = str(src_root)
     if run_rev:
         findings.extend(check_simulator_rev(Path.cwd(), args.rev_guard))
@@ -681,11 +715,21 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser(
         "bench",
-        help="fast-kernel throughput benchmark (BENCH_kernel.json)")
+        help="kernel throughput benchmark (BENCH_kernel.json)")
     p.add_argument("--quick", action="store_true",
                    help="short windows, mesh points only (CI smoke)")
     p.add_argument("--output", default="BENCH_kernel.json",
                    help="report path (default: BENCH_kernel.json)")
+    p.add_argument("--kernel", action="append", default=[], metavar="NAME",
+                   help="kernel to time (repeatable; validated against "
+                        "the kernel registry; default: all kernels)")
+    p.add_argument("--dump-kernel", default=None, metavar="DIR",
+                   help="write the generated compiled-kernel source for "
+                        "every template design point into DIR before "
+                        "benchmarking")
+    p.add_argument("--dump-only", action="store_true",
+                   help="with --dump-kernel: dump the sources and exit "
+                        "without benchmarking")
     p.add_argument("--progress", action="store_true",
                    help="report per-point results on stderr as they land")
     p.set_defaults(fn=cmd_bench)
@@ -697,7 +741,8 @@ def build_parser() -> argparse.ArgumentParser:
                    help="run the gate-level DRC over every paper design "
                         "point (default: netlists + source)")
     p.add_argument("--source", action="store_true",
-                   help="run the repo-invariant AST linter over src/repro")
+                   help="run the repo-invariant AST linter over src/repro "
+                        "and the rendered compiled-kernel templates")
     p.add_argument("--rev-guard", default=None, metavar="BASE_REF",
                    help="check the SIMULATOR_REV discipline for changes "
                         "since BASE_REF (e.g. origin/main)")

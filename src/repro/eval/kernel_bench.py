@@ -1,23 +1,27 @@
-"""Fast-kernel throughput benchmark (``repro bench``).
+"""Kernel throughput benchmark (``repro bench``).
 
 Measures simulator throughput -- simulated cycles per wall-clock second
--- for the fast allocation kernel and the reference kernel on a fixed
-matrix of design points, and emits a machine-readable report
-(``BENCH_kernel.json``).  Each kernel's first run of a point is
-reported as *cold* (includes allocator/bytecode warm-up and
+-- for the three allocation kernels (``reference``, ``fast`` and the
+per-design-point ``compiled`` kernel) on a fixed matrix of design
+points, and emits a machine-readable report (``BENCH_kernel.json``).
+Each kernel's first run of a point is reported as *cold* (includes
+allocator/bytecode warm-up, code generation for the compiled kernel and
 memory-allocator growth); *warm* is the best of ``warm_repeats``
 further runs, interleaved between the kernels so slow host-speed drift
 hits both alike (steady-state; the number the regression gate trends).
 
-Because both kernels execute the identical cycle schedule (they are
+Because all kernels execute the identical cycle schedule (they are
 bit-identical by construction -- see ``scripts/check_bit_identity.py``),
-the warm speedup ratio ``fast / reference`` is a machine-independent
-figure of merit: CI gates on it rather than on absolute cycles/sec,
-which vary with host load and hardware (see
-``scripts/check_bench_regression.py``).
+the warm speedup ratios are machine-independent figures of merit: CI
+gates on them rather than on absolute cycles/sec, which vary with host
+load and hardware (see ``scripts/check_bench_regression.py``).
+``speedup_warm`` is reference-over-fast; ``speedup_warm_compiled`` is
+fast-over-compiled (the compiled kernel's margin on top of the already
+optimised fast kernel).
 
 The flagship point is the 8x8 mesh with V=8 VCs under the paper's
-wavefront allocator; the fast kernel is expected to hold >= 3x there.
+wavefront allocator; the fast kernel is expected to hold >= 3x over
+the reference there, and the compiled kernel >= 2x over fast.
 """
 
 from __future__ import annotations
@@ -29,9 +33,18 @@ from typing import Any, Dict, List, Optional
 
 from ..netsim.simulator import SIMULATOR_REV, SimulationConfig, run_simulation
 
-__all__ = ["BENCH_SCHEMA", "bench_points", "run_kernel_bench", "format_bench"]
+__all__ = [
+    "BENCH_SCHEMA",
+    "BENCHED_KERNELS",
+    "bench_points",
+    "run_kernel_bench",
+    "format_bench",
+]
 
 BENCH_SCHEMA = "repro/kernel-bench/v1"
+
+#: Kernels the benchmark times, in interleave order.
+BENCHED_KERNELS = ("fast", "reference", "compiled")
 
 # warmup/measure/drain windows.  The quick windows are sized so the
 # *fast* kernel still runs ~2s wall per point: much shorter and
@@ -84,13 +97,28 @@ def _time_run(cfg: SimulationConfig, kernel: str) -> float:
 
 
 def run_kernel_bench(
-    quick: bool = False, progress: Optional[Any] = None, warm_repeats: int = 2
+    quick: bool = False,
+    progress: Optional[Any] = None,
+    warm_repeats: int = 2,
+    kernels: Optional[Any] = None,
 ) -> Dict[str, Any]:
-    """Run the full matrix under both kernels; return the report dict."""
+    """Run the full matrix under all kernels; return the report dict.
+
+    ``kernels`` restricts the timed kernels (default: all of
+    :data:`BENCHED_KERNELS`); speedup ratios are emitted only when both
+    of their operand kernels were timed.
+    """
+    timed = tuple(kernels) if kernels else BENCHED_KERNELS
+    unknown = [k for k in timed if k not in BENCHED_KERNELS]
+    if unknown:
+        raise ValueError(
+            f"unknown kernel(s) {unknown!r} (available: {BENCHED_KERNELS})"
+        )
     report: Dict[str, Any] = {
         "schema": BENCH_SCHEMA,
         "simulator_rev": SIMULATOR_REV,
         "quick": quick,
+        "kernels": list(timed),
         "points": [],
     }
     for point in bench_points(quick):
@@ -104,15 +132,15 @@ def run_kernel_bench(
             "config": cfg.to_dict(),
             "cycles": cycles,
         }
-        cold = {k: _time_run(cfg, k) for k in ("fast", "reference")}
+        cold = {k: _time_run(cfg, k) for k in timed}
         # Warm repeats interleave the kernels so any monotone host-speed
-        # drift biases both timings alike and cancels in the ratio;
+        # drift biases all timings alike and cancels in the ratios;
         # min() is the standard noise-robust wall-clock estimator.
-        warm_times: Dict[str, List[float]] = {"fast": [], "reference": []}
+        warm_times: Dict[str, List[float]] = {k: [] for k in timed}
         for _ in range(max(1, warm_repeats)):
-            for kernel in ("fast", "reference"):
+            for kernel in timed:
                 warm_times[kernel].append(_time_run(cfg, kernel))
-        for kernel in ("fast", "reference"):
+        for kernel in timed:
             warm = min(warm_times[kernel])
             entry[kernel] = {
                 "cold_s": round(cold[kernel], 4),
@@ -120,19 +148,33 @@ def run_kernel_bench(
                 "cold_cycles_per_s": round(cycles / cold[kernel], 1),
                 "warm_cycles_per_s": round(cycles / warm, 1),
             }
-        entry["speedup_cold"] = round(
-            entry["reference"]["cold_s"] / entry["fast"]["cold_s"], 3
-        )
-        entry["speedup_warm"] = round(
-            entry["reference"]["warm_s"] / entry["fast"]["warm_s"], 3
-        )
+        if "reference" in entry and "fast" in entry:
+            entry["speedup_cold"] = round(
+                entry["reference"]["cold_s"] / entry["fast"]["cold_s"], 3
+            )
+            entry["speedup_warm"] = round(
+                entry["reference"]["warm_s"] / entry["fast"]["warm_s"], 3
+            )
+        if "fast" in entry and "compiled" in entry:
+            entry["speedup_cold_compiled"] = round(
+                entry["fast"]["cold_s"] / entry["compiled"]["cold_s"], 3
+            )
+            entry["speedup_warm_compiled"] = round(
+                entry["fast"]["warm_s"] / entry["compiled"]["warm_s"], 3
+            )
         report["points"].append(entry)
         if progress is not None:
-            progress(
-                f"{point['label']}: fast {entry['fast']['warm_cycles_per_s']:.0f} "
-                f"cyc/s, reference {entry['reference']['warm_cycles_per_s']:.0f} "
-                f"cyc/s, speedup {entry['speedup_warm']:.2f}x"
-            )
+            parts = [
+                f"{k} {entry[k]['warm_cycles_per_s']:.0f} cyc/s"
+                for k in timed
+            ]
+            if "speedup_warm" in entry:
+                parts.append(f"speedup {entry['speedup_warm']:.2f}x")
+            if "speedup_warm_compiled" in entry:
+                parts.append(
+                    f"compiled {entry['speedup_warm_compiled']:.2f}x"
+                )
+            progress(f"{point['label']}: " + ", ".join(parts))
     return report
 
 
@@ -142,13 +184,26 @@ def format_bench(report: Dict[str, Any]) -> str:
         f"kernel benchmark (simulator rev {report['simulator_rev']}, "
         f"{'quick' if report['quick'] else 'full'} matrix)",
         f"{'point':<24} {'fast cyc/s':>12} {'ref cyc/s':>12} "
-        f"{'cold x':>8} {'warm x':>8}",
+        f"{'cmpl cyc/s':>12} {'warm x':>8} {'cmpl x':>8}",
     ]
+    # Reports written before the compiled kernel existed (or with a
+    # restricted --kernel set) may lack entries; render blanks rather
+    # than refusing.
+    def cps(p, kernel, width=12):
+        if kernel in p:
+            return f"{p[kernel]['warm_cycles_per_s']:>{width}.0f}"
+        return f"{'-':>{width}}"
+
+    def ratio(p, key, width=8):
+        if key in p:
+            return f"{p[key]:>{width}.2f}"
+        return f"{'-':>{width}}"
+
     for p in report["points"]:
         lines.append(
-            f"{p['label']:<24} {p['fast']['warm_cycles_per_s']:>12.0f} "
-            f"{p['reference']['warm_cycles_per_s']:>12.0f} "
-            f"{p['speedup_cold']:>8.2f} {p['speedup_warm']:>8.2f}"
+            f"{p['label']:<24} {cps(p, 'fast')} {cps(p, 'reference')} "
+            f"{cps(p, 'compiled')} {ratio(p, 'speedup_warm')} "
+            f"{ratio(p, 'speedup_warm_compiled')}"
         )
     return "\n".join(lines)
 

@@ -49,7 +49,7 @@ class PacketType(Enum):
         raise ValueError(f"{self} is not a request type")
 
 
-@dataclass
+@dataclass(slots=True)
 class Packet:
     """One multi-flit packet travelling through the network.
 
@@ -89,7 +89,7 @@ class Packet:
         ]
 
 
-@dataclass
+@dataclass(slots=True)
 class Flit:
     """One flow-control unit.
 

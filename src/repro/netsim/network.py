@@ -61,10 +61,16 @@ class Network:
             terminal.observer = observer
 
     def set_kernel(self, kernel: str) -> None:
-        """Select the allocation kernel (``"fast"`` or ``"reference"``)
-        on every router; see :attr:`repro.netsim.router.Router.kernel`."""
-        if kernel not in ("fast", "reference"):
-            raise ValueError(f"unknown simulation kernel {kernel!r}")
+        """Select the allocation kernel on every router; the registry of
+        valid names is :data:`repro.netsim.codegen.KERNELS` ("reference",
+        "fast", "compiled"); see :attr:`repro.netsim.router.Router.kernel`."""
+        from .codegen import KERNELS
+
+        if kernel not in KERNELS:
+            raise ValueError(
+                f"unknown simulation kernel {kernel!r}; "
+                f"expected one of {', '.join(KERNELS)}"
+            )
         for router in self.routers:
             router.kernel = kernel
             router._alloc_idle = False  # latch belongs to the fast kernel

@@ -160,11 +160,25 @@ class Router:
         # loop call ``_alloc_step`` directly, skipping a per-router
         # per-cycle wrapper frame and string compare.
         self._kernel = value
-        self._alloc_step = (
-            self._allocation_step_fast
-            if value == "fast"
-            else self._allocation_step_reference
-        )
+        if value == "fast":
+            self._alloc_step = self._allocation_step_fast
+        elif value == "compiled":
+            # Deferred: the setter runs from __init__ before the state
+            # arrays the generated closure binds exist, so the first
+            # allocation cycle triggers codegen and rebinds itself.
+            self._alloc_step = self._compiled_bootstrap
+        else:
+            self._alloc_step = self._allocation_step_reference
+
+    def _compiled_bootstrap(self, network: "Network", now: int) -> None:
+        """First-call shim for the ``compiled`` kernel: generate (or
+        fetch from the per-spec cache) the specialized step, rebind the
+        dispatch target, and run the cycle."""
+        from .codegen import compiled_step_for
+
+        step = compiled_step_for(self)
+        self._alloc_step = step
+        step(network, now)
 
     # ------------------------------------------------------------------
     def attach_fault_state(self, fault_state) -> None:

@@ -136,8 +136,10 @@ class Terminal:
             )
             self.generated_packets += 1
 
-        # 2. Start a new packet if idle (replies take priority).
-        if not self._flits:
+        # 2. Start a new packet if idle (replies take priority).  The
+        # queue check is hoisted: _next_packet on two empty queues is a
+        # no-op, and most terminal-cycles are idle.
+        if not self._flits and (self.reply_queue or self.request_queue):
             pkt = self._next_packet(network, now)
             if pkt is not None:
                 vc = self._choose_vc(network, pkt)

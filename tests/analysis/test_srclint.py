@@ -241,3 +241,43 @@ class TestTreeLinting:
 
     def test_real_tree_is_clean(self, repo_src):
         assert lint_source_tree(repo_src / "repro") == []
+
+
+class TestGeneratedKernels:
+    """The compiled-kernel templates carry the netsim determinism
+    contract even though they never exist on disk (satellite of the
+    compiled-kernel PR): the linter renders and scans them."""
+
+    def test_rendered_templates_are_clean(self):
+        from repro.analysis.srclint import lint_generated_kernels
+
+        assert lint_generated_kernels() == []
+
+    def test_generated_scope_enforces_simulation_rules(self):
+        # A doctored template must be caught: the synthetic path places
+        # generated modules in the netsim scope, where the wall-clock
+        # and unseeded-randomness rules apply.
+        from repro.analysis.srclint import GENERATED_KERNEL_SCOPE
+        from repro.netsim.codegen import source_for, template_specs
+
+        spec = template_specs()[0]
+        doctored = (
+            source_for(spec)
+            + "\n_t0 = time.perf_counter()\n_jitter = random.random()\n"
+        )
+        found = rules(doctored, f"{GENERATED_KERNEL_SCOPE}/{spec.slug()}.py")
+        assert "SRC-WALL-CLOCK" in found
+        assert "SRC-UNSEEDED-RANDOM" in found
+
+    def test_bad_template_surfaces_with_its_slug(self, monkeypatch):
+        from repro.analysis import srclint
+        from repro.netsim import codegen
+
+        monkeypatch.setattr(
+            codegen,
+            "iter_template_sources",
+            lambda: iter([("doctored-slug", "t = time.time()\n")]),
+        )
+        findings = srclint.lint_generated_kernels()
+        assert [f.rule for f in findings] == ["SRC-WALL-CLOCK"]
+        assert "doctored-slug" in findings[0].scope

@@ -10,6 +10,11 @@ intentional future simulator changes small enough not to change the
 paper's conclusions.  If a change moves these numbers materially, the
 benchmarks must be re-run (and ``SIMULATOR_REV`` bumped so stale sweep
 caches are invalidated).
+
+The compiled kernel is additionally pinned to the default kernel with
+*exact* equality over a full recorded curve: all kernels are one
+simulator, so the generated code must land on the committed tables to
+the last bit, not merely within tolerance.
 """
 
 import re
@@ -18,7 +23,7 @@ from pathlib import Path
 import pytest
 
 from repro.eval.netperf import latency_sweep
-from repro.netsim.simulator import SimulationConfig
+from repro.netsim.simulator import SimulationConfig, run_simulation
 
 RESULTS = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
 
@@ -106,6 +111,71 @@ class TestFig13MeshC1Golden:
         assert rederived_sep_if.saturation_rate() == pytest.approx(
             saturation["sep_if"], rel=0.07
         )
+
+
+@pytest.fixture(scope="module")
+def rederived_sep_if_compiled():
+    """The same fig13 curve, simulated by the compiled kernel."""
+    base = SimulationConfig(
+        topology="mesh", vcs_per_class=1,
+        sw_alloc_arch="sep_if", vc_alloc_arch="sep_if",
+        speculation="pessimistic", **RECORDED_FIDELITY,
+    )
+    return latency_sweep(
+        base, MESH_C1_RATES, label="sep_if", stop_after_saturation=False,
+        sim_fn=lambda cfg: run_simulation(cfg, kernel="compiled"),
+    )
+
+
+class TestCompiledKernelGolden:
+    """The compiled kernel must reproduce the committed figure tables.
+
+    The kernels are bit-identical by construction, so the compiled
+    curve is compared against the default-kernel curve with *exact*
+    equality (not a tolerance): any drift here means the generated code
+    stopped being the same simulator.  The recorded-table comparison
+    then rides on the same tolerances as the default-kernel golden
+    tests above.
+    """
+
+    def test_curve_bit_identical_to_default_kernel(
+        self, rederived_sep_if, rederived_sep_if_compiled
+    ):
+        fast, compiled = rederived_sep_if, rederived_sep_if_compiled
+        assert compiled.zero_load == fast.zero_load
+        assert compiled.saturation_rate() == fast.saturation_rate()
+        assert len(compiled.points) == len(fast.points)
+        for got, want in zip(compiled.points, fast.points):
+            assert (got.rate, got.latency, got.p50, got.p95, got.p99,
+                    got.accepted) == (want.rate, want.latency, want.p50,
+                                      want.p95, want.p99, want.accepted)
+
+    def test_recorded_fig13_table_reproduced(
+        self, fig13_mesh_c1, rederived_sep_if_compiled
+    ):
+        _, columns, saturation = fig13_mesh_c1
+        curve = rederived_sep_if_compiled
+        assert curve.zero_load == pytest.approx(columns["sep_if"][0], rel=0.03)
+        for got, want in zip(
+            [p.latency for p in curve.points], columns["sep_if"]
+        ):
+            assert got == pytest.approx(want, rel=0.10)
+        assert curve.saturation_rate() == pytest.approx(
+            saturation["sep_if"], rel=0.07
+        )
+
+    def test_recorded_fig14_zero_load_reproduced(self, fig14_mesh_c1):
+        _, columns, _ = fig14_mesh_c1
+        base = SimulationConfig(
+            topology="mesh", vcs_per_class=1,
+            sw_alloc_arch="sep_if", vc_alloc_arch="sep_if",
+            speculation="nonspec", **RECORDED_FIDELITY,
+        )
+        curve = latency_sweep(
+            base, (0.05,), stop_after_saturation=False,
+            sim_fn=lambda cfg: run_simulation(cfg, kernel="compiled"),
+        )
+        assert curve.zero_load == pytest.approx(columns["nonspec"][0], rel=0.03)
 
 
 class TestFig14MeshC1Golden:

@@ -135,6 +135,39 @@ class TestKeying:
         assert config_key(SimulationConfig()) == config_key(SimulationConfig())
 
 
+class TestKernelIndependence:
+    """Cache keys must not encode the simulation kernel.
+
+    The kernels are bit-identical, so a payload computed by any of them
+    is valid for all of them; keying on the kernel would fracture the
+    cache three ways and silently triple sweep costs.
+    """
+
+    WINDOWS = dict(warmup_cycles=60, measure_cycles=200, drain_cycles=250)
+
+    def test_kernel_is_not_a_config_axis(self):
+        # The key is a digest of the canonical config serialization;
+        # the kernel is a runtime choice and must not appear in it.
+        cfg = SimulationConfig(**self.WINDOWS)
+        assert "kernel" not in cfg.to_dict()
+        assert config_key(cfg) == config_key(SimulationConfig(**self.WINDOWS))
+
+    @pytest.mark.parametrize("producer", ["reference", "fast", "compiled"])
+    def test_any_kernel_payload_serves_every_kernel(self, tmp_path, producer):
+        from repro.netsim.simulator import run_simulation
+
+        cfg = SimulationConfig(injection_rate=0.2, **self.WINDOWS)
+        cache = ResultCache(tmp_path / "c.json")
+        cache.put(cfg, run_simulation(cfg, kernel=producer))
+
+        # A later sweep -- whatever kernel it would have used -- hits.
+        sim = _FakeSim()
+        cached = run_point(cfg, cache=cache, sim_fn=sim)
+        assert sim.calls == 0
+        # And the payload it serves is the one every kernel computes.
+        assert cached == run_simulation(cfg, kernel="fast")
+
+
 class TestCorruptionRecovery:
     def test_garbage_file_starts_empty(self, tmp_path):
         path = tmp_path / "c.json"

@@ -1,19 +1,27 @@
-"""Differential equivalence harness: fast kernel vs. reference kernel.
+"""Differential equivalence harness: the three-kernel test matrix.
 
-Two layers of defence pin the fast simulation kernel to the reference
-implementation:
+Three layers of defence pin the fast and compiled simulation kernels to
+the reference implementation:
 
 1. End-to-end differential runs: every design point of the bit-identity
-   matrix (``scripts/check_bit_identity.py``) at reduced depth, fast and
-   reference kernels side by side, asserting the full
-   ``SimulationResult`` payloads (and observer metric rows) match
-   exactly.  CI runs the same matrix at full depth via the script.
-2. Component-level property tests: the sparse allocator entry points
+   matrix (``scripts/check_bit_identity.py``) at reduced depth, all
+   kernels side by side, asserting the full ``SimulationResult``
+   payloads (and observer metric rows) match exactly.  CI runs the same
+   matrix at full depth via the script.
+2. The three-kernel design-point matrix: every representative compiled
+   template design point (``repro.netsim.codegen.template_specs``) on
+   both paper topologies, under all three kernels, comparing both the
+   end-of-run payloads and the complete post-run network state --
+   arbiter priorities, credits, buffer occupancy, holder registers and
+   speculation counters.
+3. Component-level property tests: the sparse allocator entry points
    used only by the fast kernel (``allocate_sparse``,
    ``grant_uncontested``, ``allocate_pairs``) against the dense paths
-   used by the reference kernel, over randomized multi-cycle request
-   streams, comparing both the grants and the post-cycle arbiter
-   priority state.
+   used by the reference kernel, plus the compiled-kernel codegen entry
+   points (``generate_source`` determinism, whole-network lockstep with
+   the fast kernel on randomized traffic), over randomized multi-cycle
+   request streams, comparing both the grants and the post-cycle
+   arbiter priority state.
 """
 
 from __future__ import annotations
@@ -38,6 +46,9 @@ from repro.core.switch_allocator import SwitchAllocator
 from repro.core.vc_allocator import VCAllocator, VCRequest
 from repro.core.vc_partition import VCPartition
 from repro.core.wavefront import WavefrontAllocator
+from repro.netsim import codegen
+from repro.netsim.codegen import KERNELS
+from repro.netsim.simulator import SimulationConfig, build_network, run_simulation
 
 # The CLI face of the harness owns the config matrix; reuse it here so
 # the two can never drift apart.
@@ -88,12 +99,22 @@ def test_unavailable_kernel_is_an_error(monkeypatch, capsys):
     assert "bit identity cannot be checked" in err
 
 
+def test_unknown_kernel_name_is_rejected(capsys):
+    rc = cbi.main(["--quick", "--kernel", "turbo"])
+    err = capsys.readouterr().err
+    assert rc == 2
+    assert "unknown kernel" in err
+    for name in KERNELS:
+        assert name in err
+
+
 @pytest.mark.parametrize("cfg,observed", _design_points())
 def test_kernels_bit_identical(cfg, observed):
-    fast, ref, rows_fast, rows_ref = cbi.run_point(cfg, observed)
-    assert cbi.diff_payloads(fast, ref) == []
-    if observed:
-        assert rows_fast == rows_ref
+    payloads, rows = cbi.run_point(cfg, observed)
+    for kernel in cbi.DEFAULT_KERNELS:
+        assert cbi.diff_payloads(payloads[kernel], payloads["reference"], kernel) == []
+        if observed:
+            assert rows[kernel] == rows["reference"]
 
 
 # ---------------------------------------------------------------------------
@@ -358,3 +379,157 @@ def test_vc_sparse_matches_dense(part_name, arch, arbiter, masked, data):
             if i not in granted_idx:
                 assert dense_grants[i] is None
     assert _vc_state(sparse_alloc) == _vc_state(dense_alloc)
+
+
+# ---------------------------------------------------------------------------
+# Three-kernel design-point matrix: payloads AND post-run network state
+# ---------------------------------------------------------------------------
+
+#: Cycles for the state-comparison runs: past warmup, deep into
+#: steady-state contention, before the schedule drains.
+_STATE_CYCLES = 330
+
+
+def _net_state(net):
+    """Complete comparable state of every router in a network.
+
+    Packet ids come from a process-global counter, so they are
+    normalized to first-seen order; everything else (arbiter
+    priorities, credits, buffer contents, holder registers, counters)
+    is compared verbatim.
+    """
+    pidmap = {}
+
+    def norm(pid):
+        return pidmap.setdefault(pid, len(pidmap))
+
+    state = []
+    for r in net.routers:
+        state.append(
+            {
+                "busy": sorted(r._busy),
+                "credits": [list(c) for c in r.credits],
+                "holder": [list(h) for h in r.output_holder],
+                "counters": (
+                    r.switch_grants,
+                    r.speculative_wins,
+                    r.misspeculations,
+                ),
+                "ivc": [
+                    (
+                        ivc.output_port,
+                        ivc.output_vc,
+                        [norm(f.packet.pid) for f in ivc.queue],
+                    )
+                    for port in r.input_vcs
+                    for ivc in port
+                ],
+                "va": _vc_state(r.vc_alloc),
+                "sa": [
+                    _sw_state(core)
+                    for core in (
+                        r.sw_alloc._nonspec_alloc,
+                        r.sw_alloc._spec_alloc,
+                    )
+                    if core is not None
+                ],
+            }
+        )
+    return state
+
+
+def _matrix_params():
+    """Every compiled template design point on both paper topologies."""
+    params = []
+    for spec in codegen.template_specs():
+        for topo in ("mesh", "fbfly"):
+            cfg = SimulationConfig(
+                topology=topo,
+                vcs_per_class=spec.vcs_per_class,
+                injection_rate=0.3,
+                vc_alloc_arch=spec.vc_arch,
+                vc_alloc_arbiter=spec.vc_arbiter,
+                sw_alloc_arch=spec.sw_arch,
+                sw_alloc_arbiter=spec.sw_arbiter,
+                speculation=spec.scheme,
+                lookahead=spec.lookahead,
+                seed=11,
+                **_WINDOWS,
+            )
+            params.append(pytest.param(cfg, id=f"{topo}-{spec.slug()}"))
+    return params
+
+
+@pytest.mark.parametrize("cfg", _matrix_params())
+def test_three_kernel_matrix_payload_and_state(cfg):
+    payloads = {k: run_simulation(cfg, kernel=k).to_payload() for k in KERNELS}
+    for kernel in ("fast", "compiled"):
+        assert cbi.diff_payloads(payloads[kernel], payloads["reference"], kernel) == []
+
+    states = {}
+    for kernel in KERNELS:
+        net = build_network(cfg, kernel=kernel)
+        net.run(_STATE_CYCLES)
+        states[kernel] = _net_state(net)
+    assert states["fast"] == states["reference"]
+    assert states["compiled"] == states["reference"]
+
+
+# ---------------------------------------------------------------------------
+# Compiled-kernel codegen entry points (property tests)
+# ---------------------------------------------------------------------------
+
+_ARCHS = ("sep_if", "sep_of", "wf")
+
+
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_generated_source_is_deterministic_and_compiles(data):
+    """``generate_source`` over the whole spec space: same spec, same
+    text, and the text always compiles to a ``make_step`` factory."""
+    spec = codegen.KernelSpec(
+        num_ports=data.draw(st.sampled_from((3, 5, 10))),
+        num_message_classes=data.draw(st.integers(1, 2)),
+        num_resource_classes=data.draw(st.integers(1, 2)),
+        vcs_per_class=data.draw(st.integers(1, 4)),
+        vc_arch=data.draw(st.sampled_from(_ARCHS)),
+        vc_arbiter=data.draw(st.sampled_from(("rr", "m", "fixed"))),
+        sw_arch=data.draw(st.sampled_from(_ARCHS)),
+        sw_arbiter=data.draw(st.sampled_from(("rr", "m", "fixed"))),
+        scheme=data.draw(st.sampled_from(("pessimistic", "conventional", "nonspec"))),
+        lookahead=data.draw(st.booleans()),
+    )
+    src = codegen.generate_source(spec)
+    assert src == codegen.generate_source(spec)
+    ns: dict = {}
+    exec(compile(src, f"<test-kernel:{spec.slug()}>", "exec"), ns)
+    assert callable(ns["make_step"])
+
+
+@given(data=st.data())
+@settings(max_examples=8, deadline=None)
+def test_compiled_kernel_matches_fast_on_random_traffic(data):
+    """Whole-network lockstep: a randomized design point under
+    randomized request patterns leaves the compiled and fast kernels in
+    bit-identical network state after every cycle count."""
+    cfg = SimulationConfig(
+        topology="mesh",
+        vcs_per_class=data.draw(st.integers(1, 3)),
+        injection_rate=data.draw(st.sampled_from((0.1, 0.3, 0.5))),
+        vc_alloc_arch=data.draw(st.sampled_from(_ARCHS)),
+        sw_alloc_arch=data.draw(st.sampled_from(_ARCHS)),
+        speculation=data.draw(
+            st.sampled_from(("pessimistic", "conventional", "nonspec"))
+        ),
+        seed=data.draw(st.integers(0, 1 << 16)),
+        warmup_cycles=40,
+        measure_cycles=120,
+        drain_cycles=160,
+    )
+    cycles = data.draw(st.integers(40, 200))
+    states = {}
+    for kernel in ("fast", "compiled"):
+        net = build_network(cfg, kernel=kernel)
+        net.run(cycles)
+        states[kernel] = _net_state(net)
+    assert states["compiled"] == states["fast"]

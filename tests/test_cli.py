@@ -70,6 +70,9 @@ class TestParser:
         assert args.quick is False
         assert args.output == "BENCH_kernel.json"
         assert args.progress is False
+        assert args.kernel == []
+        assert args.dump_kernel is None
+        assert args.dump_only is False
 
     def test_faults_subcommand_defaults(self):
         args = build_parser().parse_args(["faults"])
@@ -241,8 +244,58 @@ class TestCommands:
         assert "mesh-V8-wf-r0.15" in labels
         for point in report["points"]:
             assert point["speedup_warm"] > 0
+            assert point["speedup_warm_compiled"] > 0
             assert point["fast"]["warm_cycles_per_s"] > 0
             assert point["reference"]["warm_cycles_per_s"] > 0
+            assert point["compiled"]["warm_cycles_per_s"] > 0
+
+    def test_bench_rejects_unknown_kernel(self, capsys):
+        rc = main(["bench", "--kernel", "fast", "--kernel", "warp9"])
+        err = capsys.readouterr().err
+        assert rc == 2
+        assert "unknown kernel" in err
+        # The error must list every registered kernel.
+        for name in ("reference", "fast", "compiled"):
+            assert name in err
+
+    def test_bench_kernel_subset(self, capsys, monkeypatch, tmp_path):
+        import json
+
+        from repro.eval import kernel_bench
+
+        monkeypatch.setattr(
+            kernel_bench, "_QUICK_WINDOWS",
+            dict(warmup_cycles=40, measure_cycles=120, drain_cycles=120),
+        )
+        out_path = tmp_path / "BENCH_kernel.json"
+        rc = main(["bench", "--quick", "--output", str(out_path),
+                   "--kernel", "fast", "--kernel", "compiled"])
+        assert rc == 0
+        report = json.loads(out_path.read_text())
+        assert report["kernels"] == ["fast", "compiled"]
+        for point in report["points"]:
+            assert "reference" not in point
+            assert "speedup_warm" not in point  # needs the reference timing
+            assert point["speedup_warm_compiled"] > 0
+
+    def test_bench_dump_kernel_writes_sources(self, capsys, tmp_path):
+        from repro.netsim.codegen import template_specs
+
+        dump_dir = tmp_path / "kernels"
+        rc = main(["bench", "--dump-kernel", str(dump_dir), "--dump-only"])
+        assert rc == 0
+        assert "dumped" in capsys.readouterr().err
+        dumped = sorted(p.name for p in dump_dir.glob("*.py"))
+        expected = sorted(f"{spec.slug()}.py" for spec in template_specs())
+        assert dumped == expected
+        # Every dumped module is genuine generated source.
+        for p in dump_dir.glob("*.py"):
+            assert "def make_step" in p.read_text()
+
+    def test_bench_dump_only_requires_dump_kernel(self, capsys):
+        rc = main(["bench", "--dump-only"])
+        assert rc == 2
+        assert "--dump-kernel" in capsys.readouterr().err
 
     def test_cost_switch(self, capsys, monkeypatch, tmp_path):
         monkeypatch.setenv("REPRO_COST_CACHE", str(tmp_path / "c.json"))
