@@ -24,6 +24,11 @@ Usage::
 on a named point (e.g. ``--floor mesh-V8-wf-r0.15=3.0`` pins the
 paper-map acceptance criterion for the flagship design point);
 ``--floor-compiled`` does the same for ``speedup_warm_compiled``.
+
+When both reports carry phase profiles (``repro bench --profile``),
+every tripped gate names the phases of the regressing kernel whose
+wall time grew -- so a CI failure reads "sw_alloc regressed", not just
+"the ratio moved".
 """
 
 from __future__ import annotations
@@ -40,6 +45,48 @@ def load(path: str) -> dict:
     if "points" not in data:
         raise SystemExit(f"error: {path} is not a kernel-bench report")
     return data
+
+
+#: Which kernel's phase profile explains a regression in each ratio:
+#: ``speedup_warm`` drops when *fast* slows down (relative to reference);
+#: ``speedup_warm_compiled`` drops when *compiled* slows down.
+_RATIO_KERNEL = {
+    "speedup_warm": "fast",
+    "speedup_warm_compiled": "compiled",
+}
+
+
+def phase_attribution(cur: dict, base: dict, key: str) -> str:
+    """Name the phase that regressed, when both reports were profiled.
+
+    Returns e.g. ``" [fast phase attribution: sw_alloc +0.412s,
+    vc_alloc +0.080s]"`` -- the per-phase wall-time deltas of the
+    ratio's denominator kernel, worst first -- or ``""`` when either
+    side lacks profile data (reports from ``repro bench`` without
+    ``--profile``).
+    """
+    kernel = _RATIO_KERNEL.get(key)
+    if kernel is None:
+        return ""
+    cur_prof = cur.get("profile", {}).get(kernel)
+    base_prof = base.get("profile", {}).get(kernel)
+    if not cur_prof or not base_prof:
+        return ""
+    cur_ph = cur_prof.get("phases", {})
+    base_ph = base_prof.get("phases", {})
+    deltas = sorted(
+        (
+            (ph, cur_ph.get(ph, 0.0) - base_ph.get(ph, 0.0))
+            for ph in set(cur_ph) | set(base_ph)
+        ),
+        key=lambda kv: kv[1],
+        reverse=True,
+    )
+    grew = [(ph, d) for ph, d in deltas if d > 0][:3]
+    if not grew:
+        return f" [{kernel} phase attribution: no phase grew]"
+    rendered = ", ".join(f"{ph} {d:+.3f}s" for ph, d in grew)
+    return f" [{kernel} phase attribution: {rendered}]"
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -95,6 +142,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 failures.append(
                     f"{label}: {name} {got:.2f}x < {want:.2f}x "
                     f"(baseline {base[key]:.2f}x - {args.threshold:.0%})"
+                    + phase_attribution(cur, base, key)
                 )
 
     for key, name, floors in metrics:
@@ -110,9 +158,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             elif key not in cur:
                 failures.append(f"{label}: current report lacks {key}")
             elif cur[key] < floor:
+                base = base_points.get(label, {})
                 failures.append(
                     f"{label}: {name} {cur[key]:.2f}x "
                     f"below the absolute floor {floor:.2f}x"
+                    + phase_attribution(cur, base, key)
                 )
             else:
                 print(f"{label}: {name} floor {floor:.2f}x satisfied "

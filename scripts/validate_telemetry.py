@@ -7,9 +7,15 @@ required keys, the run manifest must match the documented schema, and
 the trace file must be loadable Chrome trace JSON with paired async
 events.  Exits non-zero with a description of the first problem found.
 
+Beyond sweep telemetry, the same script gates the performance
+observatory's schemas: ``--bench FILE`` validates a bench report
+(including per-phase profiles when present) and ``--ledger FILE``
+validates the append-only bench-history ledger.
+
 Usage::
 
-    python scripts/validate_telemetry.py DIR [--trace FILE]
+    python scripts/validate_telemetry.py [DIR] [--trace FILE]
+        [--bench BENCH_kernel.json] [--ledger BENCH_history.jsonl]
 """
 
 from __future__ import annotations
@@ -27,6 +33,17 @@ MANIFEST_KEYS = {
 }
 MANIFEST_SCHEMA = "repro-run-manifest/1"
 INSTRUMENT_TYPES = {"counter", "gauge", "histogram"}
+BENCH_SCHEMA = "repro/kernel-bench/v1"
+PROFILE_SCHEMA = "repro/phase-profile/v1"
+HISTORY_SCHEMA = "repro/bench-history/v1"
+HISTORY_KEYS = {
+    "schema", "created", "git", "simulator_rev", "quick", "kernels",
+    "host", "points",
+}
+PHASES = {
+    "setup", "delivery", "event_calendar", "traffic", "routing",
+    "vc_alloc", "sw_alloc", "link_traversal", "stats",
+}
 
 
 def fail(msg: str) -> "None":
@@ -120,24 +137,109 @@ def check_trace(path: Path) -> None:
     print(f"  trace: {len(events)} events, {len(begins)} packets paired")
 
 
+def check_profile(owner: str, prof: dict) -> None:
+    """One per-kernel phase profile inside a bench report or ledger."""
+    if prof.get("schema") != PROFILE_SCHEMA:
+        fail(f"{owner}: profile schema {prof.get('schema')!r} "
+             f"!= {PROFILE_SCHEMA!r}")
+    phases = prof.get("phases")
+    if not isinstance(phases, dict) or not phases:
+        fail(f"{owner}: profile has no phases")
+    unknown = set(phases) - PHASES
+    if unknown:
+        fail(f"{owner}: unknown profile phase(s) {sorted(unknown)}")
+    for name, secs in phases.items():
+        if not isinstance(secs, (int, float)) or secs < 0:
+            fail(f"{owner}: phase {name!r} has bad value {secs!r}")
+    coverage = prof.get("coverage")
+    if not isinstance(coverage, (int, float)) or not 0 < coverage <= 1.5:
+        fail(f"{owner}: implausible coverage {coverage!r}")
+
+
+def check_bench(path: Path) -> None:
+    report = json.loads(path.read_text())
+    if report.get("schema") != BENCH_SCHEMA:
+        fail(f"{path}: schema {report.get('schema')!r} != {BENCH_SCHEMA!r}")
+    points = report.get("points")
+    if not isinstance(points, list) or not points:
+        fail(f"{path}: no points")
+    profiled = 0
+    for p in points:
+        if "label" not in p:
+            fail(f"{path}: point without a label: {p}")
+        for kernel in ("fast", "reference", "compiled"):
+            if kernel in p and "warm_s" not in p[kernel]:
+                fail(f"{path}: {p['label']}/{kernel} lacks warm_s")
+        for kernel, prof in p.get("profile", {}).items():
+            check_profile(f"{path}: {p['label']}/{kernel}", prof)
+            profiled += 1
+    print(f"  bench report: {len(points)} point(s), "
+          f"{profiled} phase profile(s)")
+
+
+def check_ledger(path: Path) -> None:
+    records = load_jsonl(path)
+    if not records:
+        fail(f"{path}: ledger holds no records")
+    for i, rec in enumerate(records, 1):
+        missing = HISTORY_KEYS - set(rec)
+        if missing:
+            fail(f"{path}: record {i} missing keys {sorted(missing)}")
+        if rec["schema"] != HISTORY_SCHEMA:
+            fail(f"{path}: record {i} schema {rec['schema']!r} "
+                 f"!= {HISTORY_SCHEMA!r}")
+        git = rec["git"]
+        if not isinstance(git, dict) or "sha" not in git:
+            fail(f"{path}: record {i} has no git fingerprint")
+        for p in rec["points"]:
+            if "label" not in p:
+                fail(f"{path}: record {i} point without a label")
+            for kernel, prof in p.get("profile", {}).items():
+                check_profile(
+                    f"{path}: record {i} {p['label']}/{kernel}", prof
+                )
+    print(f"  ledger: {len(records)} record(s)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("dir", help="telemetry directory (--metrics DIR)")
+    parser.add_argument("dir", nargs="?", default=None,
+                        help="telemetry directory (--metrics DIR)")
     parser.add_argument("--trace", default=None,
                         help="trace file (defaults to DIR/trace.json if "
                              "present)")
+    parser.add_argument("--bench", default=None,
+                        help="bench report (BENCH_kernel.json) to validate")
+    parser.add_argument("--ledger", default=None,
+                        help="bench-history ledger (JSONL) to validate")
     args = parser.parse_args(argv)
 
-    directory = Path(args.dir)
-    if not directory.is_dir():
-        fail(f"{directory} is not a directory")
-    print(f"validating telemetry in {directory}")
-    check_metrics(directory / "metrics.jsonl")
-    check_sweep(directory / "sweep.jsonl")
-    check_manifest(directory / "manifest.json")
-    trace = Path(args.trace) if args.trace else directory / "trace.json"
-    if trace.exists():
-        check_trace(trace)
+    if args.dir is None and args.bench is None and args.ledger is None:
+        fail("nothing to validate: give a telemetry DIR, --bench or "
+             "--ledger")
+    if args.dir is not None:
+        directory = Path(args.dir)
+        if not directory.is_dir():
+            fail(f"{directory} is not a directory")
+        print(f"validating telemetry in {directory}")
+        check_metrics(directory / "metrics.jsonl")
+        check_sweep(directory / "sweep.jsonl")
+        check_manifest(directory / "manifest.json")
+        trace = Path(args.trace) if args.trace else directory / "trace.json"
+        if trace.exists():
+            check_trace(trace)
+    if args.bench is not None:
+        bench = Path(args.bench)
+        if not bench.exists():
+            fail(f"{bench} does not exist")
+        print(f"validating bench report {bench}")
+        check_bench(bench)
+    if args.ledger is not None:
+        ledger = Path(args.ledger)
+        if not ledger.exists():
+            fail(f"{ledger} does not exist")
+        print(f"validating bench-history ledger {ledger}")
+        check_ledger(ledger)
     print("validate_telemetry: OK")
     return 0
 

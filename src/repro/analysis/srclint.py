@@ -95,7 +95,7 @@ _SEEDED_RNG_CONSTRUCTORS = {
     "PCG64", "Philox", "MT19937", "SFC64",
 }
 #: Attribute names whose access must be None-guarded in GUARDED_PACKAGES.
-_GUARDED_ATTRS = ("observer", "fault_state")
+_GUARDED_ATTRS = ("observer", "fault_state", "profiler")
 
 _IGNORE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9-]+(?:,\s*[A-Z0-9-]+)*)\]")
 

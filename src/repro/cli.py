@@ -18,7 +18,13 @@ Exposes the experiment harness without writing any Python:
   (top stall sources, matching efficiency vs. injection rate);
 * ``bench``       -- reference/fast/compiled kernel throughput
   benchmark (writes ``BENCH_kernel.json``; ``--dump-kernel DIR`` saves
-  the generated per-design-point sources; see docs/PERFORMANCE.md);
+  the generated per-design-point sources; ``--profile`` records a
+  per-phase breakdown, every run appends to the bench-history ledger
+  and ``--compare BASE`` diffs against a recorded run; see
+  docs/PERFORMANCE.md);
+* ``perf``        -- performance observatory: ``perf report`` renders a
+  self-contained HTML dashboard from bench reports, the history ledger
+  and sweep telemetry;
 * ``lint``        -- static verification (docs/STATIC_ANALYSIS.md):
   ``--netlists`` runs the gate-level DRC over every paper design point,
   ``--source`` runs the repo-invariant AST linter over ``src/repro``,
@@ -429,6 +435,12 @@ def cmd_faults(args) -> int:
 
 def cmd_bench(args) -> int:
     """Kernel throughput benchmark (reference / fast / compiled)."""
+    from .eval.bench_history import (
+        append_history,
+        build_history_record,
+        format_compare,
+        load_base,
+    )
     from .eval.kernel_bench import format_bench, run_kernel_bench, write_report
     from .netsim.codegen import KERNELS, iter_template_sources
 
@@ -458,13 +470,50 @@ def cmd_bench(args) -> int:
               file=sys.stderr)
         return 2
 
+    base = None
+    if args.compare is not None:
+        # Fail before the (minutes-long) benchmark if the base is bad.
+        try:
+            base = load_base(Path(args.compare))
+        except (OSError, ValueError) as exc:
+            print(f"error: bad --compare base: {exc}", file=sys.stderr)
+            return 2
+
     progress = (lambda msg: print(msg, file=sys.stderr)) if args.progress else None
     report = run_kernel_bench(
-        quick=args.quick, progress=progress, kernels=kernels or None
+        quick=args.quick, progress=progress, kernels=kernels or None,
+        profile=args.profile,
     )
     write_report(report, Path(args.output))
     print(format_bench(report))
     print(f"wrote {args.output}")
+
+    record = build_history_record(report)
+    if not args.no_history:
+        ledger = append_history(record, Path(args.history))
+        print(f"appended history record to {ledger}")
+    if base is not None:
+        print(format_compare(record, base))
+    return 0
+
+
+def cmd_perf_report(args) -> int:
+    """Render the self-contained HTML performance dashboard."""
+    from .obs.perf_report import build_perf_report
+
+    try:
+        html = build_perf_report(
+            bench_path=Path(args.bench) if args.bench else None,
+            history_path=Path(args.history) if args.history else None,
+            metrics_dir=Path(args.metrics) if args.metrics else None,
+        )
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    out = Path(args.output)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(html)
+    print(f"wrote {out}")
     return 0
 
 
@@ -567,13 +616,13 @@ def cmd_lint(args) -> int:
 
 
 def cmd_report(args) -> int:
-    from .obs.telemetry import summarize_metrics_dir
+    from .obs.telemetry import EmptyTelemetryError, summarize_metrics_dir
 
-    directory = Path(args.dir)
-    if not directory.is_dir():
-        print(f"error: {directory} is not a directory", file=sys.stderr)
-        return 1
-    print(summarize_metrics_dir(directory, top=args.top))
+    try:
+        print(summarize_metrics_dir(Path(args.dir), top=args.top))
+    except (FileNotFoundError, EmptyTelemetryError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     return 0
 
 
@@ -732,6 +781,21 @@ def build_parser() -> argparse.ArgumentParser:
                         "without benchmarking")
     p.add_argument("--progress", action="store_true",
                    help="report per-point results on stderr as they land")
+    p.add_argument("--profile", action="store_true",
+                   help="run one extra instrumented pass per point per "
+                        "kernel and record the per-phase wall-time "
+                        "breakdown in the report (timed passes stay "
+                        "uninstrumented)")
+    p.add_argument("--history",
+                   default="benchmarks/results/BENCH_history.jsonl",
+                   metavar="FILE",
+                   help="append-only bench-history ledger (default: "
+                        "benchmarks/results/BENCH_history.jsonl)")
+    p.add_argument("--no-history", action="store_true",
+                   help="do not append this run to the history ledger")
+    p.add_argument("--compare", default=None, metavar="BASE",
+                   help="diff this run against BASE: a bench report JSON "
+                        "or a history ledger (uses its latest record)")
     p.set_defaults(fn=cmd_bench)
 
     p = sub.add_parser(
@@ -775,6 +839,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--top", type=int, default=5,
                    help="number of stall-source routers to show")
     p.set_defaults(fn=cmd_report)
+
+    p = sub.add_parser(
+        "perf",
+        help="performance observatory (docs/PERFORMANCE.md)")
+    perf_sub = p.add_subparsers(dest="perf_command", required=True)
+    pr = perf_sub.add_parser(
+        "report",
+        help="render a self-contained HTML performance dashboard from "
+             "bench reports, the history ledger and sweep telemetry")
+    pr.add_argument("--bench", default="BENCH_kernel.json", metavar="FILE",
+                    help="bench report to render (default: "
+                         "BENCH_kernel.json; missing file is skipped)")
+    pr.add_argument("--history",
+                    default="benchmarks/results/BENCH_history.jsonl",
+                    metavar="FILE",
+                    help="history ledger to render (default: "
+                         "benchmarks/results/BENCH_history.jsonl; missing "
+                         "file is skipped)")
+    pr.add_argument("--metrics", default=None, metavar="DIR",
+                    help="sweep telemetry directory to render (optional)")
+    pr.add_argument("--output", default="perf_report.html", metavar="FILE",
+                    help="output HTML path (default: perf_report.html)")
+    pr.set_defaults(fn=cmd_perf_report)
     return parser
 
 

@@ -1,0 +1,203 @@
+"""Append-only bench-history ledger and bench-report comparison.
+
+Every ``repro bench`` invocation appends one fingerprinted record --
+timestamp, git revision, ``SIMULATOR_REV``, host info, per-point
+warm/cold timings, speedup ratios and (when ``--profile`` ran) phase
+breakdowns -- to ``benchmarks/results/BENCH_history.jsonl``.  Unlike
+``BENCH_kernel.json`` (a single overwritable snapshot), the ledger is a
+trajectory: ``repro perf report`` renders it and
+``repro bench --compare BASE`` diffs the current run against either a
+recorded report or the last ledger record.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import time
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "HISTORY_SCHEMA",
+    "git_fingerprint",
+    "build_history_record",
+    "append_history",
+    "read_history",
+    "load_base",
+    "format_compare",
+]
+
+HISTORY_SCHEMA = "repro/bench-history/v1"
+
+
+def git_fingerprint(cwd: Optional[Path] = None) -> Dict[str, Any]:
+    """Best-effort ``{"sha", "dirty"}`` of the working tree.
+
+    Benchmarks may run outside a checkout (wheels, exported trees), so
+    a failing git is recorded as ``sha=None`` rather than an error.
+    """
+
+    def _git(*args: str) -> Optional[str]:
+        try:
+            out = subprocess.run(
+                ("git",) + args,
+                cwd=str(cwd) if cwd is not None else None,
+                capture_output=True,
+                text=True,
+                timeout=10,
+            )
+        except (OSError, subprocess.TimeoutExpired):
+            return None
+        if out.returncode != 0:
+            return None
+        return out.stdout.strip()
+
+    sha = _git("rev-parse", "HEAD")
+    if sha is None:
+        return {"sha": None, "dirty": None}
+    status = _git("status", "--porcelain")
+    return {"sha": sha, "dirty": bool(status) if status is not None else None}
+
+
+def build_history_record(
+    report: Dict[str, Any], *, timestamp: Optional[float] = None
+) -> Dict[str, Any]:
+    """Compact fingerprinted ledger record for one bench report.
+
+    Configs are dropped (the point label identifies the design point;
+    the full config lives in the report snapshot) so the ledger stays
+    cheap to append to and to plot.
+    """
+    from ..obs.telemetry import host_info
+
+    points: List[Dict[str, Any]] = []
+    for p in report.get("points", []):
+        entry: Dict[str, Any] = {"label": p["label"], "cycles": p.get("cycles")}
+        for kernel in ("fast", "reference", "compiled"):
+            if kernel in p:
+                entry[kernel] = {
+                    "cold_s": p[kernel]["cold_s"],
+                    "warm_s": p[kernel]["warm_s"],
+                    "warm_cycles_per_s": p[kernel]["warm_cycles_per_s"],
+                }
+        for key in ("speedup_warm", "speedup_warm_compiled"):
+            if key in p:
+                entry[key] = p[key]
+        if "profile" in p:
+            entry["profile"] = p["profile"]
+        points.append(entry)
+    return {
+        "schema": HISTORY_SCHEMA,
+        "created": time.time() if timestamp is None else timestamp,
+        "git": git_fingerprint(),
+        "simulator_rev": report.get("simulator_rev"),
+        "quick": report.get("quick"),
+        "kernels": report.get("kernels"),
+        "host": host_info(),
+        "points": points,
+    }
+
+
+def append_history(record: Dict[str, Any], path: "Path | str") -> Path:
+    """Append one record to the JSONL ledger (created on first use)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a") as fh:
+        fh.write(json.dumps(record) + "\n")
+    return path
+
+
+def read_history(path: "Path | str") -> List[Dict[str, Any]]:
+    """Parse the ledger, skipping blank/truncated trailing lines."""
+    records = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError:
+            continue  # torn tail from a killed append
+    return records
+
+
+def load_base(path: "Path | str") -> Dict[str, Any]:
+    """Load a comparison base: a bench report (``BENCH_kernel*.json``)
+    or a history ledger (uses its most recent record)."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"comparison base {path} does not exist")
+    if path.suffix == ".jsonl":
+        records = read_history(path)
+        if not records:
+            raise ValueError(f"history ledger {path} holds no records")
+        return records[-1]
+    data = json.loads(path.read_text())
+    if "points" not in data:
+        raise ValueError(f"{path} is not a bench report or history record")
+    return data
+
+
+def _index_points(report: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    return {p["label"]: p for p in report.get("points", [])}
+
+
+def format_compare(current: Dict[str, Any], base: Dict[str, Any]) -> str:
+    """Per-point delta table (current vs base), with per-phase deltas
+    whenever both sides carry profile data for a kernel."""
+    base_pts = _index_points(base)
+    base_id = base.get("git", {}).get("sha") or "recorded base"
+    lines = [f"comparison vs {str(base_id)[:12]}"]
+    for p in current.get("points", []):
+        label = p["label"]
+        b = base_pts.get(label)
+        if b is None:
+            lines.append(f"{label:<24} (no base point)")
+            continue
+        parts = []
+        for key, name in (
+            ("speedup_warm", "warm"),
+            ("speedup_warm_compiled", "compiled"),
+        ):
+            if key in p and key in b:
+                delta = p[key] - b[key]
+                parts.append(
+                    f"{name} {b[key]:.2f}x -> {p[key]:.2f}x ({delta:+.2f})"
+                )
+        for kernel in ("fast", "reference", "compiled"):
+            if kernel in p and kernel in b:
+                cur_w = p[kernel]["warm_s"]
+                base_w = b[kernel]["warm_s"]
+                if base_w:
+                    parts.append(
+                        f"{kernel} warm {base_w:.2f}s -> {cur_w:.2f}s "
+                        f"({(cur_w - base_w) / base_w:+.0%})"
+                    )
+        lines.append(f"{label:<24} " + "; ".join(parts) if parts else label)
+        cur_prof = p.get("profile", {})
+        base_prof = b.get("profile", {})
+        for kernel in sorted(set(cur_prof) & set(base_prof)):
+            deltas = phase_deltas(cur_prof[kernel], base_prof[kernel])
+            if not deltas:
+                continue
+            rendered = ", ".join(
+                f"{ph} {d:+.3f}s"
+                for ph, d in sorted(
+                    deltas.items(), key=lambda kv: abs(kv[1]), reverse=True
+                )
+            )
+            lines.append(f"    {kernel} phases: {rendered}")
+    return "\n".join(lines)
+
+
+def phase_deltas(
+    current: Dict[str, Any], base: Dict[str, Any]
+) -> Dict[str, float]:
+    """Per-phase seconds delta between two profile records."""
+    cur = current.get("phases", {})
+    old = base.get("phases", {})
+    return {
+        ph: round(cur.get(ph, 0.0) - old.get(ph, 0.0), 6)
+        for ph in sorted(set(cur) | set(old))
+    }

@@ -158,7 +158,8 @@ class SweepCheckpoint:
         self._fh.flush()
 
     def record(self, key: str, payload: dict) -> None:
-        """Append one completed point (flushed immediately)."""
+        """Append one completed point (flushed and fsynced immediately,
+        so a SIGKILL loses at most the in-flight point)."""
         try:
             self._open()
             self._fh.write(
@@ -166,6 +167,7 @@ class SweepCheckpoint:
                 + "\n"
             )
             self._fh.flush()
+            os.fsync(self._fh.fileno())
         except OSError as exc:
             emit_warning(
                 "checkpoint_write_failed",

@@ -101,12 +101,16 @@ def run_kernel_bench(
     progress: Optional[Any] = None,
     warm_repeats: int = 2,
     kernels: Optional[Any] = None,
+    profile: bool = False,
 ) -> Dict[str, Any]:
     """Run the full matrix under all kernels; return the report dict.
 
     ``kernels`` restricts the timed kernels (default: all of
     :data:`BENCHED_KERNELS`); speedup ratios are emitted only when both
-    of their operand kernels were timed.
+    of their operand kernels were timed.  ``profile`` runs one *extra*
+    instrumented pass per point per kernel (after the timed passes, so
+    the cold/warm numbers stay clean of hook overhead) and attaches its
+    per-phase wall-time breakdown under ``point["profile"][kernel]``.
     """
     timed = tuple(kernels) if kernels else BENCHED_KERNELS
     unknown = [k for k in timed if k not in BENCHED_KERNELS]
@@ -119,6 +123,7 @@ def run_kernel_bench(
         "simulator_rev": SIMULATOR_REV,
         "quick": quick,
         "kernels": list(timed),
+        "profiled": bool(profile),
         "points": [],
     }
     for point in bench_points(quick):
@@ -162,6 +167,10 @@ def run_kernel_bench(
             entry["speedup_warm_compiled"] = round(
                 entry["fast"]["warm_s"] / entry["compiled"]["warm_s"], 3
             )
+        if profile:
+            from ..obs.profiling import profile_point
+
+            entry["profile"] = {k: profile_point(cfg, kernel=k) for k in timed}
         report["points"].append(entry)
         if progress is not None:
             parts = [
@@ -205,6 +214,20 @@ def format_bench(report: Dict[str, Any]) -> str:
             f"{cps(p, 'compiled')} {ratio(p, 'speedup_warm')} "
             f"{ratio(p, 'speedup_warm_compiled')}"
         )
+        for kernel, prof in sorted(p.get("profile", {}).items()):
+            total = sum(prof.get("phases", {}).values()) or 1.0
+            top = sorted(
+                prof.get("phases", {}).items(),
+                key=lambda kv: kv[1],
+                reverse=True,
+            )
+            rendered = ", ".join(
+                f"{name} {secs / total:.0%}" for name, secs in top if secs
+            )
+            lines.append(
+                f"    {kernel} phases (coverage "
+                f"{prof.get('coverage', 0.0):.1%}): {rendered}"
+            )
     return "\n".join(lines)
 
 

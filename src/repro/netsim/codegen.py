@@ -18,6 +18,13 @@ hook semantics are the reference for instrumented runs.  The three-kernel
 equivalence matrix in ``tests/perf`` and ``scripts/check_bit_identity.py``
 pin this contract.
 
+Each spec renders in two variants: the default one carries no phase
+hooks at all (a profiler attach re-bootstraps into the other variant,
+so unprofiled cycles pay exactly one extra ``profiler is None`` check),
+and the *profiled* variant emits ``repro.obs.profiling`` phase marks
+(routing / vc_alloc / link_traversal) inline.  Both variants are cached
+per ``(spec, profiled)`` and both are rendered for the source linter.
+
 The generated source is inspectable via ``repro bench --dump-kernel``.
 It deliberately imports nothing and reads no clocks or RNGs; the repo
 linter (``repro lint --source``) scans the rendered templates for
@@ -181,10 +188,18 @@ def _idx_exprs(n: int):
 
 
 class _Gen:
-    """Renders the specialized step function for one :class:`KernelSpec`."""
+    """Renders the specialized step function for one :class:`KernelSpec`.
 
-    def __init__(self, spec: KernelSpec) -> None:
+    ``profiled=True`` renders the phase-hook variant: every routing
+    call, VC-allocation core and inlined departure is bracketed with
+    ``_prof.begin()`` / ``_prof.phase(...)`` marks.  The default render
+    contains no profiling code at all beyond the entry-point
+    de-specialization check.
+    """
+
+    def __init__(self, spec: KernelSpec, profiled: bool = False) -> None:
         self.spec = spec
+        self.profiled = profiled
         self.P = spec.num_ports
         self.V = spec.num_vcs
         self.M = spec.num_message_classes
@@ -195,6 +210,17 @@ class _Gen:
         self.divRC, self.modRC = _idx_exprs(self.RC)
         self.spec_on = spec.scheme != "nonspec"
         self.e = _Emitter()
+
+    # -- phase-hook micro-ops ---------------------------------------------
+    def pb(self) -> None:
+        """Emit a phase-start mark (no-op in the unprofiled variant)."""
+        if self.profiled:
+            self.e.line("_pt_ = _prof.begin()")
+
+    def pe(self, name: str) -> None:
+        """Emit the matching phase-end attribution mark."""
+        if self.profiled:
+            self.e.line(f"_prof.phase({name!r}, _pt_)")
 
     # -- arbiter micro-ops ------------------------------------------------
     def select(self, res: str, arb: str, lst: str, kind: str) -> None:
@@ -273,6 +299,7 @@ class _Gen:
         in the same ascending-port order).
         """
         e = self.e
+        self.pb()
         e.line(f"_pv_ = {p} * {self.V} + {v}")
         e.line("_di_ = _ivc_flat[_pv_]")
         e.line("_dq_ = _di_.output_port")
@@ -316,6 +343,7 @@ class _Gen:
         e.line(f"_lst_.append(_cp_ + ({v},))")
         e.pop()
         e.pop()
+        self.pe("link_traversal")
 
     # -- switch-allocator cores -------------------------------------------
     def sw_core(self, items: str, pfx: str, commit: bool,
@@ -793,6 +821,8 @@ class _Gen:
             f"SA={spec.sw_arch}/{spec.sw_arbiter}, "
             f"scheme={spec.scheme}, lookahead={spec.lookahead}."
         )
+        if self.profiled:
+            e.line("Profiled variant: emits repro.obs.profiling phase hooks.")
         e.line('"""')
         e.line("")
         cands = tuple(
@@ -900,6 +930,21 @@ class _Gen:
         e.push()
         e.line("return _router._allocation_step_fast(network, now)")
         e.pop()
+        # Variant switch: each render matches exactly one profiler state;
+        # a mismatch re-bootstraps into the other cached variant (the
+        # bootstrap picks by ``profiler is not None``, so this cannot
+        # recurse).
+        if self.profiled:
+            e.line("_prof = _router.profiler")
+            e.line("if _prof is None:")
+            e.push()
+            e.line("return _router._compiled_bootstrap(network, now)")
+            e.pop()
+        else:
+            e.line("if _router.profiler is not None:")
+            e.push()
+            e.line("return _router._compiled_bootstrap(network, now)")
+            e.pop()
         # Scalar fast path for the dominant cycle shape: exactly one busy
         # VC that already holds an output VC.  No sorting and no request
         # lists -- grant, depart and return with plain locals.  A waiting
@@ -1122,7 +1167,9 @@ class _Gen:
         if not spec.lookahead:
             e.line("if _q < 0:")
             e.push()
+            self.pb()
             e.line("_front.out_port = _router.route_fn(network, _router, _front.packet)")
+            self.pe("routing")
             e.line("did_route = True")
             e.line("continue")
             e.pop()
@@ -1224,7 +1271,9 @@ class _Gen:
             e.line("granted_now = {}")
         e.line("if va_items:")
         e.push()
+        self.pb()
         self.va_core()
+        self.pe("vc_alloc")
         e.pop()
         if self.spec_on and spec.scheme == "conventional":
             e.line("_gin = 0")
@@ -1363,6 +1412,7 @@ class _Gen:
         spec = self.spec
         V, RC, P = self.V, self.RC, self.P
         kind = spec.vc_arbiter
+        self.pb()
         if spec.vc_arch in ("sep_if", "sep_of"):
             # Identical single-item reductions for both separable duals.
             e.line("if len(_cands) == 1:")
@@ -1410,6 +1460,7 @@ class _Gen:
         e.line(f"{ivc}.output_port = {q}")
         e.line(f"{ivc}.output_vc = {c}")
         e.line(f"_h[{c}] = ({self.divV(pv)}, {self.modV(pv)})")
+        self.pe("vc_alloc")
 
     def _scalar_single_waiting(self, pv: str = "_pv", ivc: str = "_ivc") -> None:
         """Emit the lone-waiting-head scalar path (one waiting head, no
@@ -1433,7 +1484,9 @@ class _Gen:
         if not spec.lookahead:
             e.line("if _q < 0:")
             e.push()
+            self.pb()
             e.line("_front.out_port = _router.route_fn(network, _router, _front.packet)")
+            self.pe("routing")
             e.line("return")
             e.pop()
         e.line("_h = _holder[_q]")
@@ -1493,7 +1546,9 @@ class _Gen:
         if not spec.lookahead:
             e.line("if _wq < 0:")
             e.push()
+            self.pb()
             e.line("_front.out_port = _router.route_fn(network, _router, _front.packet)")
+            self.pe("routing")
             self._scalar_ns_grant()
             e.line("_router.switch_grants += _sg")
             e.line("return")
@@ -1575,43 +1630,52 @@ class _Gen:
 # ----------------------------------------------------------------------
 # factory / cache
 # ----------------------------------------------------------------------
-_SOURCES: Dict[KernelSpec, str] = {}
-_FACTORIES: Dict[KernelSpec, Callable] = {}
+_SOURCES: Dict[Tuple[KernelSpec, bool], str] = {}
+_FACTORIES: Dict[Tuple[KernelSpec, bool], Callable] = {}
 
 
-def generate_source(spec: KernelSpec) -> str:
+def generate_source(spec: KernelSpec, profiled: bool = False) -> str:
     """Render the generated-kernel module source for ``spec``."""
-    return _Gen(spec).render()
+    return _Gen(spec, profiled).render()
 
 
-def source_for(spec: KernelSpec) -> str:
+def source_for(spec: KernelSpec, profiled: bool = False) -> str:
     """Cached :func:`generate_source`."""
-    src = _SOURCES.get(spec)
+    key = (spec, profiled)
+    src = _SOURCES.get(key)
     if src is None:
-        src = generate_source(spec)
-        _SOURCES[spec] = src
+        src = generate_source(spec, profiled)
+        _SOURCES[key] = src
     return src
 
 
-def kernel_factory(spec: KernelSpec) -> Callable:
-    """Compile (once per spec, process-wide) and return ``make_step``."""
-    fn = _FACTORIES.get(spec)
+def kernel_factory(spec: KernelSpec, profiled: bool = False) -> Callable:
+    """Compile (once per spec+variant, process-wide) and return
+    ``make_step``."""
+    key = (spec, profiled)
+    fn = _FACTORIES.get(key)
     if fn is None:
-        src = source_for(spec)
-        code = compile(src, f"<compiled-kernel:{spec.slug()}>", "exec")
+        src = source_for(spec, profiled)
+        suffix = "-prof" if profiled else ""
+        code = compile(src, f"<compiled-kernel:{spec.slug()}{suffix}>", "exec")
         ns: dict = {}
         exec(code, ns)
         fn = ns["make_step"]
-        _FACTORIES[spec] = fn
+        _FACTORIES[key] = fn
     return fn
 
 
 def compiled_step_for(router) -> Callable:
-    """Build the specialized ``step(network, now)`` bound to ``router``."""
-    return kernel_factory(spec_for_router(router))(router)
+    """Build the specialized ``step(network, now)`` bound to ``router``,
+    selecting the variant matching its current profiler state."""
+    return kernel_factory(
+        spec_for_router(router), router.profiler is not None
+    )(router)
 
 
 def iter_template_sources() -> Iterator[Tuple[str, str]]:
-    """Yield ``(slug, source)`` for the representative template specs."""
+    """Yield ``(slug, source)`` for the representative template specs,
+    covering both the plain and the profiled render of each."""
     for spec in template_specs():
         yield spec.slug(), source_for(spec)
+        yield spec.slug() + "-prof", source_for(spec, True)

@@ -43,6 +43,9 @@ class Network:
         self.observer: Optional["SimObserver"] = None
         # Optional repro.faults injection (None = fault-free fast path).
         self.fault_state = None
+        # Optional repro.obs phase profiler (None = unprofiled fast path;
+        # same null-object idiom as observer/fault_state).
+        self.profiler = None
         # True only when the attached fault state schedules credit
         # faults; keeps the per-credit delivery loop on a single local
         # truthiness check otherwise.
@@ -59,6 +62,21 @@ class Network:
             router._alloc_idle = False
         for terminal in self.terminals:
             terminal.observer = observer
+
+    def attach_profiler(self, profiler) -> None:
+        """Wire a :class:`repro.obs.profiling.PhaseProfiler` into the
+        network and every router (pass ``None`` to detach).
+
+        Compiled routers need no explicit re-specialization: the
+        generated step's entry checks ``profiler`` every cycle and
+        re-bootstraps into the matching (profiled/unprofiled) variant.
+        """
+        self.profiler = profiler
+        for router in self.routers:
+            router.profiler = profiler
+            # The profiled network loop marks every allocation segment;
+            # drop any fast-kernel stall latch so it runs again.
+            router._alloc_idle = False
 
     def set_kernel(self, kernel: str) -> None:
         """Select the allocation kernel on every router; the registry of
@@ -117,6 +135,10 @@ class Network:
     # ------------------------------------------------------------------
     def step(self) -> None:
         """Advance the network by one cycle."""
+        prof = self.profiler
+        if prof is not None:
+            self._step_profiled(prof)
+            return
         now = self.time
 
         for kind, obj, port, vc, flit in self._flit_events.pop(now, ()):
@@ -159,6 +181,64 @@ class Network:
 
         if self.observer is not None:
             self.observer.cycle_end(self, now)
+        self.time = now + 1
+
+    def _step_profiled(self, prof) -> None:
+        """One cycle with phase attribution -- the same statements as
+        :meth:`step` with outer-segment marks between the loop stages.
+
+        ``prof.outer`` charges each segment its elapsed time minus any
+        nested phases routers marked inside it (lookahead routing during
+        delivery; routing/VC-allocation/link-traversal during the
+        allocation sweep), so every second lands in exactly one bucket.
+        Kept as a separate method so the unprofiled :meth:`step` pays
+        only one attribute load + identity check per cycle.
+        """
+        now = self.time
+        t0 = prof.begin()
+
+        for kind, obj, port, vc, flit in self._flit_events.pop(now, ()):
+            if kind == "router":
+                obj.receive_flit(self, port, vc, flit)
+            else:  # terminal ejection
+                obj.receive_flit(self, vc, flit, now)
+        t0 = prof.outer("delivery", t0)
+
+        if self._credit_faults_armed:
+            fs = self.fault_state
+            assert fs is not None  # armed only while a fault plan is installed
+            for kind, obj, port, vc in self._credit_events.pop(now, ()):
+                if kind == "router":
+                    event = fs.credit_event(obj.id, port, vc, now)
+                    if event is not None:
+                        if event == "drop":
+                            fs.counters["credits_dropped"] += 1
+                            continue  # the credit vanishes in transit
+                        fs.counters["credits_duplicated"] += 1
+                        obj.receive_credit(port, vc)
+                    obj.receive_credit(port, vc)
+                else:
+                    obj.receive_credit(vc)
+        else:
+            for kind, obj, port, vc in self._credit_events.pop(now, ()):
+                if kind == "router":
+                    obj.receive_credit(port, vc)
+                else:
+                    obj.receive_credit(vc)
+        t0 = prof.outer("event_calendar", t0)
+
+        for term in self.terminals:
+            term.step(self, now)
+        t0 = prof.outer("traffic", t0)
+
+        for router in self.routers:
+            if router._busy and not router._alloc_idle:
+                router._alloc_step(self, now)
+        t0 = prof.outer("sw_alloc", t0)
+
+        if self.observer is not None:
+            self.observer.cycle_end(self, now)
+        prof.outer("stats", t0)
         self.time = now + 1
 
     def run(self, cycles: int) -> None:

@@ -148,6 +148,10 @@ class Router:
         # router (None when it has no stuck VCs), set by
         # attach_fault_state().
         self._stuck_by_port = None
+        # Optional phase profiler (repro.obs.profiling), wired like the
+        # observer: ``None`` keeps every hook to one identity check so
+        # unprofiled runs are bit-identical and pay no clock reads.
+        self.profiler = None
 
     # ------------------------------------------------------------------
     @property
@@ -227,7 +231,13 @@ class Router:
         """Buffer write; heads are routed on arrival (lookahead model)."""
         if flit.is_head:
             if self.lookahead:
-                flit.out_port = self.route_fn(network, self, flit.packet)
+                prof = self.profiler
+                if prof is not None:
+                    _t = prof.begin()
+                    flit.out_port = self.route_fn(network, self, flit.packet)
+                    prof.phase("routing", _t)
+                else:
+                    flit.out_port = self.route_fn(network, self, flit.packet)
             else:
                 flit.out_port = -1  # routed in a dedicated pipeline cycle
         ivc = self.input_vcs[port][vc]
@@ -301,6 +311,7 @@ class Router:
         if obs is not None:
             wins0 = self.speculative_wins
             miss0 = self.misspeculations
+        prof = self.profiler
 
         fs = self.fault_state
         if fs is not None:
@@ -351,7 +362,12 @@ class Router:
                     continue
                 q = front.out_port
                 if q < 0:
-                    front.out_port = self.route_fn(network, self, front.packet)
+                    if prof is not None:
+                        _t = prof.begin()
+                        front.out_port = self.route_fn(network, self, front.packet)
+                        prof.phase("routing", _t)
+                    else:
+                        front.out_port = self.route_fn(network, self, front.packet)
                     did_route = True
                     continue
                 if blocked is not None and q in blocked:
@@ -398,13 +414,21 @@ class Router:
             # Conflict-free cycle: every request wins by construction.
             self.sw_alloc.grant_uncontested(ns_items)
             depart = self._depart
+            _t = prof.begin() if prof is not None else 0.0
             for p, v, _q in ns_items:
                 depart(network, now, p, v)
+            if prof is not None:
+                prof.phase("link_traversal", _t)
             return
 
         va_grants: List[Optional[Tuple[int, int]]] = []
         if va_items:
-            va_grants = self.vc_alloc.allocate_sparse(va_items)
+            if prof is not None:
+                _t = prof.begin()
+                va_grants = self.vc_alloc.allocate_sparse(va_items)
+                prof.phase("vc_alloc", _t)
+            else:
+                va_grants = self.vc_alloc.allocate_sparse(va_items)
 
         result = self.sw_alloc.allocate_sparse(ns_items, sp_items)
 
@@ -423,6 +447,7 @@ class Router:
 
         # Non-speculative switch winners depart.
         depart = self._depart
+        _t = prof.begin() if prof is not None else 0.0
         for p, g in enumerate(result.nonspec):
             if g is not None:
                 depart(network, now, p, g[0])
@@ -440,6 +465,8 @@ class Router:
             else:
                 self.misspeculations += 1
         self.misspeculations += result.spec_discarded
+        if prof is not None:
+            prof.phase("link_traversal", _t)
 
         if obs is not None:
             obs.alloc_cycle(
@@ -471,6 +498,7 @@ class Router:
         if obs is not None:
             wins0 = self.speculative_wins
             miss0 = self.misspeculations
+        prof = self.profiler
 
         fs = self.fault_state
         if fs is not None:
@@ -508,7 +536,12 @@ class Router:
                 if front.out_port < 0:
                     # Non-lookahead pipeline: this cycle is the routing
                     # stage; VA/SA requests start next cycle.
-                    front.out_port = self.route_fn(network, self, front.packet)
+                    if prof is not None:
+                        _t = prof.begin()
+                        front.out_port = self.route_fn(network, self, front.packet)
+                        prof.phase("routing", _t)
+                    else:
+                        front.out_port = self.route_fn(network, self, front.packet)
                     continue
                 # Waiting for VC allocation: request free legal VCs
                 # at the routed output port, and bid speculatively.
@@ -548,7 +581,12 @@ class Router:
         # VC allocation.
         va_grants: List[Optional[Tuple[int, int]]] = []
         if any_va:
-            va_grants = self.vc_alloc.allocate(va_req)
+            if prof is not None:
+                _t = prof.begin()
+                va_grants = self.vc_alloc.allocate(va_req)
+                prof.phase("vc_alloc", _t)
+            else:
+                va_grants = self.vc_alloc.allocate(va_req)
             for p, v in waiting:
                 va_req[p * V + v] = None  # reset the reusable buffer
 
@@ -582,6 +620,7 @@ class Router:
                         obs.vc_granted(self.id, p, v, ivc.queue[0], now)
 
         # Non-speculative switch winners depart.
+        _t = prof.begin() if prof is not None else 0.0
         for p, g in enumerate(result.nonspec):
             if g is not None:
                 v, q = g
@@ -600,6 +639,8 @@ class Router:
             else:
                 self.misspeculations += 1
         self.misspeculations += result.spec_discarded
+        if prof is not None:
+            prof.phase("link_traversal", _t)
 
         if obs is not None:
             obs.alloc_cycle(

@@ -287,6 +287,7 @@ def run_simulation(
     cfg: SimulationConfig,
     observer: Optional["SimObserver"] = None,
     kernel: str = "fast",
+    profiler=None,
 ) -> SimulationResult:
     """Warm up, measure, drain; return latency/throughput statistics.
 
@@ -300,7 +301,14 @@ def run_simulation(
     ``kernel`` selects the allocation implementation (``"fast"`` /
     ``"reference"``); results are bit-identical either way (see
     :func:`build_network`).
+
+    ``profiler`` opts the run into phase-attribution timing
+    (:class:`repro.obs.profiling.PhaseProfiler`).  Like the observer it
+    never feeds back into simulation state, so profiled runs return
+    bit-identical results; ``None`` is the zero-overhead fast path.
     """
+    if profiler is not None:
+        _pt = profiler.begin()
     net = build_network(cfg, kernel=kernel)
     if observer is not None:
         observer.run_started(cfg)
@@ -315,6 +323,9 @@ def run_simulation(
             horizon,
         )
         net.attach_fault_state(fault_state)
+    if profiler is not None:
+        net.attach_profiler(profiler)
+        profiler.direct("setup", _pt)
 
     measured: List[Packet] = []
     window_start = cfg.warmup_cycles
@@ -348,6 +359,8 @@ def run_simulation(
     run_cycles(cfg.drain_cycles)
     if observer is not None:
         observer.run_finished(net, cfg)
+    if profiler is not None:
+        _pt = profiler.begin()
 
     n_terms = net.num_terminals
     # A zero-length measurement window (legal, e.g. warmup-only probe
@@ -397,7 +410,7 @@ def run_simulation(
         packets_lost = 0
         fault_counters = {}
 
-    return SimulationResult(
+    result = SimulationResult(
         config=cfg,
         avg_latency=avg_latency,
         measured_packets=len(measured),
@@ -414,3 +427,6 @@ def run_simulation(
         packets_lost=packets_lost,
         fault_counters=fault_counters,
     )
+    if profiler is not None:
+        profiler.direct("stats", _pt)
+    return result

@@ -20,10 +20,18 @@ path):
     per-router/per-VC metrics on a configurable cadence into a JSONL
     time series and/or a flit trace.
 
+``repro.obs.profiling``
+    :class:`PhaseProfiler`, the phase-attribution profiler for the
+    per-cycle simulator loop (``run_simulation(cfg, profiler=...)``)
+    behind the same ``profiler is None`` fast path; all simulator
+    wall-clock reads live there.
+
 ``repro.obs.telemetry`` (imported lazily -- it depends on
 ``repro.eval``) adds structured *sweep* telemetry: a
 :class:`JsonlReporter` for the sweep engine, per-run manifests, and the
-``repro report`` summarizer.
+``repro report`` summarizer.  ``repro.obs.perf_report`` (also lazy)
+renders the self-contained HTML performance dashboard behind
+``repro perf report``.
 """
 
 from .metrics import (
@@ -39,6 +47,7 @@ from .metrics import (
     remove_warning_sink,
 )
 from .observer import NullObserver, SimObserver
+from .profiling import PHASES, PROFILE_SCHEMA, PhaseProfiler, profile_point
 from .tracing import FlitTracer, LatencyBreakdown
 
 __all__ = [
@@ -56,6 +65,10 @@ __all__ = [
     "SimObserver",
     "FlitTracer",
     "LatencyBreakdown",
+    "PHASES",
+    "PROFILE_SCHEMA",
+    "PhaseProfiler",
+    "profile_point",
     # lazily resolved from .telemetry (avoids a repro.eval import cycle)
     "JsonlReporter",
     "build_run_manifest",

@@ -1,0 +1,365 @@
+"""Self-contained HTML performance dashboard (``repro perf report``).
+
+Aggregates the repo's performance artifacts into one static page:
+
+* the latest bench report (``BENCH_kernel.json``) -- warm throughput per
+  kernel and, when the run was profiled, a phase-stacked bar per kernel
+  showing where the wall time went;
+* the bench-history ledger (``benchmarks/results/BENCH_history.jsonl``)
+  -- speedup trajectory across recorded runs, fingerprinted by git SHA;
+* a sweep telemetry directory (``repro sweep --metrics DIR``) -- point
+  table with latency percentiles, cache hit rate and fault counters.
+
+The output embeds all styling inline and draws charts with plain
+HTML/CSS bars and inline SVG -- no JavaScript, no external assets -- so
+the file renders identically as a CI artifact, over ``file://`` or in
+an air-gapped review environment.
+
+Every input is optional: missing artifacts render as a note rather than
+an error.  Only when *no* input exists does :func:`build_perf_report`
+raise ``FileNotFoundError`` (the CLI maps it to exit code 2).
+"""
+
+from __future__ import annotations
+
+import html
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from .profiling import PHASES
+
+__all__ = ["build_perf_report"]
+
+#: Fixed per-phase palette so the same phase has the same color in every
+#: chart (and across report generations).
+_PHASE_COLORS = {
+    "setup": "#9e9e9e",
+    "delivery": "#8e6fb8",
+    "event_calendar": "#5d9cec",
+    "traffic": "#48b0a0",
+    "routing": "#f0a04b",
+    "vc_alloc": "#d9534f",
+    "sw_alloc": "#c9a227",
+    "link_traversal": "#5cb85c",
+    "stats": "#777777",
+}
+
+_STYLE = """
+body { font-family: -apple-system, 'Segoe UI', sans-serif; margin: 2em auto;
+       max-width: 70em; color: #222; }
+h1 { font-size: 1.5em; } h2 { font-size: 1.15em; margin-top: 2em;
+     border-bottom: 1px solid #ddd; padding-bottom: .25em; }
+table { border-collapse: collapse; font-size: .9em; }
+th, td { padding: .3em .8em; text-align: right; border-bottom: 1px solid #eee; }
+th { background: #f7f7f7; } td:first-child, th:first-child { text-align: left; }
+.bar { display: flex; height: 1.4em; width: 34em; max-width: 100%;
+       border-radius: 3px; overflow: hidden; background: #f0f0f0; }
+.bar span { display: block; height: 100%; }
+.legend span { display: inline-block; margin-right: 1em; font-size: .85em; }
+.legend i { display: inline-block; width: .8em; height: .8em;
+            margin-right: .3em; border-radius: 2px; vertical-align: -1px; }
+.note { color: #888; font-style: italic; }
+.fingerprint { color: #888; font-size: .8em; font-family: monospace; }
+"""
+
+
+def _esc(value: Any) -> str:
+    return html.escape(str(value))
+
+
+def _phase_bar(phases: Dict[str, float]) -> str:
+    """One horizontal stacked bar; segment width = share of the total."""
+    total = sum(phases.values())
+    if total <= 0:
+        return '<div class="note">no phase data</div>'
+    cells = []
+    for name in PHASES:
+        secs = phases.get(name, 0.0)
+        if secs <= 0:
+            continue
+        share = secs / total
+        cells.append(
+            f'<span style="width:{share * 100:.2f}%;'
+            f'background:{_PHASE_COLORS.get(name, "#bbb")}" '
+            f'title="{_esc(name)}: {secs:.3f}s ({share:.1%})"></span>'
+        )
+    return f'<div class="bar">{"".join(cells)}</div>'
+
+
+def _phase_legend() -> str:
+    items = "".join(
+        f'<span><i style="background:{color}"></i>{_esc(name)}</span>'
+        for name, color in _PHASE_COLORS.items()
+    )
+    return f'<div class="legend">{items}</div>'
+
+
+def _sparkline(values: List[float], width: int = 240, height: int = 48) -> str:
+    """Inline SVG polyline across the ledger records (oldest first)."""
+    if len(values) < 2:
+        return '<span class="note">needs &ge;2 records</span>'
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    pad = 4
+    step = (width - 2 * pad) / (len(values) - 1)
+    pts = " ".join(
+        f"{pad + i * step:.1f},"
+        f"{height - pad - (v - lo) / span * (height - 2 * pad):.1f}"
+        for i, v in enumerate(values)
+    )
+    return (
+        f'<svg width="{width}" height="{height}" '
+        f'viewBox="0 0 {width} {height}">'
+        f'<polyline points="{pts}" fill="none" stroke="#5d9cec" '
+        'stroke-width="2"/></svg>'
+    )
+
+
+# ----------------------------------------------------------------------
+# sections
+# ----------------------------------------------------------------------
+def _bench_section(report: Dict[str, Any], source: Path) -> str:
+    rows = []
+    for p in report.get("points", []):
+        cells = [f"<td>{_esc(p['label'])}</td>"]
+        for kernel in ("fast", "reference", "compiled"):
+            if kernel in p:
+                cells.append(
+                    f"<td>{p[kernel]['warm_cycles_per_s']:,.0f}</td>"
+                )
+            else:
+                cells.append("<td>-</td>")
+        for key in ("speedup_warm", "speedup_warm_compiled"):
+            cells.append(
+                f"<td>{p[key]:.2f}&times;</td>" if key in p else "<td>-</td>"
+            )
+        rows.append("<tr>" + "".join(cells) + "</tr>")
+    table = (
+        "<table><tr><th>point</th><th>fast cyc/s</th><th>ref cyc/s</th>"
+        "<th>compiled cyc/s</th><th>fast vs ref</th>"
+        "<th>compiled vs fast</th></tr>" + "".join(rows) + "</table>"
+    )
+    profile_html = ""
+    profiled = [p for p in report.get("points", []) if p.get("profile")]
+    if profiled:
+        blocks = [_phase_legend()]
+        for p in profiled:
+            bars = []
+            for kernel in ("reference", "fast", "compiled"):
+                prof = p["profile"].get(kernel)
+                if not prof:
+                    continue
+                bars.append(
+                    f"<tr><td>{_esc(kernel)}</td>"
+                    f"<td>{_phase_bar(prof.get('phases', {}))}</td>"
+                    f"<td>{prof.get('wall_s', 0.0):.2f}s</td>"
+                    f"<td>{prof.get('coverage', 0.0):.1%}</td></tr>"
+                )
+            blocks.append(
+                f"<h3>{_esc(p['label'])}</h3>"
+                "<table><tr><th>kernel</th><th>phase breakdown</th>"
+                "<th>wall</th><th>coverage</th></tr>"
+                + "".join(bars) + "</table>"
+            )
+        profile_html = "<h2>Phase breakdown</h2>" + "".join(blocks)
+    else:
+        profile_html = (
+            '<h2>Phase breakdown</h2><p class="note">no profile data in '
+            "this report &mdash; rerun with <code>repro bench "
+            "--profile</code>.</p>"
+        )
+    return (
+        f"<h2>Kernel benchmark</h2>"
+        f'<p class="fingerprint">source: {_esc(source)} '
+        f"(simulator rev {_esc(report.get('simulator_rev'))}, "
+        f"{'quick' if report.get('quick') else 'full'} matrix)</p>"
+        + table + profile_html
+    )
+
+
+def _history_section(records: List[Dict[str, Any]], source: Path) -> str:
+    # Trajectory of the headline ratios per point label across records.
+    series: Dict[str, Dict[str, List[float]]] = {}
+    for rec in records:
+        for p in rec.get("points", []):
+            slot = series.setdefault(
+                p["label"], {"speedup_warm": [], "speedup_warm_compiled": []}
+            )
+            for key in slot:
+                if key in p:
+                    slot[key].append(p[key])
+    rows = []
+    for label in sorted(series):
+        for key, name in (
+            ("speedup_warm", "fast vs ref"),
+            ("speedup_warm_compiled", "compiled vs fast"),
+        ):
+            values = series[label][key]
+            if not values:
+                continue
+            rows.append(
+                f"<tr><td>{_esc(label)}</td><td>{_esc(name)}</td>"
+                f"<td>{values[-1]:.2f}&times;</td>"
+                f"<td>{_sparkline(values)}</td></tr>"
+            )
+    fingerprints = []
+    for rec in records[-10:]:
+        git = rec.get("git") or {}
+        sha = (git.get("sha") or "?")[:12]
+        dirty = "+dirty" if git.get("dirty") else ""
+        fingerprints.append(
+            f"{sha}{dirty} (rev {rec.get('simulator_rev')}, "
+            f"{'quick' if rec.get('quick') else 'full'})"
+        )
+    return (
+        f"<h2>Bench history ({len(records)} record(s))</h2>"
+        f'<p class="fingerprint">source: {_esc(source)}</p>'
+        "<table><tr><th>point</th><th>ratio</th><th>latest</th>"
+        "<th>trajectory</th></tr>" + "".join(rows) + "</table>"
+        f'<p class="fingerprint">recent runs: '
+        f'{_esc(" &larr; ".join(reversed(fingerprints)))}</p>'
+    )
+
+
+def _metrics_section(metrics_dir: Path) -> str:
+    from .telemetry import read_jsonl
+
+    parts: List[str] = [f"<h2>Sweep telemetry</h2>"
+                        f'<p class="fingerprint">source: {_esc(metrics_dir)}/'
+                        "</p>"]
+    sweep_path = metrics_dir / "sweep.jsonl"
+    if sweep_path.exists():
+        rows_all = read_jsonl(sweep_path)
+        points = [r for r in rows_all if r.get("kind") == "point"]
+        failed = [r for r in rows_all if r.get("kind") == "point_failed"]
+        if points:
+            cached = sum(1 for r in points if r.get("cached"))
+            body = []
+            for r in points:
+                res = r.get("result", {})
+                body.append(
+                    f"<tr><td>{res.get('injection_rate')}</td>"
+                    f"<td>{res.get('avg_latency')}</td>"
+                    f"<td>{res.get('p50')}</td><td>{res.get('p95')}</td>"
+                    f"<td>{res.get('p99')}</td>"
+                    f"<td>{'cache' if r.get('cached') else 'sim'}</td></tr>"
+                )
+            parts.append(
+                "<table><tr><th>inj rate</th><th>latency</th><th>p50</th>"
+                "<th>p95</th><th>p99</th><th>source</th></tr>"
+                + "".join(body) + "</table>"
+                f"<p>{len(points)} point(s), cache hit rate "
+                f"{cached / len(points):.0%}"
+                + (f", <b>{len(failed)} failed</b>" if failed else "")
+                + "</p>"
+            )
+    metrics_path = metrics_dir / "metrics.jsonl"
+    if metrics_path.exists():
+        rows_all = read_jsonl(metrics_path)
+        fault_rows = [
+            r for r in rows_all if r.get("kind") == "fault_counters"
+        ]
+        if fault_rows:
+            totals: Dict[str, float] = {}
+            for r in fault_rows:
+                for name, value in (r.get("value") or {}).items():
+                    if isinstance(value, (int, float)):
+                        totals[name] = totals.get(name, 0) + value
+            body = "".join(
+                f"<tr><td>{_esc(name)}</td><td>{totals[name]:,.0f}</td></tr>"
+                for name in sorted(totals)
+            )
+            parts.append(
+                "<h3>Fault counters</h3><table><tr><th>counter</th>"
+                "<th>total</th></tr>" + body + "</table>"
+            )
+        warnings = [r for r in rows_all if r.get("kind") == "warning"]
+        if warnings:
+            counts: Dict[str, int] = {}
+            for w in warnings:
+                code = w.get("code", "?")
+                counts[code] = counts.get(code, 0) + 1
+            body = "".join(
+                f"<tr><td>{_esc(code)}</td><td>{n}</td></tr>"
+                for code, n in sorted(counts.items())
+            )
+            parts.append(
+                "<h3>Structured warnings</h3><table><tr><th>code</th>"
+                "<th>count</th></tr>" + body + "</table>"
+            )
+    if len(parts) == 1:
+        parts.append(
+            '<p class="note">directory holds no sweep.jsonl / '
+            "metrics.jsonl</p>"
+        )
+    return "".join(parts)
+
+
+# ----------------------------------------------------------------------
+def build_perf_report(
+    bench_path: Optional[Path] = None,
+    history_path: Optional[Path] = None,
+    metrics_dir: Optional[Path] = None,
+) -> str:
+    """Render the dashboard from whichever artifacts exist.
+
+    Raises ``FileNotFoundError`` when none of the given inputs exists.
+    """
+    sections: List[str] = []
+    missing: List[str] = []
+
+    if bench_path is not None and bench_path.exists():
+        try:
+            report = json.loads(bench_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            sections.append(
+                f'<h2>Kernel benchmark</h2><p class="note">unreadable '
+                f"bench report {_esc(bench_path)}: {_esc(exc)}</p>"
+            )
+        else:
+            sections.append(_bench_section(report, bench_path))
+    elif bench_path is not None:
+        missing.append(str(bench_path))
+
+    if history_path is not None and history_path.exists():
+        from ..eval.bench_history import read_history
+
+        records = read_history(history_path)
+        if records:
+            sections.append(_history_section(records, history_path))
+        else:
+            sections.append(
+                f'<h2>Bench history</h2><p class="note">ledger '
+                f"{_esc(history_path)} holds no records</p>"
+            )
+    elif history_path is not None:
+        missing.append(str(history_path))
+
+    if metrics_dir is not None and metrics_dir.is_dir():
+        sections.append(_metrics_section(metrics_dir))
+    elif metrics_dir is not None:
+        missing.append(str(metrics_dir))
+
+    if not sections:
+        raise FileNotFoundError(
+            "no performance artifacts found; looked for: "
+            + (", ".join(missing) or "nothing (no inputs given)")
+            + " -- run `repro bench --profile` and/or "
+            "`repro sweep --metrics DIR` first"
+        )
+    for path in missing:
+        sections.append(
+            f'<p class="note">skipped missing input: {_esc(path)}</p>'
+        )
+    body = "".join(sections)
+    return (
+        "<!doctype html><html><head><meta charset='utf-8'>"
+        "<title>repro performance report</title>"
+        f"<style>{_STYLE}</style></head><body>"
+        "<h1>repro performance report</h1>"
+        '<p class="note">Becker &amp; Dally SC\'09 allocator study &mdash; '
+        "generated by <code>repro perf report</code>; fully "
+        "self-contained, no external assets.</p>"
+        + body + "</body></html>"
+    )

@@ -38,7 +38,9 @@ from ..netsim.simulator import SIMULATOR_REV, SimulationConfig, SimulationResult
 
 __all__ = [
     "MANIFEST_SCHEMA",
+    "EmptyTelemetryError",
     "JsonlReporter",
+    "host_info",
     "build_run_manifest",
     "write_run_manifest",
     "read_jsonl",
@@ -46,6 +48,15 @@ __all__ = [
 ]
 
 MANIFEST_SCHEMA = "repro-run-manifest/1"
+
+
+class EmptyTelemetryError(ValueError):
+    """A telemetry directory exists but holds no recognized artifacts.
+
+    Raised by :func:`summarize_metrics_dir` so callers (``repro
+    report``) can exit with a clear message instead of printing an
+    empty summary.
+    """
 
 
 class JsonlReporter(SweepReporter):
@@ -67,13 +78,21 @@ class JsonlReporter(SweepReporter):
             self._stream = None
             self._owns_stream = True
 
-    def _write(self, row: Dict[str, Any]) -> None:
+    def _write(self, row: Dict[str, Any], durable: bool = False) -> None:
         if self._stream is None:
             assert self.path is not None
             self.path.parent.mkdir(parents=True, exist_ok=True)
             self._stream = self.path.open("w")
         self._stream.write(json.dumps(row) + "\n")
         self._stream.flush()
+        if durable and self._owns_stream:
+            # Completed point rows must survive a SIGKILL: flush() only
+            # reaches the OS page cache, so fsync the file as well.  A
+            # killed sweep then loses at most the in-flight row.
+            try:
+                os.fsync(self._stream.fileno())
+            except (OSError, ValueError):
+                pass  # stream without a real descriptor (tests, pipes)
 
     def sweep_started(self, stats: SweepStats) -> None:
         self._write(
@@ -98,7 +117,8 @@ class JsonlReporter(SweepReporter):
                 "total": stats.total,
                 "cache_hits": stats.cache_hits,
                 "elapsed_s": stats.elapsed,
-            }
+            },
+            durable=True,
         )
 
     def point_failed(self, cfg, failure, stats: SweepStats) -> None:
@@ -111,7 +131,8 @@ class JsonlReporter(SweepReporter):
                 "completed": stats.completed,
                 "total": stats.total,
                 "elapsed_s": stats.elapsed,
-            }
+            },
+            durable=True,
         )
 
     def sweep_finished(self, stats: SweepStats) -> None:
@@ -140,6 +161,17 @@ class JsonlReporter(SweepReporter):
 # ----------------------------------------------------------------------
 # run manifest
 # ----------------------------------------------------------------------
+def host_info() -> Dict[str, Any]:
+    """Host fingerprint shared by run manifests and the bench-history
+    ledger (``repro.eval.bench_history``)."""
+    return {
+        "hostname": socket.gethostname(),
+        "platform": platform.platform(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def build_run_manifest(
     configs: Sequence[SimulationConfig],
     *,
@@ -173,12 +205,7 @@ def build_run_manifest(
             if cache is not None
             else None
         ),
-        "host": {
-            "hostname": socket.gethostname(),
-            "platform": platform.platform(),
-            "python": sys.version.split()[0],
-            "cpu_count": os.cpu_count(),
-        },
+        "host": host_info(),
         "command": list(command) if command is not None else None,
     }
     if extra:
@@ -231,8 +258,19 @@ def _final_counter_totals(
 def summarize_metrics_dir(
     directory: "Path | str", top: int = 5, stream: Optional[TextIO] = None
 ) -> str:
-    """Human-readable summary of a telemetry directory's contents."""
+    """Human-readable summary of a telemetry directory's contents.
+
+    Raises :class:`FileNotFoundError` when ``directory`` does not exist
+    (or is not a directory) and :class:`EmptyTelemetryError` when it
+    holds none of the expected artifacts, so callers fail loudly instead
+    of rendering an empty report.
+    """
     directory = Path(directory)
+    if not directory.is_dir():
+        raise FileNotFoundError(
+            f"{directory} is not a directory (expected a telemetry "
+            "directory written by `repro sweep --metrics DIR`)"
+        )
     sections: List[str] = []
 
     manifest_path = directory / "manifest.json"
@@ -373,7 +411,11 @@ def summarize_metrics_dir(
             )
 
     if not sections:
-        sections.append(f"no telemetry found under {directory}")
+        raise EmptyTelemetryError(
+            f"no telemetry found under {directory}: expected "
+            "manifest.json, sweep.jsonl or metrics.jsonl "
+            "(written by `repro sweep --metrics DIR`)"
+        )
     text = "\n\n".join(sections)
     if stream is not None:
         print(text, file=stream)

@@ -1,0 +1,156 @@
+"""Tests for the append-only bench-history ledger and compare mode."""
+
+import json
+
+import pytest
+
+from repro.eval.bench_history import (
+    HISTORY_SCHEMA,
+    append_history,
+    build_history_record,
+    format_compare,
+    git_fingerprint,
+    load_base,
+    phase_deltas,
+    read_history,
+)
+
+
+def _report(speedup=4.0, warm=0.5, with_profile=True):
+    point = {
+        "label": "mesh-V8-wf-r0.15",
+        "config": {"topology": "mesh"},
+        "cycles": 3600,
+        "fast": {
+            "cold_s": warm * 1.2,
+            "warm_s": warm,
+            "cold_cycles_per_s": 1.0,
+            "warm_cycles_per_s": 3600 / warm,
+        },
+        "reference": {
+            "cold_s": warm * speedup * 1.2,
+            "warm_s": warm * speedup,
+            "cold_cycles_per_s": 1.0,
+            "warm_cycles_per_s": 3600 / (warm * speedup),
+        },
+        "speedup_warm": speedup,
+    }
+    if with_profile:
+        point["profile"] = {
+            "fast": {
+                "schema": "repro/phase-profile/v1",
+                "wall_s": warm,
+                "phases": {"sw_alloc": warm * 0.6, "vc_alloc": warm * 0.3},
+                "coverage": 0.99,
+            }
+        }
+    return {
+        "schema": "repro/kernel-bench/v1",
+        "simulator_rev": 2,
+        "quick": True,
+        "kernels": ["fast", "reference"],
+        "points": [point],
+    }
+
+
+class TestRecordAndLedger:
+    def test_record_is_fingerprinted_and_compact(self):
+        rec = build_history_record(_report(), timestamp=123.0)
+        assert rec["schema"] == HISTORY_SCHEMA
+        assert rec["created"] == 123.0
+        assert rec["simulator_rev"] == 2
+        assert set(rec["git"]) == {"sha", "dirty"}
+        assert rec["host"]["python"]
+        point = rec["points"][0]
+        # The full config is dropped; the label identifies the point.
+        assert "config" not in point
+        assert point["fast"]["warm_s"] == 0.5
+        assert point["profile"]["fast"]["phases"]["sw_alloc"] > 0
+
+    def test_two_appends_yield_two_records(self, tmp_path):
+        ledger = tmp_path / "hist.jsonl"
+        append_history(build_history_record(_report(), timestamp=1.0), ledger)
+        append_history(build_history_record(_report(), timestamp=2.0), ledger)
+        records = read_history(ledger)
+        assert [r["created"] for r in records] == [1.0, 2.0]
+        # One self-contained JSON object per line.
+        lines = ledger.read_text().splitlines()
+        assert len(lines) == 2
+        assert all(json.loads(line)["schema"] == HISTORY_SCHEMA
+                   for line in lines)
+
+    def test_read_history_tolerates_torn_tail(self, tmp_path):
+        ledger = tmp_path / "hist.jsonl"
+        append_history(build_history_record(_report(), timestamp=1.0), ledger)
+        with ledger.open("a") as fh:
+            fh.write('{"schema": "repro/bench-hist')  # killed mid-append
+        records = read_history(ledger)
+        assert len(records) == 1
+
+    def test_git_fingerprint_in_a_repo(self):
+        fp = git_fingerprint()
+        assert fp["sha"] is None or len(fp["sha"]) == 40
+
+
+class TestLoadBase:
+    def test_loads_bench_report(self, tmp_path):
+        path = tmp_path / "BENCH_kernel.json"
+        path.write_text(json.dumps(_report()))
+        assert load_base(path)["points"][0]["label"] == "mesh-V8-wf-r0.15"
+
+    def test_loads_latest_ledger_record(self, tmp_path):
+        ledger = tmp_path / "hist.jsonl"
+        append_history(build_history_record(_report(4.0), timestamp=1.0),
+                       ledger)
+        append_history(build_history_record(_report(5.0), timestamp=2.0),
+                       ledger)
+        assert load_base(ledger)["points"][0]["speedup_warm"] == 5.0
+
+    def test_missing_base_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_base(tmp_path / "nope.json")
+
+    def test_empty_ledger_raises(self, tmp_path):
+        ledger = tmp_path / "hist.jsonl"
+        ledger.write_text("")
+        with pytest.raises(ValueError, match="no records"):
+            load_base(ledger)
+
+    def test_non_report_json_raises(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"hello": 1}')
+        with pytest.raises(ValueError, match="not a bench report"):
+            load_base(path)
+
+
+class TestCompare:
+    def test_compare_shows_ratio_and_phase_deltas(self):
+        base = build_history_record(_report(4.0, warm=0.5), timestamp=1.0)
+        cur = build_history_record(_report(3.0, warm=0.8), timestamp=2.0)
+        text = format_compare(cur, base)
+        assert "mesh-V8-wf-r0.15" in text
+        assert "4.00x -> 3.00x" in text
+        # Per-phase attribution: sw_alloc grew 0.30 -> 0.48 seconds.
+        assert "fast phases" in text
+        assert "sw_alloc +0.180s" in text
+
+    def test_compare_without_profiles_omits_phases(self):
+        base = build_history_record(_report(with_profile=False),
+                                    timestamp=1.0)
+        cur = build_history_record(_report(with_profile=False),
+                                   timestamp=2.0)
+        text = format_compare(cur, base)
+        assert "phases" not in text
+
+    def test_compare_flags_missing_base_point(self):
+        base = build_history_record(_report(), timestamp=1.0)
+        base["points"][0]["label"] = "other-point"
+        cur = build_history_record(_report(), timestamp=2.0)
+        assert "(no base point)" in format_compare(cur, base)
+
+    def test_phase_deltas_cover_union_of_phases(self):
+        deltas = phase_deltas(
+            {"phases": {"sw_alloc": 1.0}},
+            {"phases": {"vc_alloc": 0.4}},
+        )
+        assert deltas == {"sw_alloc": 1.0, "vc_alloc": -0.4}

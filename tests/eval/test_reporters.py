@@ -17,6 +17,7 @@ from repro.eval.runner import (
 from repro.netsim.simulator import SimulationConfig, run_simulation
 from repro.obs.telemetry import (
     MANIFEST_SCHEMA,
+    EmptyTelemetryError,
     JsonlReporter,
     build_run_manifest,
     read_jsonl,
@@ -180,9 +181,13 @@ class TestManifest:
 
 
 class TestReportBackend:
-    def test_summarize_empty_dir(self, tmp_path):
-        text = summarize_metrics_dir(tmp_path)
-        assert "no telemetry found" in text
+    def test_summarize_empty_dir_raises(self, tmp_path):
+        with pytest.raises(EmptyTelemetryError, match="no telemetry found"):
+            summarize_metrics_dir(tmp_path)
+
+    def test_summarize_missing_dir_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="not a directory"):
+            summarize_metrics_dir(tmp_path / "nope")
 
     def test_summarize_full_dir(self, tmp_path):
         from repro.obs.observer import SimObserver

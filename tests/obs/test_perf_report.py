@@ -1,0 +1,141 @@
+"""Tests for the self-contained HTML dashboard (``repro perf report``)."""
+
+import json
+import re
+
+import pytest
+
+from repro.cli import main
+from repro.eval.bench_history import append_history, build_history_record
+from repro.obs.perf_report import build_perf_report
+
+
+def _bench_report(speedup=4.0):
+    return {
+        "schema": "repro/kernel-bench/v1",
+        "simulator_rev": 2,
+        "quick": True,
+        "kernels": ["fast", "reference"],
+        "points": [
+            {
+                "label": "mesh-V8-wf-r0.15",
+                "cycles": 3600,
+                "fast": {"cold_s": 0.6, "warm_s": 0.5,
+                         "cold_cycles_per_s": 6000.0,
+                         "warm_cycles_per_s": 7200.0},
+                "reference": {"cold_s": 2.4, "warm_s": 2.0,
+                              "cold_cycles_per_s": 1500.0,
+                              "warm_cycles_per_s": 1800.0},
+                "speedup_warm": speedup,
+                "profile": {
+                    "fast": {
+                        "schema": "repro/phase-profile/v1",
+                        "wall_s": 0.55,
+                        "phases": {"sw_alloc": 0.3, "vc_alloc": 0.1,
+                                   "traffic": 0.1},
+                        "coverage": 0.98,
+                    }
+                },
+            }
+        ],
+    }
+
+
+def _metrics_dir(tmp_path):
+    d = tmp_path / "obs"
+    d.mkdir()
+    rows = [
+        {"kind": "sweep_started", "total": 1, "ts": 0.0},
+        {"kind": "point", "key": "k", "config": {}, "cached": True,
+         "completed": 1, "total": 1, "cache_hits": 1, "elapsed_s": 0.1,
+         "result": {"injection_rate": 0.05, "avg_latency": 20.0,
+                    "p50": 18, "p95": 30, "p99": 41}},
+        {"kind": "sweep_finished", "completed": 1, "total": 1,
+         "cache_hits": 1, "simulated": 0, "failed": 0, "retries": 0,
+         "elapsed_s": 0.1, "sims_per_sec": 10.0, "ts": 0.1},
+    ]
+    (d / "sweep.jsonl").write_text(
+        "".join(json.dumps(r) + "\n" for r in rows))
+    metric_rows = [
+        {"kind": "fault_counters", "cycle": 400, "ctx": {},
+         "value": {"flits_dropped": 3, "credits_dropped": 1}},
+        {"kind": "warning", "code": "watchdog_fired", "msg": "x"},
+    ]
+    (d / "metrics.jsonl").write_text(
+        "".join(json.dumps(r) + "\n" for r in metric_rows))
+    return d
+
+
+class TestBuildPerfReport:
+    def test_full_dashboard(self, tmp_path):
+        bench = tmp_path / "BENCH_kernel.json"
+        bench.write_text(json.dumps(_bench_report()))
+        ledger = tmp_path / "hist.jsonl"
+        append_history(
+            build_history_record(_bench_report(4.0), timestamp=1.0), ledger)
+        append_history(
+            build_history_record(_bench_report(4.5), timestamp=2.0), ledger)
+        html = build_perf_report(bench_path=bench, history_path=ledger,
+                                 metrics_dir=_metrics_dir(tmp_path))
+        assert "Kernel benchmark" in html
+        assert "Phase breakdown" in html
+        assert "Bench history (2 record(s))" in html
+        assert "<polyline" in html  # the trajectory sparkline
+        assert "Fault counters" in html
+        assert "flits_dropped" in html
+        assert "watchdog_fired" in html
+        assert "cache hit rate 100%" in html
+
+    def test_output_is_self_contained(self, tmp_path):
+        bench = tmp_path / "b.json"
+        bench.write_text(json.dumps(_bench_report()))
+        html = build_perf_report(bench_path=bench)
+        # No external assets of any kind: no scripts, no remote URLs.
+        assert "<script" not in html
+        assert not re.search(r'(src|href)\s*=\s*["\']https?://', html)
+        assert not re.search(r'<link\b', html)
+
+    def test_missing_inputs_render_as_notes(self, tmp_path):
+        bench = tmp_path / "b.json"
+        bench.write_text(json.dumps(_bench_report()))
+        html = build_perf_report(
+            bench_path=bench,
+            history_path=tmp_path / "missing.jsonl",
+        )
+        assert "skipped missing input" in html
+        assert "missing.jsonl" in html
+
+    def test_no_inputs_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError, match="no performance"):
+            build_perf_report(bench_path=tmp_path / "a.json",
+                              history_path=tmp_path / "b.jsonl")
+
+    def test_unprofiled_report_prompts_for_profile_flag(self, tmp_path):
+        report = _bench_report()
+        del report["points"][0]["profile"]
+        bench = tmp_path / "b.json"
+        bench.write_text(json.dumps(report))
+        html = build_perf_report(bench_path=bench)
+        assert "--profile" in html
+
+
+class TestPerfReportCli:
+    def test_writes_html(self, capsys, tmp_path):
+        bench = tmp_path / "b.json"
+        bench.write_text(json.dumps(_bench_report()))
+        out = tmp_path / "perf.html"
+        rc = main(["perf", "report", "--bench", str(bench),
+                   "--history", str(tmp_path / "none.jsonl"),
+                   "--output", str(out)])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        assert out.read_text().startswith("<!doctype html>")
+
+    def test_exits_2_without_artifacts(self, capsys, tmp_path):
+        rc = main(["perf", "report",
+                   "--bench", str(tmp_path / "a.json"),
+                   "--history", str(tmp_path / "b.jsonl"),
+                   "--output", str(tmp_path / "perf.html")])
+        assert rc == 2
+        assert "no performance artifacts" in capsys.readouterr().err
+        assert not (tmp_path / "perf.html").exists()

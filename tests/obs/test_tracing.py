@@ -140,3 +140,74 @@ class TestTraceExport:
             bd["avg_source_queue"] + bd["avg_va_wait"] + bd["avg_sa_wait"]
             + bd["avg_traversal"]
         )
+
+
+class TestGoldenTraceSchema:
+    """Golden document test: the exact Chrome trace-event JSON emitted
+    for a scripted two-hop packet.  Any field rename, reordering of
+    event emission, or pid/tid remapping shows up as a diff against
+    this fixture -- the schema is what Perfetto (and
+    ``scripts/validate_telemetry.py``) consume."""
+
+    def _golden_doc(self):
+        pkt = _Pkt(7, birth_time=8)
+        tr = FlitTracer()
+        tr.packet_injected(2, pkt, 10)
+        tr.head_arrived(3, 1, 0, pkt, 12)
+        tr.vc_granted(3, pkt, 14)
+        tr.head_departed(3, pkt, 15)
+        tr.head_arrived(4, 2, 1, pkt, 16)
+        tr.head_departed(4, pkt, 18)  # speculative: VA+SA same cycle
+        tr.packet_ejected(5, pkt, 20)
+        return tr.to_chrome_trace()
+
+    GOLDEN = {
+        "traceEvents": [
+            # Meta events name every track, routers first.
+            {"ph": "M", "name": "process_name", "pid": 3,
+             "args": {"name": "router 3"}},
+            {"ph": "M", "name": "process_name", "pid": 4,
+             "args": {"name": "router 4"}},
+            {"ph": "M", "name": "process_name", "pid": PACKET_TRACK,
+             "args": {"name": "packets"}},
+            # One complete (ph "X") event per router hop, on track
+            # pid = router id / tid = input port, VA/SA split in args.
+            {"name": "pkt 7", "cat": "hop", "ph": "X", "ts": 12, "dur": 3,
+             "pid": 3, "tid": 1,
+             "args": {"packet": 7, "vc": 0, "va_wait": 2, "sa_wait": 1}},
+            {"name": "pkt 7", "cat": "hop", "ph": "X", "ts": 16, "dur": 2,
+             "pid": 4, "tid": 2,
+             "args": {"packet": 7, "vc": 1, "va_wait": 2, "sa_wait": 0}},
+            # Async begin/end pair spanning inject -> eject on the
+            # synthetic packet track, tid = source terminal.
+            {"cat": "packet", "id": 7, "name": "packet",
+             "pid": PACKET_TRACK, "tid": 2, "ph": "b", "ts": 10,
+             "args": {"src": 2, "dest": 5, "total": 12, "source_queue": 2,
+                      "va_wait": 4, "sa_wait": 1, "hops": 2}},
+            {"cat": "packet", "id": 7, "name": "packet",
+             "pid": PACKET_TRACK, "tid": 2, "ph": "e", "ts": 20},
+        ],
+        "displayTimeUnit": "ns",
+        "otherData": {
+            "packets_traced": 1,
+            "packets_in_flight": 0,
+            "dropped_events": 0,
+            "breakdown": {
+                "packets": 1,
+                "avg_total": 12.0,
+                "avg_source_queue": 2.0,
+                "avg_va_wait": 4.0,
+                "avg_sa_wait": 1.0,
+                "avg_traversal": 5.0,
+                "avg_hops": 2.0,
+            },
+        },
+    }
+
+    def test_document_matches_golden(self):
+        doc = self._golden_doc()
+        assert doc == self.GOLDEN
+
+    def test_golden_doc_is_json_round_trippable(self):
+        doc = self._golden_doc()
+        assert json.loads(json.dumps(doc)) == self.GOLDEN

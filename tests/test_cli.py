@@ -216,8 +216,13 @@ class TestCommands:
 
     def test_report_missing_dir(self, capsys, tmp_path):
         rc = main(["report", str(tmp_path / "nope")])
-        assert rc == 1
+        assert rc == 2
         assert "not a directory" in capsys.readouterr().err
+
+    def test_report_empty_dir(self, capsys, tmp_path):
+        rc = main(["report", str(tmp_path)])
+        assert rc == 2
+        assert "no telemetry found" in capsys.readouterr().err
 
     def test_bench_writes_report(self, capsys, monkeypatch, tmp_path):
         import json
@@ -231,11 +236,18 @@ class TestCommands:
             dict(warmup_cycles=40, measure_cycles=120, drain_cycles=120),
         )
         out_path = tmp_path / "BENCH_kernel.json"
-        rc = main(["bench", "--quick", "--output", str(out_path)])
+        ledger = tmp_path / "hist.jsonl"
+        rc = main(["bench", "--quick", "--output", str(out_path),
+                   "--history", str(ledger)])
         assert rc == 0
         out = capsys.readouterr().out
         assert "kernel benchmark" in out
         assert "wrote" in out
+        assert "appended history record" in out
+        # Every run appends one fingerprinted ledger record.
+        records = [json.loads(l) for l in ledger.read_text().splitlines()]
+        assert len(records) == 1
+        assert records[0]["schema"] == "repro/bench-history/v1"
 
         report = json.loads(out_path.read_text())
         assert report["schema"] == "repro/kernel-bench/v1"
@@ -269,7 +281,8 @@ class TestCommands:
         )
         out_path = tmp_path / "BENCH_kernel.json"
         rc = main(["bench", "--quick", "--output", str(out_path),
-                   "--kernel", "fast", "--kernel", "compiled"])
+                   "--kernel", "fast", "--kernel", "compiled",
+                   "--no-history"])
         assert rc == 0
         report = json.loads(out_path.read_text())
         assert report["kernels"] == ["fast", "compiled"]
@@ -286,7 +299,13 @@ class TestCommands:
         assert rc == 0
         assert "dumped" in capsys.readouterr().err
         dumped = sorted(p.name for p in dump_dir.glob("*.py"))
-        expected = sorted(f"{spec.slug()}.py" for spec in template_specs())
+        # Each design point dumps both variants: the plain kernel and
+        # the profiled one (phase hooks emitted only when requested).
+        expected = sorted(
+            name
+            for spec in template_specs()
+            for name in (f"{spec.slug()}.py", f"{spec.slug()}-prof.py")
+        )
         assert dumped == expected
         # Every dumped module is genuine generated source.
         for p in dump_dir.glob("*.py"):
