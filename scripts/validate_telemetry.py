@@ -9,13 +9,15 @@ events.  Exits non-zero with a description of the first problem found.
 
 Beyond sweep telemetry, the same script gates the performance
 observatory's schemas: ``--bench FILE`` validates a bench report
-(including per-phase profiles when present) and ``--ledger FILE``
-validates the append-only bench-history ledger.
+(including per-phase profiles when present), ``--ledger FILE``
+validates the append-only bench-history ledger and ``--resilience
+FILE`` validates a ``repro resilience`` degradation-curve artifact.
 
 Usage::
 
     python scripts/validate_telemetry.py [DIR] [--trace FILE]
         [--bench BENCH_kernel.json] [--ledger BENCH_history.jsonl]
+        [--resilience resilience.json]
 """
 
 from __future__ import annotations
@@ -36,6 +38,13 @@ INSTRUMENT_TYPES = {"counter", "gauge", "histogram"}
 BENCH_SCHEMA = "repro/kernel-bench/v1"
 PROFILE_SCHEMA = "repro/phase-profile/v1"
 HISTORY_SCHEMA = "repro/bench-history/v1"
+RESILIENCE_SCHEMA = "repro/resilience/v1"
+RESILIENCE_KEYS = {
+    "schema", "topology", "total_vcs", "injection_rate", "sw_alloc_arch",
+    "vc_alloc_arch", "speculation", "cycles", "seed", "fault_counts",
+    "faulted_links", "curves",
+}
+RESILIENCE_POINT_KEYS = {"link_faults", "delivered_fraction", "degraded_mode"}
 HISTORY_KEYS = {
     "schema", "created", "git", "simulator_rev", "quick", "kernels",
     "host", "points",
@@ -201,6 +210,50 @@ def check_ledger(path: Path) -> None:
     print(f"  ledger: {len(records)} record(s)")
 
 
+def check_resilience(path: Path) -> None:
+    artifact = json.loads(path.read_text())
+    missing = RESILIENCE_KEYS - set(artifact)
+    if missing:
+        fail(f"{path}: missing keys {sorted(missing)}")
+    if artifact["schema"] != RESILIENCE_SCHEMA:
+        fail(f"{path}: schema {artifact['schema']!r} "
+             f"!= {RESILIENCE_SCHEMA!r}")
+    counts = artifact["fault_counts"]
+    if not isinstance(counts, list) or not counts:
+        fail(f"{path}: fault_counts must be a non-empty list")
+    curves = artifact["curves"]
+    if not isinstance(curves, dict) or not curves:
+        fail(f"{path}: curves must map routing modes to point lists")
+    points_total = 0
+    for mode, points in curves.items():
+        if len(points) != len(counts):
+            fail(f"{path}: mode {mode!r} has {len(points)} point(s) for "
+                 f"{len(counts)} fault count(s)")
+        for point in points:
+            if point.get("failed"):
+                # A recorded point failure carries only its x coordinate.
+                if "link_faults" not in point:
+                    fail(f"{path}: failed {mode} point lacks link_faults")
+                continue
+            missing = RESILIENCE_POINT_KEYS - set(point)
+            if missing:
+                fail(f"{path}: {mode} point missing keys "
+                     f"{sorted(missing)}: {point}")
+            frac = point["delivered_fraction"]
+            if not isinstance(frac, (int, float)) or not 0 <= frac <= 1:
+                fail(f"{path}: {mode} k={point['link_faults']}: "
+                     f"delivered_fraction {frac!r} outside [0, 1]")
+            points_total += 1
+    for key, links in artifact["faulted_links"].items():
+        if not links:
+            fail(f"{path}: faulted_links[{key!r}] is empty")
+        if len(links) != int(key):
+            fail(f"{path}: faulted_links[{key!r}] lists {len(links)} "
+                 f"link(s)")
+    print(f"  resilience: {len(curves)} mode(s), {points_total} "
+          f"simulated point(s)")
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("dir", nargs="?", default=None,
@@ -212,11 +265,15 @@ def main(argv=None) -> int:
                         help="bench report (BENCH_kernel.json) to validate")
     parser.add_argument("--ledger", default=None,
                         help="bench-history ledger (JSONL) to validate")
+    parser.add_argument("--resilience", default=None,
+                        help="resilience artifact (repro resilience "
+                             "--output) to validate")
     args = parser.parse_args(argv)
 
-    if args.dir is None and args.bench is None and args.ledger is None:
-        fail("nothing to validate: give a telemetry DIR, --bench or "
-             "--ledger")
+    if (args.dir is None and args.bench is None and args.ledger is None
+            and args.resilience is None):
+        fail("nothing to validate: give a telemetry DIR, --bench, "
+             "--ledger or --resilience")
     if args.dir is not None:
         directory = Path(args.dir)
         if not directory.is_dir():
@@ -240,6 +297,12 @@ def main(argv=None) -> int:
             fail(f"{ledger} does not exist")
         print(f"validating bench-history ledger {ledger}")
         check_ledger(ledger)
+    if args.resilience is not None:
+        resilience = Path(args.resilience)
+        if not resilience.exists():
+            fail(f"{resilience} does not exist")
+        print(f"validating resilience artifact {resilience}")
+        check_resilience(resilience)
     print("validate_telemetry: OK")
     return 0
 

@@ -21,11 +21,14 @@ rule id                   severity  violation
                                     in ``repro/core`` / ``repro/netsim``:
                                     set order depends on ``PYTHONHASHSEED``
                                     for str keys -- wrap in ``sorted(...)``
-``SRC-OBSERVER-GUARD``    error     calling through ``observer`` or
-                                    ``fault_state`` in ``repro/netsim``
+``SRC-OBSERVER-GUARD``    error     any attribute access through
+                                    ``observer``, ``fault_state`` or
+                                    ``profiler`` in ``repro/netsim``
                                     without an ``is not None`` guard: the
                                     None fast path is the performance
-                                    contract (CHANGES.md PRs 2-3)
+                                    contract (CHANGES.md PRs 2-3), and
+                                    fault-aware routing branches must sit
+                                    behind the same guard idiom
 ========================  ========  ==========================================
 
 Scopes are decided from the path relative to the package root, so unit
@@ -174,8 +177,6 @@ class _SourceLinter(ast.NodeVisitor):
             if dotted:
                 self._check_random(node, dotted)
                 self._check_wall_clock(node, dotted)
-        if self.in_guarded:
-            self._check_observer_call(node)
         self.generic_visit(node)
 
     def _check_random(self, node: ast.Call, dotted: str) -> None:
@@ -253,10 +254,14 @@ class _SourceLinter(ast.NodeVisitor):
         proven: Set[str] = set()
         if isinstance(test, ast.BoolOp):
             # `a is not None and ...`: every conjunct holds on the true
-            # branch; no conclusions for `or` / the false branch.
+            # branch.  Dually, `a is None or ...` falsy means every
+            # disjunct is falsy (used by `if x is None or ...: raise`).
             if isinstance(test.op, ast.And) and when_true:
                 for clause in test.values:
                     proven |= self._guard_exprs(clause, True)
+            elif isinstance(test.op, ast.Or) and not when_true:
+                for clause in test.values:
+                    proven |= self._guard_exprs(clause, False)
             return proven
         if isinstance(test, ast.Compare) and len(test.ops) == 1:
             left = _dotted(test.left)
@@ -374,13 +379,39 @@ class _SourceLinter(ast.NodeVisitor):
         last = dotted.split(".")[-1]
         return last in _GUARDED_ATTRS
 
-    def _check_observer_call(self, node: ast.Call) -> None:
-        """Calls shaped ``<expr>.method(...)`` where ``<expr>`` is an
-        observer-like attribute must sit under an ``is not None`` guard
-        for that same expression (or an alias of it)."""
-        if not isinstance(node.func, ast.Attribute):
-            return
-        target = _dotted(node.func.value)
+    def visit_BoolOp(self, node: ast.BoolOp) -> None:
+        """Progressive narrowing inside one boolean expression.
+
+        In ``x is not None and x.y`` the second conjunct only evaluates
+        when the first held; dually, in ``x is None or x.y`` the second
+        disjunct only evaluates when ``x`` is non-None.  Each operand is
+        visited under the guards established by the operands before it.
+        """
+        proven: Set[str] = set()
+        for clause in node.values:
+            self._guards.append(set(proven))
+            self.visit(clause)
+            self._guards.pop()
+            if isinstance(node.op, ast.And):
+                proven |= self._guard_exprs(clause, True)
+            else:  # Or: later disjuncts run only when this one is falsy
+                proven |= self._guard_exprs(clause, False)
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if self.in_guarded:
+            self._check_guarded_access(node)
+        self.generic_visit(node)
+
+    def _check_guarded_access(self, node: ast.Attribute) -> None:
+        """Any access shaped ``<expr>.attr`` where ``<expr>`` is an
+        observer-like attribute (or an alias of one) must sit under an
+        ``is not None`` guard for that same expression.
+
+        Covers calls (``fs.counters[...] += 1`` and ``obs.hook(...)``
+        alike): every branch of fault-aware/instrumented code stays
+        behind the None fast-path check.
+        """
+        target = _dotted(node.value)
         if target is None:
             return
         aliases = self._alias_stack[-1] if self._alias_stack else {}
@@ -396,7 +427,7 @@ class _SourceLinter(ast.NodeVisitor):
                 return
         self._emit(
             "SRC-OBSERVER-GUARD", node,
-            f"call through {target!r} without an `is not None` guard; the "
+            f"access through {target!r} without an `is not None` guard; the "
             "None fast path is the simulation performance contract",
         )
 

@@ -433,6 +433,115 @@ def cmd_faults(args) -> int:
     return 0
 
 
+def cmd_resilience(args) -> int:
+    """Degradation curves vs permanent link faults, with and without
+    fault-tolerant routing (docs/ROBUSTNESS.md)."""
+    from .eval.checkpoint import SweepCheckpoint, sweep_signature
+    from .eval.resilience import (
+        RESILIENCE_MODES,
+        campaign_configs,
+        format_resilience,
+        full_delivery_violations,
+        run_resilience_campaign,
+        write_resilience_artifact,
+    )
+    from .eval.runner import config_key
+
+    try:
+        counts = [int(c) for c in args.counts.split(",")]
+    except ValueError:
+        print(f"error: --counts must be a comma list of integers, "
+              f"got {args.counts!r}", file=sys.stderr)
+        return 2
+    modes = [m.strip() for m in args.modes.split(",") if m.strip()]
+    bad = [m for m in modes if m not in RESILIENCE_MODES]
+    if bad or not modes:
+        print(f"error: --modes must be a comma list of "
+              f"{'/'.join(RESILIENCE_MODES)}, got {args.modes!r}",
+              file=sys.stderr)
+        return 2
+
+    campaign = dict(
+        fault_counts=counts,
+        modes=modes,
+        injection_rate=args.rate,
+        total_vcs=args.total_vcs,
+        sw_alloc_arch=args.sw_alloc,
+        vc_alloc_arch=args.vc_alloc,
+        speculation=args.speculation,
+        cycles=args.cycles,
+        seed=args.seed,
+    )
+    try:
+        configs = [cfg for _, _, cfg in campaign_configs(**campaign)]
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cache = None
+    if not args.no_cache:
+        cache = ResultCache(args.cache_path or default_cache_path())
+
+    checkpoint = None
+    if args.resume or args.checkpoint is not None:
+        salt = cache.salt if cache is not None else None
+        keys = [config_key(cfg, salt) for cfg in configs]
+        if args.checkpoint is not None:
+            ckpt_path = Path(args.checkpoint)
+        elif cache is not None:
+            ckpt_path = cache.path.with_name(
+                f"{cache.path.stem}.resilience.ckpt.jsonl"
+            )
+        else:
+            ckpt_path = Path(".repro-resilience.ckpt.jsonl")
+        checkpoint = SweepCheckpoint(ckpt_path, sweep_signature(keys))
+        if checkpoint.recovered:
+            print(f"resume: recovered {len(checkpoint.recovered)} completed "
+                  f"point(s) from {ckpt_path}", file=sys.stderr)
+
+    capture = _StatsCapture()
+    reporters = [capture]
+    if args.progress:
+        reporters.append(ConsoleReporter())
+    reporter = MultiReporter(*reporters)
+
+    artifact = run_resilience_campaign(
+        **campaign,
+        jobs=args.jobs,
+        cache=cache,
+        reporter=reporter,
+        timeout=args.timeout,
+        retries=args.retries,
+        backoff=args.backoff,
+        checkpoint=checkpoint,
+    )
+    if args.output is not None:
+        write_resilience_artifact(artifact, Path(args.output))
+        print(f"wrote {args.output}", file=sys.stderr)
+
+    print(format_resilience(artifact))
+    stats = capture.stats
+    if stats is not None and stats.failures:
+        print(f"failed: {stats.failed} point(s) after retries")
+        if checkpoint is not None:
+            print(f"checkpoint kept for --resume: {checkpoint.path}")
+    if cache is not None:
+        print(f"cache: {cache.hits} hit(s), {cache.misses} miss(es) "
+              f"({cache.path})")
+
+    if args.require_full_delivery is not None:
+        problems = full_delivery_violations(
+            artifact, args.require_full_delivery
+        )
+        if problems:
+            for problem in problems:
+                print(f"FAIL: {problem}", file=sys.stderr)
+            return 1
+        print(f"full delivery holds for ft_dor up to "
+              f"{args.require_full_delivery} link fault(s)")
+    return 0
+
+
 def cmd_bench(args) -> int:
     """Kernel throughput benchmark (reference / fast / compiled)."""
     from .eval.bench_history import (
@@ -506,6 +615,8 @@ def cmd_perf_report(args) -> int:
             bench_path=Path(args.bench) if args.bench else None,
             history_path=Path(args.history) if args.history else None,
             metrics_dir=Path(args.metrics) if args.metrics else None,
+            resilience_path=(Path(args.resilience)
+                             if args.resilience else None),
         )
     except FileNotFoundError as exc:
         print(f"error: {exc}", file=sys.stderr)
@@ -763,6 +874,75 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_faults)
 
     p = sub.add_parser(
+        "resilience",
+        help="degradation curves vs permanent link faults, with and "
+             "without fault-tolerant routing (docs/ROBUSTNESS.md)")
+    p.add_argument("--counts", default="0,1,2,4,8",
+                   help="comma list of faulted-link counts "
+                        "(default: 0,1,2,4,8)")
+    p.add_argument("--modes", default="default,ft_dor",
+                   help="comma list of routing modes to compare "
+                        "(default: default,ft_dor)")
+    p.add_argument("--rate", type=float, default=0.05,
+                   help="injection rate in flits/cycle/terminal "
+                        "(default: 0.05 -- well below saturation, so "
+                        "lost delivery is attributable to the faults)")
+    p.add_argument("--total-vcs", type=int, default=8, choices=[4, 8, 16],
+                   help="total VCs per port, held fixed across modes "
+                        "(ft_dor spends half on the escape layer; "
+                        "default: 8)")
+    p.add_argument("--sw-alloc", choices=["sep_if", "sep_of", "wf"],
+                   default="sep_if")
+    p.add_argument("--vc-alloc", choices=["sep_if", "sep_of", "wf"],
+                   default="sep_if")
+    p.add_argument("--speculation",
+                   choices=["nonspec", "pessimistic", "conventional"],
+                   default="pessimistic")
+    p.add_argument("--cycles", type=int, default=1000)
+    p.add_argument("--seed", type=int, default=1,
+                   help="seeds both the traffic and the faulted-link "
+                        "selection (default: 1)")
+    p.add_argument("--jobs", type=_positive_int, default=1,
+                   help="worker processes (1 = serial; results are "
+                        "identical either way)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="always re-simulate; do not touch the sweep "
+                        "result cache")
+    p.add_argument("--cache-path", default=None,
+                   help="sweep cache file (default: $REPRO_SWEEP_CACHE "
+                        "or ~/.cache/repro-noc-sweeps.json)")
+    p.add_argument("--progress", action="store_true",
+                   help="report per-point progress on stderr")
+    p.add_argument("--timeout", type=_positive_float, default=None,
+                   metavar="SECONDS",
+                   help="per-point wall-clock limit (implies worker "
+                        "processes)")
+    p.add_argument("--retries", type=_nonnegative_int, default=0,
+                   metavar="K",
+                   help="re-run a crashed/timed-out point up to K times "
+                        "before recording a failure (default: 0)")
+    p.add_argument("--backoff", type=_nonnegative_float, default=1.0,
+                   metavar="SECONDS",
+                   help="base retry delay, doubled per attempt "
+                        "(default: 1.0)")
+    p.add_argument("--resume", action="store_true",
+                   help="journal completed points to a checkpoint and "
+                        "recover them after an interrupted run")
+    p.add_argument("--checkpoint", default=None, metavar="FILE",
+                   help="checkpoint journal path (implies --resume)")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="write the repro/resilience/v1 JSON artifact "
+                        "to FILE (render it with `repro perf report "
+                        "--resilience FILE`)")
+    p.add_argument("--require-full-delivery", type=_nonnegative_int,
+                   default=None, metavar="K",
+                   help="exit nonzero unless ft_dor delivers every "
+                        "offered packet (no degraded-mode trip) for "
+                        "every point with at most K faulted links "
+                        "(the CI resilience gate)")
+    p.set_defaults(fn=cmd_resilience)
+
+    p = sub.add_parser(
         "bench",
         help="kernel throughput benchmark (BENCH_kernel.json)")
     p.add_argument("--quick", action="store_true",
@@ -859,6 +1039,10 @@ def build_parser() -> argparse.ArgumentParser:
                          "file is skipped)")
     pr.add_argument("--metrics", default=None, metavar="DIR",
                     help="sweep telemetry directory to render (optional)")
+    pr.add_argument("--resilience", default=None, metavar="FILE",
+                    help="resilience artifact (`repro resilience "
+                         "--output`) to render as a degradation panel "
+                         "(optional)")
     pr.add_argument("--output", default="perf_report.html", metavar="FILE",
                     help="output HTML path (default: perf_report.html)")
     pr.set_defaults(fn=cmd_perf_report)

@@ -45,6 +45,15 @@ __all__ = [
 ]
 
 
+def _check_coords(event: Any, **coords: int) -> None:
+    """Structural validation shared by every fault-event dataclass."""
+    for name, value in coords.items():
+        if value < 0:
+            raise ValueError(
+                f"{type(event).__name__}: {name} must be >= 0, got {value}"
+            )
+
+
 @dataclass(frozen=True)
 class LinkFault:
     """Output ``port`` of ``router`` is unusable for ``[start, end)``."""
@@ -54,8 +63,19 @@ class LinkFault:
     start: int = 0
     end: Optional[int] = None  # None = permanent
 
+    def __post_init__(self) -> None:
+        _check_coords(self, router=self.router, port=self.port)
+        if self.start < 0:
+            raise ValueError(f"{self!r}: start must be >= 0")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError(f"{self!r}: window is empty (end <= start)")
+
     def active(self, cycle: int) -> bool:
         return self.start <= cycle and (self.end is None or cycle < self.end)
+
+    @property
+    def permanent(self) -> bool:
+        return self.end is None
 
 
 @dataclass(frozen=True)
@@ -66,6 +86,11 @@ class StuckVC:
     port: int
     vc: int
     start: int = 0
+
+    def __post_init__(self) -> None:
+        _check_coords(self, router=self.router, port=self.port, vc=self.vc)
+        if self.start < 0:
+            raise ValueError(f"{self!r}: start must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -86,6 +111,9 @@ class CreditFault:
     def __post_init__(self) -> None:
         if self.kind not in ("drop", "dup"):
             raise ValueError(f"unknown credit fault kind {self.kind!r}")
+        _check_coords(self, router=self.router, port=self.port, vc=self.vc)
+        if self.cycle < 0:
+            raise ValueError(f"{self!r}: cycle must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -178,6 +206,41 @@ class FaultPlan:
         return cls(**kwargs)
 
     # ------------------------------------------------------------------
+    # topology validation
+    # ------------------------------------------------------------------
+    def validate_topology(
+        self, router_ports: Sequence[int], num_vcs: int
+    ) -> None:
+        """Reject events naming coordinates outside the network.
+
+        A fault aimed at a router, port or VC that does not exist would
+        otherwise materialize into a silent no-op in
+        :class:`~repro.faults.state.FaultState` -- the sweep would
+        report healthy numbers for a plan that was never applied.
+        Raises a :class:`ValueError` naming the offending event.
+        """
+        num_routers = len(router_ports)
+        for event in (*self.link_faults, *self.stuck_vcs,
+                      *self.credit_faults):
+            if event.router >= num_routers:
+                raise ValueError(
+                    f"{event!r} names router {event.router}, but the "
+                    f"topology has {num_routers} routers"
+                )
+            ports = router_ports[event.router]
+            if event.port >= ports:
+                raise ValueError(
+                    f"{event!r} names port {event.port}, but router "
+                    f"{event.router} has {ports} ports"
+                )
+            vc = getattr(event, "vc", None)
+            if vc is not None and vc >= num_vcs:
+                raise ValueError(
+                    f"{event!r} names VC {vc}, but the network has "
+                    f"{num_vcs} VCs per port"
+                )
+
+    # ------------------------------------------------------------------
     # expansion
     # ------------------------------------------------------------------
     def materialize(
@@ -199,6 +262,8 @@ class FaultPlan:
         set regardless of where it runs.
         """
         from .state import FaultState  # local import avoids a cycle
+
+        self.validate_topology(router_ports, num_vcs)
 
         link_faults: List[LinkFault] = list(self.link_faults)
         stuck_vcs: List[StuckVC] = list(self.stuck_vcs)

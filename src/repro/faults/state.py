@@ -107,7 +107,19 @@ class FaultState:
             "credit_dups_absorbed": 0,
             "buffer_overflows": 0,
             "credit_overflows_absorbed": 0,
+            # Fault-aware routing / graceful degradation.
+            "escape_reroutes": 0,
+            "packets_unroutable": 0,
+            "watchdog_deferrals": 0,
+            "watchdog_degraded_trips": 0,
         }
+
+        self._permanent_links: FrozenSet[Tuple[int, int]] = frozenset(
+            (lf.router, lf.port) for lf in self.link_faults if lf.end is None
+        )
+        self._transient_links: Tuple[LinkFault, ...] = tuple(
+            lf for lf in self.link_faults if lf.end is not None
+        )
 
     # ------------------------------------------------------------------
     # link faults
@@ -198,6 +210,42 @@ class FaultState:
     @property
     def has_credit_faults(self) -> bool:
         return bool(self._credit_queues)
+
+    # ------------------------------------------------------------------
+    # fault-aware routing / watchdog triage
+    # ------------------------------------------------------------------
+    def permanent_link_faults(self) -> FrozenSet[Tuple[int, int]]:
+        """(router, port) pairs down forever (``end is None``) -- the
+        pre-diagnosed fault set fault-aware routing detours around."""
+        return self._permanent_links
+
+    @property
+    def has_permanent_link_faults(self) -> bool:
+        return bool(self._permanent_links)
+
+    def transient_link_fault_between(self, start: int, end: int) -> bool:
+        """Any *transient* link fault active somewhere in ``[start, end]``?
+
+        Used by the watchdog to distinguish a stall riding out a fault
+        window from a genuine livelock/deadlock.  Diagnostics-only --
+        does not advance the hot-path cursors.
+        """
+        for lf in self._transient_links:
+            if lf.start <= end and start < lf.end:  # type: ignore[operator]
+                return True
+        return False
+
+    def faulted_ports_by_router(self, cycle: int) -> Dict[int, List[int]]:
+        """``{router: sorted ports down at cycle}`` for diagnostics."""
+        out: Dict[int, List[int]] = {}
+        for lf in self.link_faults:
+            if lf.active(cycle):
+                ports = out.setdefault(lf.router, [])
+                if lf.port not in ports:
+                    ports.append(lf.port)
+        for ports in out.values():
+            ports.sort()
+        return out
 
     # ------------------------------------------------------------------
     def active_link_faults(self, cycle: int) -> List[Tuple[int, int]]:

@@ -95,6 +95,7 @@ def deadlock_snapshot(net: "Network", stall_cycles: int) -> Dict[str, Any]:
                         "state": "active"
                         if ivc.output_vc >= 0
                         else ("routing" if front.out_port < 0 else "vc_alloc"),
+                        "misroutes": pkt.misroutes,
                     }
                 )
                 if len(stalled) >= _MAX_STALLED_PACKETS:
@@ -119,6 +120,14 @@ def deadlock_snapshot(net: "Network", stall_cycles: int) -> Dict[str, Any]:
             {"router": r, "port": p}
             for r, p in fs.active_link_faults(net.time)
         ]
+        # Per-router faulted-link summary: lets a WatchdogError under
+        # injected faults be diagnosed without rerunning the point.
+        snapshot["faulted_links_by_router"] = {
+            str(router): ports
+            for router, ports in sorted(
+                fs.faulted_ports_by_router(net.time).items()
+            )
+        }
         snapshot["fault_counters"] = fs.summary()
     return snapshot
 
@@ -167,6 +176,17 @@ class Watchdog:
         if net.in_flight_flits() == 0 and net.total_backlog() == 0:
             # Idle, not deadlocked (e.g. a long drain after low load).
             self._progress_cycle = now
+            return
+        fs = getattr(net, "fault_state", None)
+        if fs is not None and fs.transient_link_fault_between(
+            self._progress_cycle, now
+        ):
+            # The stall overlaps a transient fault window: traffic may
+            # simply be riding out the outage.  Defer the verdict and
+            # restart the stall clock; a stall that persists once every
+            # transient window has closed still trips.
+            self._progress_cycle = now
+            fs.counters["watchdog_deferrals"] += 1
             return
         snapshot = deadlock_snapshot(net, stalled)
         raise WatchdogError(

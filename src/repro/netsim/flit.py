@@ -68,6 +68,13 @@ class Packet:
     intermediate: Optional[int] = None  # router id for Valiant routing
     inject_time: Optional[int] = None  # head flit entered the network
     arrival_time: Optional[int] = None  # tail flit ejected
+    # Fault-aware routing state: ``misroutes`` counts detour decisions
+    # taken for this packet (bounded by construction: at most one escape
+    # transition on the mesh, one path repair on the fbfly), and
+    # ``escape_phase`` is the up*/down* phase within the escape class
+    # (0 = may still ascend, 1 = descending only).
+    misroutes: int = 0
+    escape_phase: int = 0
 
     # Cached copy of ``ptype.message_class``: the router's per-cycle
     # request generation reads this once per waiting head flit, and a

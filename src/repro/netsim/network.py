@@ -39,6 +39,11 @@ class Network:
         self._credit_events: Dict[int, List[Tuple[str, object, int, int]]] = {}
         # Delivery hook set by the simulator to collect statistics.
         self.on_delivery: Optional[Callable[[Packet, int], None]] = None
+        # Birth hook (fault runs only): called with the birth cycle of
+        # every *offered* packet -- including packets dropped as
+        # unroutable -- so the simulator can compute the delivered
+        # fraction over the measurement window.
+        self.on_birth: Optional[Callable[[int], None]] = None
         # Optional repro.obs instrumentation (None = zero overhead).
         self.observer: Optional["SimObserver"] = None
         # Optional repro.faults injection (None = fault-free fast path).
@@ -95,13 +100,26 @@ class Network:
 
     def attach_fault_state(self, fault_state) -> None:
         """Wire a :class:`repro.faults.FaultState` into the network and
-        every router (pass ``None`` to detach)."""
+        every router (pass ``None`` to detach).
+
+        Fault-aware routing objects (:mod:`repro.netsim.routing.ft`)
+        additionally get the fault state bound so they can precompute
+        detour tables, and their ``routable`` predicate is wired into
+        every terminal so packets whose (src, dest) pair the faults have
+        partitioned are dropped and counted at injection time.
+        """
         self.fault_state = fault_state
         self._credit_faults_armed = (
             fault_state is not None and fault_state.has_credit_faults
         )
         for router in self.routers:
             router.attach_fault_state(fault_state)
+        bind = getattr(self.routing, "bind_fault_state", None)
+        if bind is not None:
+            bind(fault_state, self)
+            routable = self.routing.routable if fault_state is not None else None
+            for terminal in self.terminals:
+                terminal.routable_fn = routable
 
     # ------------------------------------------------------------------
     # event scheduling (called by routers/terminals)
@@ -131,6 +149,10 @@ class Network:
     def record_delivery(self, packet: Packet, now: int) -> None:
         if self.on_delivery is not None:
             self.on_delivery(packet, now)
+
+    def record_birth(self, birth_time: int) -> None:
+        if self.on_birth is not None:
+            self.on_birth(birth_time)
 
     # ------------------------------------------------------------------
     def step(self) -> None:

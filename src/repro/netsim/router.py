@@ -345,6 +345,7 @@ class Router:
                 # Active: bid non-speculatively if a credit exists.
                 q = ivc.output_port
                 if blocked is not None and q in blocked:
+                    assert fs is not None  # blocked ports imply fault state
                     fs.counters["link_blocked_requests"] += 1
                     continue  # link down: the flit waits in place
                 if credits[q][u] > 0:
@@ -371,6 +372,7 @@ class Router:
                     did_route = True
                     continue
                 if blocked is not None and q in blocked:
+                    assert fs is not None  # blocked ports imply fault state
                     fs.counters["link_blocked_requests"] += 1
                     continue
                 pkt = front.packet
@@ -524,6 +526,7 @@ class Router:
             if ivc.output_vc >= 0:
                 # Active: bid non-speculatively if a credit exists.
                 if blocked is not None and ivc.output_port in blocked:
+                    assert fs is not None  # blocked ports imply fault state
                     fs.counters["link_blocked_requests"] += 1
                     continue  # link down: the flit waits in place
                 if self.credits[ivc.output_port][ivc.output_vc] > 0:
@@ -547,6 +550,7 @@ class Router:
                 # at the routed output port, and bid speculatively.
                 q = front.out_port
                 if blocked is not None and q in blocked:
+                    assert fs is not None  # blocked ports imply fault state
                     fs.counters["link_blocked_requests"] += 1
                     continue  # link down: don't bid for a VC there yet
                 pkt = front.packet

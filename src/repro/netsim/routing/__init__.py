@@ -11,6 +11,7 @@ A routing object provides two hooks:
 """
 
 from .dor import DORMeshRouting
+from .ft import FTDORMeshRouting, FTUGALRouting
 from .ugal import UGALRouting
 
-__all__ = ["DORMeshRouting", "UGALRouting"]
+__all__ = ["DORMeshRouting", "FTDORMeshRouting", "FTUGALRouting", "UGALRouting"]

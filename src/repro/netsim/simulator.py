@@ -14,7 +14,7 @@ from dataclasses import asdict, dataclass, field, fields
 from typing import TYPE_CHECKING, Any, Dict, List, Optional
 
 from ..faults.plan import FaultPlan
-from ..faults.watchdog import Watchdog
+from ..faults.watchdog import Watchdog, WatchdogError
 from .flit import Packet
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -40,7 +40,13 @@ __all__ = [
 # priority state for masked (discarded) speculative grants, and the
 # wavefront priority diagonal holds on request-free cycles -- both
 # change allocation outcomes under contention.
-SIMULATOR_REV = 2
+# rev 3: fault-present runs changed -- the watchdog defers stall
+# verdicts that overlap transient link-fault windows, permanent-fault
+# watchdog trips complete in degraded mode instead of aborting, and
+# fault-aware routing drops unroutable offered packets at injection
+# (shifting the packet-id stream).  Fault-free runs are bit-identical
+# to rev 2.
+SIMULATOR_REV = 3
 
 # Average flits per transaction (request + its reply): read = 1 + 5,
 # write = 5 + 1, so 6 either way; each transaction injects at two
@@ -74,6 +80,12 @@ class SimulationConfig:
     # Lookahead routing (paper default).  False adds a routing pipeline
     # stage for head flits (ablation baseline).
     lookahead: bool = True
+    # Routing mode.  "default" is the paper's routing (DOR on mesh,
+    # UGAL on fbfly); "ft_dor" (mesh) / "ft_ugal" (fbfly) are the
+    # fault-aware modes that detour around permanent link faults (see
+    # repro.netsim.routing.ft).  Omitted from the serialized form at
+    # the default, so pre-existing cache keys are unchanged.
+    routing: str = "default"
     # Fault injection (repro.faults); None is the fault-free fast path
     # and serializes exactly as pre-fault configs did, so existing
     # caches and goldens stay valid.
@@ -102,6 +114,8 @@ class SimulationConfig:
             out["faults"] = self.faults.to_dict()
         if self.watchdog_cycles == 0:
             del out["watchdog_cycles"]
+        if self.routing == "default":
+            del out["routing"]
         return out
 
     @classmethod
@@ -142,6 +156,14 @@ class SimulationResult:
     degraded_throughput: float = 1.0  # accepted/injected flit-rate ratio
     packets_lost: int = 0  # packets stranded in the fabric after drain
     fault_counters: Dict[str, int] = field(default_factory=dict)
+    # Fraction of packets *offered* during the measurement window
+    # (including injection-side unroutable drops) that were delivered
+    # by the end of the drain.
+    delivered_fraction: float = 1.0
+    # True when a permanent-link-fault watchdog trip ended the run
+    # early: statistics cover the cycles completed, and the network is
+    # known to be wedged (e.g. partitioned without fault-aware routing).
+    degraded_mode: bool = False
 
     def __str__(self) -> str:
         state = " (saturated)" if self.saturated else ""
@@ -179,6 +201,8 @@ class SimulationResult:
             # logs keep their exact pre-fault shape.
             out["degraded_throughput"] = self.degraded_throughput
             out["packets_lost"] = self.packets_lost
+            out["delivered_fraction"] = self.delivered_fraction
+            out["degraded_mode"] = self.degraded_mode
             out["fault_counters"] = dict(self.fault_counters)
         return out
 
@@ -259,10 +283,15 @@ def build_network(cfg: SimulationConfig, kernel: str = "fast") -> Network:
         lookahead=cfg.lookahead,
     )
     if cfg.topology == "mesh":
-        net = build_mesh(8, **kwargs)
+        net = build_mesh(8, routing=cfg.routing, **kwargs)
     elif cfg.topology == "fbfly":
-        net = build_fbfly(4, 4, 4, **kwargs)
+        net = build_fbfly(4, 4, 4, routing=cfg.routing, **kwargs)
     elif cfg.topology == "torus":
+        if cfg.routing != "default":
+            raise ValueError(
+                f"routing mode {cfg.routing!r} is not supported on the "
+                "torus (fault-aware routing covers mesh and fbfly)"
+            )
         net = build_torus(8, **kwargs)
     else:
         raise ValueError(f"unknown topology {cfg.topology!r}")
@@ -337,6 +366,18 @@ def run_simulation(
 
     net.on_delivery = on_delivery
 
+    born_in_window = 0
+    if fault_state is not None:
+        # Fault runs additionally count every packet *offered* during
+        # the measurement window (including injection-side unroutable
+        # drops) so the delivered fraction has an exact denominator.
+        def on_birth(birth_time: int) -> None:
+            nonlocal born_in_window
+            if window_start <= birth_time < window_end:
+                born_in_window += 1
+
+        net.on_birth = on_birth
+
     if cfg.watchdog_cycles > 0:
         watchdog = Watchdog(net, cfg.watchdog_cycles)
 
@@ -348,15 +389,39 @@ def run_simulation(
     else:
         run_cycles = net.run  # fault-free fast path: unchanged loop
 
-    run_cycles(cfg.warmup_cycles)
+    degraded_mode = False
+
+    def run_phase(n: int) -> None:
+        """One simulation phase; a permanent-link-fault watchdog trip
+        ends the run in degraded mode instead of propagating.
+
+        A genuinely wedged fabric *without* permanent link faults is a
+        simulator bug (livelock/deadlock), so that WatchdogError still
+        raises; with permanent faults, a wedge is an expected property
+        of the degraded network (e.g. a partition under non-fault-aware
+        routing) and the run completes with the statistics gathered so
+        far and ``degraded_mode=True``.
+        """
+        nonlocal degraded_mode
+        if degraded_mode:
+            return
+        try:
+            run_cycles(n)
+        except WatchdogError:
+            if fault_state is None or not fault_state.has_permanent_link_faults:
+                raise
+            fault_state.counters["watchdog_degraded_trips"] += 1
+            degraded_mode = True
+
+    run_phase(cfg.warmup_cycles)
     inj0 = net.total_injected_flits()
     ej0 = net.total_ejected_flits()
     backlog0 = net.total_backlog()
-    run_cycles(cfg.measure_cycles)
+    run_phase(cfg.measure_cycles)
     inj1 = net.total_injected_flits()
     ej1 = net.total_ejected_flits()
     backlog1 = net.total_backlog()
-    run_cycles(cfg.drain_cycles)
+    run_phase(cfg.drain_cycles)
     if observer is not None:
         observer.run_finished(net, cfg)
     if profiler is not None:
@@ -404,10 +469,17 @@ def run_simulation(
             accepted_rate / injected_rate if injected_rate > 0 else 1.0
         )
         packets_lost = net.stranded_packets()
+        fault_state.counters["packets_unroutable"] = sum(
+            t.unroutable_packets for t in net.terminals
+        )
+        delivered_fraction = (
+            len(measured) / born_in_window if born_in_window else 1.0
+        )
         fault_counters = fault_state.summary()
     else:
         degraded_throughput = 1.0
         packets_lost = 0
+        delivered_fraction = 1.0
         fault_counters = {}
 
     result = SimulationResult(
@@ -426,6 +498,8 @@ def run_simulation(
         degraded_throughput=degraded_throughput,
         packets_lost=packets_lost,
         fault_counters=fault_counters,
+        delivered_fraction=delivered_fraction,
+        degraded_mode=degraded_mode,
     )
     if profiler is not None:
         profiler.direct("stats", _pt)

@@ -16,6 +16,7 @@ import numpy as np
 from ...core.vc_partition import VCPartition
 from ..network import Network
 from ..router import Router
+from ..routing.ft import FTUGALRouting
 from ..routing.ugal import UGALRouting
 from ..traffic import Terminal, uniform_random_dest
 
@@ -41,15 +42,31 @@ def build_fbfly(
     dest_fn: Optional[Callable] = None,
     lookahead: bool = True,
     ugal_threshold: int = 0,
+    routing: str = "default",
 ) -> Network:
-    """Construct the flattened-butterfly network with the paper's router."""
+    """Construct the flattened-butterfly network with the paper's router.
+
+    ``routing`` selects the routing mode: ``"default"`` is stock
+    UGAL-L; ``"ft_ugal"`` repairs the source-side path decision around
+    permanent link faults while keeping UGAL's two-phase VC discipline
+    (see :mod:`repro.netsim.routing.ft`).  Both use the same VC
+    partition, so V is unchanged.
+    """
     partition = VCPartition.fbfly(vcs_per_class)
-    routing = UGALRouting(rows, cols, concentration, ugal_threshold)
-    net = Network(routing)
+    if routing == "ft_ugal":
+        routing_obj = FTUGALRouting(rows, cols, concentration, ugal_threshold)
+    elif routing == "default":
+        routing_obj = UGALRouting(rows, cols, concentration, ugal_threshold)
+    else:
+        raise ValueError(
+            f"unknown fbfly routing mode {routing!r}; "
+            "expected 'default' or 'ft_ugal'"
+        )
+    net = Network(routing_obj)
     num_ports = concentration + (cols - 1) + (rows - 1)
 
     def route_fn(network, router, packet):
-        return routing.route(network, router, packet)
+        return routing_obj.route(network, router, packet)
 
     for rid in range(rows * cols):
         net.routers.append(
@@ -74,8 +91,8 @@ def build_fbfly(
             for c2 in range(c1 + 1, cols):
                 a = net.routers[r * cols + c1]
                 b = net.routers[r * cols + c2]
-                pa = routing.row_port(a.id, c2)
-                pb = routing.row_port(b.id, c1)
+                pa = routing_obj.row_port(a.id, c2)
+                pb = routing_obj.row_port(b.id, c1)
                 lat = abs(c1 - c2)
                 a.connect_output(pa, "router", b, pb, lat)
                 b.connect_upstream(pb, "router", a, pa, lat)
@@ -88,8 +105,8 @@ def build_fbfly(
             for r2 in range(r1 + 1, rows):
                 a = net.routers[r1 * cols + c]
                 b = net.routers[r2 * cols + c]
-                pa = routing.col_port(a.id, r2)
-                pb = routing.col_port(b.id, r1)
+                pa = routing_obj.col_port(a.id, r2)
+                pb = routing_obj.col_port(b.id, r1)
                 lat = abs(r1 - r2)
                 a.connect_output(pa, "router", b, pb, lat)
                 b.connect_upstream(pb, "router", a, pa, lat)

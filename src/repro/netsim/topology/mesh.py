@@ -22,6 +22,7 @@ from ..routing.dor import (
     PORT_TERMINAL,
     PORT_WEST,
 )
+from ..routing.ft import FTDORMeshRouting
 from ..traffic import Terminal, uniform_random_dest
 
 __all__ = ["build_mesh"]
@@ -43,19 +44,34 @@ def build_mesh(
     read_fraction: float = 0.5,
     dest_fn: Optional[Callable] = None,
     lookahead: bool = True,
+    routing: str = "default",
 ) -> Network:
     """Construct a ``k x k`` mesh network with the paper's router.
 
     ``packet_rate`` is the per-terminal *request-packet* arrival rate
     (packets/cycle); with the request-reply transaction mix this yields
     an offered load of roughly ``6 * packet_rate`` flits/cycle/terminal.
+
+    ``routing`` selects the routing mode: ``"default"`` is plain
+    X-first DOR (V = 2 * C); ``"ft_dor"`` is fault-aware DOR with a
+    reserved up*/down* escape class (V = 4 * C) that detours around
+    permanent link faults (see :mod:`repro.netsim.routing.ft`).
     """
-    partition = VCPartition.mesh(vcs_per_class)
-    routing = DORMeshRouting(k)
-    net = Network(routing)
+    if routing == "ft_dor":
+        routing_obj = FTDORMeshRouting(k)
+        partition = routing_obj.partition(vcs_per_class)
+    elif routing == "default":
+        routing_obj = DORMeshRouting(k)
+        partition = VCPartition.mesh(vcs_per_class)
+    else:
+        raise ValueError(
+            f"unknown mesh routing mode {routing!r}; "
+            "expected 'default' or 'ft_dor'"
+        )
+    net = Network(routing_obj)
 
     def route_fn(network, router, packet):
-        return routing.route(network, router, packet)
+        return routing_obj.route(network, router, packet)
 
     for rid in range(k * k):
         net.routers.append(

@@ -86,9 +86,17 @@ class Terminal:
         self.injected_flits = 0
         self.ejected_flits = 0
         self.generated_packets = 0
+        self.unroutable_packets = 0
 
         # Optional repro.obs instrumentation (None = zero overhead).
         self.observer: Optional["SimObserver"] = None
+        # Optional fault-aware routing predicate wired in by
+        # ``Network.attach_fault_state``: ``routable_fn(src, dest)`` is
+        # False when permanent faults have partitioned the pair, in
+        # which case the offered packet is dropped (and counted) at
+        # injection instead of stranding in the fabric.  None is the
+        # fault-free fast path.
+        self.routable_fn: Optional[Callable[[int, int], bool]] = None
 
     # ------------------------------------------------------------------
     def receive_credit(self, vc: int) -> None:
@@ -113,13 +121,21 @@ class Terminal:
             if self.observer is not None:
                 self.observer.packet_ejected(self.id, pkt, now)
             if pkt.ptype.is_request:
-                reply = Packet(
-                    src=self.id,
-                    dest=pkt.src,
-                    ptype=pkt.ptype.reply_type,
-                    birth_time=now + 1,
-                )
-                self.reply_queue.append(reply)
+                network.record_birth(now + 1)
+                if self.routable_fn is not None and not self.routable_fn(
+                    self.id, pkt.src
+                ):
+                    # The reverse direction is partitioned: the reply
+                    # can never be delivered, so drop it at the source.
+                    self.unroutable_packets += 1
+                else:
+                    reply = Packet(
+                        src=self.id,
+                        dest=pkt.src,
+                        ptype=pkt.ptype.reply_type,
+                        birth_time=now + 1,
+                    )
+                    self.reply_queue.append(reply)
 
     # ------------------------------------------------------------------
     def step(self, network: "Network", now: int) -> None:
@@ -131,10 +147,20 @@ class Terminal:
                 else PacketType.WRITE_REQUEST
             )
             dest = self.dest_fn(self.rng, self.id, self.num_terminals)
-            self.request_queue.append(
-                Packet(src=self.id, dest=dest, ptype=ptype, birth_time=now)
-            )
-            self.generated_packets += 1
+            network.record_birth(now)
+            if self.routable_fn is not None and not self.routable_fn(
+                self.id, dest
+            ):
+                # Partitioned pair: drop the offered packet at injection.
+                # The check runs *after* every RNG draw so the draw
+                # stream (and therefore all later traffic) matches what
+                # a non-dropping run would generate.
+                self.unroutable_packets += 1
+            else:
+                self.request_queue.append(
+                    Packet(src=self.id, dest=dest, ptype=ptype, birth_time=now)
+                )
+                self.generated_packets += 1
 
         # 2. Start a new packet if idle (replies take priority).  The
         # queue check is hoisted: _next_packet on two empty queues is a

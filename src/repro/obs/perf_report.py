@@ -8,7 +8,10 @@ Aggregates the repo's performance artifacts into one static page:
 * the bench-history ledger (``benchmarks/results/BENCH_history.jsonl``)
   -- speedup trajectory across recorded runs, fingerprinted by git SHA;
 * a sweep telemetry directory (``repro sweep --metrics DIR``) -- point
-  table with latency percentiles, cache hit rate and fault counters.
+  table with latency percentiles, cache hit rate and fault counters;
+* a resilience artifact (``repro resilience --output FILE``) --
+  degradation curves (delivered fraction vs faulted links) per routing
+  mode, rendered as per-point bars (docs/ROBUSTNESS.md).
 
 The output embeds all styling inline and draws charts with plain
 HTML/CSS bars and inline SVG -- no JavaScript, no external assets -- so
@@ -296,11 +299,77 @@ def _metrics_section(metrics_dir: Path) -> str:
     return "".join(parts)
 
 
+def _delivery_bar(fraction: float) -> str:
+    """One delivered-fraction bar: green for the delivered share, red
+    for the lost share -- 1.0 renders as a solid green bar."""
+    delivered = max(0.0, min(1.0, fraction))
+    cells = (
+        f'<span style="width:{delivered * 100:.2f}%;background:#5cb85c" '
+        f'title="delivered {delivered:.1%}"></span>'
+    )
+    if delivered < 1.0:
+        cells += (
+            f'<span style="width:{(1 - delivered) * 100:.2f}%;'
+            f'background:#d9534f" title="lost {1 - delivered:.1%}"></span>'
+        )
+    return f'<div class="bar" style="width:12em">{cells}</div>'
+
+
+def _resilience_section(artifact: Dict[str, Any], source: Path) -> str:
+    counts = artifact.get("fault_counts", [])
+    curves = artifact.get("curves", {})
+    blocks: List[str] = []
+    for mode in curves:
+        by_count = {p.get("link_faults"): p for p in curves[mode]}
+        rows = []
+        for count in counts:
+            p = by_count.get(count)
+            if p is None or p.get("failed"):
+                rows.append(
+                    f"<tr><td>{_esc(count)}</td>"
+                    '<td colspan="5" class="note">point failed</td></tr>'
+                )
+                continue
+            frac = p.get("delivered_fraction", 0.0)
+            flags = []
+            if p.get("degraded_mode"):
+                flags.append("degraded")
+            if p.get("packets_unroutable"):
+                flags.append(f"{p['packets_unroutable']} unroutable")
+            if p.get("escape_reroutes"):
+                flags.append(f"{p['escape_reroutes']} reroutes")
+            rows.append(
+                f"<tr><td>{_esc(count)}</td>"
+                f"<td>{frac:.4f} {_delivery_bar(frac)}</td>"
+                f"<td>{p.get('accepted_flit_rate', 0.0):.4f}</td>"
+                f"<td>{_esc(p.get('p99', '-'))}</td>"
+                f"<td>{_esc(p.get('packets_lost', '-'))}</td>"
+                f"<td>{_esc(', '.join(flags) or '-')}</td></tr>"
+            )
+        blocks.append(
+            f"<h3>{_esc(mode)} routing</h3>"
+            "<table><tr><th>faulted links</th><th>delivered fraction</th>"
+            "<th>accepted flits/cyc</th><th>p99</th><th>lost</th>"
+            "<th>notes</th></tr>" + "".join(rows) + "</table>"
+        )
+    return (
+        "<h2>Resilience (degradation vs permanent link faults)</h2>"
+        f'<p class="fingerprint">source: {_esc(source)} '
+        f"(mesh V={_esc(artifact.get('total_vcs'))}, "
+        f"{_esc(artifact.get('sw_alloc_arch'))}/"
+        f"{_esc(artifact.get('speculation'))}, "
+        f"rate {_esc(artifact.get('injection_rate'))}, "
+        f"seed {_esc(artifact.get('seed'))})</p>"
+        + "".join(blocks)
+    )
+
+
 # ----------------------------------------------------------------------
 def build_perf_report(
     bench_path: Optional[Path] = None,
     history_path: Optional[Path] = None,
     metrics_dir: Optional[Path] = None,
+    resilience_path: Optional[Path] = None,
 ) -> str:
     """Render the dashboard from whichever artifacts exist.
 
@@ -340,6 +409,20 @@ def build_perf_report(
         sections.append(_metrics_section(metrics_dir))
     elif metrics_dir is not None:
         missing.append(str(metrics_dir))
+
+    if resilience_path is not None and resilience_path.exists():
+        try:
+            artifact = json.loads(resilience_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            sections.append(
+                f'<h2>Resilience</h2><p class="note">unreadable '
+                f"resilience artifact {_esc(resilience_path)}: "
+                f"{_esc(exc)}</p>"
+            )
+        else:
+            sections.append(_resilience_section(artifact, resilience_path))
+    elif resilience_path is not None:
+        missing.append(str(resilience_path))
 
     if not sections:
         raise FileNotFoundError(

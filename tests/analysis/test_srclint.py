@@ -208,6 +208,89 @@ class TestObserverGuard:
         assert rules(code) == set()
 
 
+class TestGuardedAttributeAccess:
+    """The rule covers *any* attribute access, not just calls: the
+    fault-aware routing branches (counter bumps, table reads) must sit
+    behind the same ``fault_state is None`` fast-path idiom."""
+
+    def test_unguarded_counter_bump_flagged(self):
+        code = """
+        def route(self):
+            self.fault_state.counters["escape_reroutes"] += 1
+        """
+        assert rules(code) == {"SRC-OBSERVER-GUARD"}
+
+    def test_unguarded_attribute_read_flagged(self):
+        code = """
+        def route(self):
+            return self.fault_state.has_permanent_link_faults
+        """
+        assert rules(code) == {"SRC-OBSERVER-GUARD"}
+
+    def test_bare_parameter_name_flagged(self):
+        # A parameter named `fault_state` carries the same contract.
+        code = """
+        def bind(self, fault_state):
+            self.perm = fault_state.permanent_link_faults()
+        """
+        assert rules(code) == {"SRC-OBSERVER-GUARD"}
+
+    def test_early_return_idiom_accepted(self):
+        code = """
+        def bind(self, fault_state):
+            if fault_state is None:
+                self.perm = frozenset()
+                return
+            self.perm = fault_state.permanent_link_faults()
+        """
+        assert rules(code) == set()
+
+    def test_guarded_counter_bump_via_alias_accepted(self):
+        code = """
+        def route(self):
+            fs = self.fault_state
+            if fs is None:
+                return 0
+            fs.counters["escape_reroutes"] += 1
+            return 1
+        """
+        assert rules(code) == set()
+
+    def test_boolop_progressive_narrowing_accepted(self):
+        # `x is not None and x.attr`: the second conjunct only runs
+        # when the first held (the network.py credit-arming idiom).
+        code = """
+        def arm(self, fault_state):
+            self.armed = fault_state is not None and fault_state.has_credit_faults
+        """
+        assert rules(code) == set()
+
+    def test_boolop_without_narrowing_flagged(self):
+        code = """
+        def arm(self, fault_state):
+            self.armed = bool(fault_state.has_credit_faults)
+        """
+        assert rules(code) == {"SRC-OBSERVER-GUARD"}
+
+    def test_or_raise_narrowing_accepted(self):
+        # `if x is None or not x.y: raise` proves x non-None below.
+        code = """
+        def check(self, fault_state):
+            if fault_state is None or not fault_state.has_permanent_link_faults:
+                raise ValueError("no permanent faults")
+            fault_state.counters["watchdog_degraded_trips"] += 1
+        """
+        assert rules(code) == set()
+
+    def test_assignment_to_the_attribute_is_exempt(self):
+        # Storing/clearing the attribute is how the guard is set up.
+        code = """
+        def attach(self, fault_state):
+            self.fault_state = fault_state
+        """
+        assert rules(code) == set()
+
+
 class TestPragmasAndSyntax:
     def test_inline_ignore_suppresses_one_line(self):
         code = (

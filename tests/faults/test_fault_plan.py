@@ -111,3 +111,46 @@ class TestParseSpec:
     def test_bad_item_rejected(self):
         with pytest.raises(ValueError):
             parse_fault_spec("no-equals-sign")
+
+
+class TestTopologyValidation:
+    """Satellite guarantee: a fault aimed outside the topology fails
+    loudly at config time instead of materializing into a no-op."""
+
+    def test_in_bounds_plan_accepted(self):
+        plan = FaultPlan(
+            link_faults=(LinkFault(15, 4, 0, None),),
+            stuck_vcs=(StuckVC(0, 0, 1, 0),),
+            credit_faults=(CreditFault(7, 2, 0, 10),),
+        )
+        plan.validate_topology([5] * 16, 2)  # must not raise
+
+    def test_router_out_of_range(self):
+        plan = FaultPlan(link_faults=(LinkFault(16, 0, 0, None),))
+        with pytest.raises(ValueError, match="router 16.*16 routers"):
+            plan.validate_topology([5] * 16, 2)
+
+    def test_port_out_of_range(self):
+        plan = FaultPlan(stuck_vcs=(StuckVC(3, 5, 0, 0),))
+        with pytest.raises(ValueError, match="port 5.*5 ports"):
+            plan.validate_topology([5] * 16, 2)
+
+    def test_vc_out_of_range(self):
+        plan = FaultPlan(credit_faults=(CreditFault(3, 2, 2, 0),))
+        with pytest.raises(ValueError, match="VC 2.*2 VCs"):
+            plan.validate_topology([5] * 16, 2)
+
+    def test_materialize_validates_first(self):
+        plan = FaultPlan(link_faults=(LinkFault(99, 0, 0, None),))
+        with pytest.raises(ValueError, match="router 99"):
+            plan.materialize(**DIMS)
+
+    def test_simulation_rejects_bad_plan_at_build_time(self):
+        from repro.netsim.simulator import SimulationConfig, run_simulation
+
+        cfg = SimulationConfig(
+            measure_cycles=50,
+            faults=FaultPlan(link_faults=(LinkFault(64, 0, 0, None),)),
+        )
+        with pytest.raises(ValueError, match="router 64"):
+            run_simulation(cfg)

@@ -1,9 +1,15 @@
 """Watchdog behaviour: fires on a wedged fabric, never on a healthy one.
 
-A total blackout plan (every link of every router permanently down)
-guarantees zero forward progress, so the watchdog must abort with a
-:class:`WatchdogError` whose snapshot survives pickling -- that error
-crosses the process-pool pipe as a structured point failure.
+A total stuck-VC blackout plan (every VC of every output port stuck
+from cycle 0) guarantees zero forward progress, so the watchdog must
+abort with a :class:`WatchdogError` whose snapshot survives pickling --
+that error crosses the process-pool pipe as a structured point failure.
+
+Permanent *link* faults are handled differently since the fault-aware
+routing work: a watchdog trip under permanent link faults is an
+expected property of the degraded network (e.g. a partition without
+fault-aware routing), so the run completes in degraded mode instead of
+raising -- see :class:`TestDegradedCompletion`.
 """
 
 from dataclasses import replace
@@ -13,7 +19,7 @@ import pickle
 import pytest
 
 from repro.eval.runner import run_sweep
-from repro.faults import FaultPlan, LinkFault, WatchdogError
+from repro.faults import FaultPlan, LinkFault, StuckVC, WatchdogError
 from repro.netsim.simulator import SimulationConfig, run_simulation
 
 CFG = SimulationConfig(
@@ -23,11 +29,25 @@ CFG = SimulationConfig(
     drain_cycles=180,
 )
 
-# Generous bounds: faults on routers/ports that don't exist are simply
-# never queried.
+# Every VC of every output port of the 8x8 mesh (5 ports, V = 2) stuck
+# from cycle 0: nothing can ever win VC allocation, so the fabric makes
+# zero forward progress.  No link faults, so the watchdog's verdict is
+# a hard abort, not graceful degradation.
 BLACKOUT = FaultPlan(
+    stuck_vcs=tuple(
+        StuckVC(r, p, v, 0)
+        for r in range(64)
+        for p in range(5)
+        for v in range(2)
+    )
+)
+
+# Every link of every mesh router permanently down -- including the
+# ejection ports, so traffic can neither move nor leave.  Permanent
+# link faults route the watchdog trip into degraded completion.
+LINK_BLACKOUT = FaultPlan(
     link_faults=tuple(
-        LinkFault(r, p, 0, None) for r in range(64) for p in range(10)
+        LinkFault(r, p, 0, None) for r in range(64) for p in range(5)
     )
 )
 
@@ -40,8 +60,8 @@ class TestFires:
         snapshot = exc_info.value.snapshot
         assert snapshot["source_backlog"] > 0 or snapshot["in_flight_flits"] > 0
         assert snapshot["stall_cycles"] >= 50
-        assert snapshot["fault_counters"]["link_fault_events"] == len(
-            BLACKOUT.link_faults
+        assert snapshot["fault_counters"]["stuck_vc_events"] == len(
+            BLACKOUT.stuck_vcs
         )
 
     def test_error_pickles_with_snapshot(self):
@@ -71,6 +91,66 @@ class TestFires:
         assert failure.error == "WatchdogError"
         assert isinstance(failure.detail, dict)
         assert failure.detail["stall_cycles"] >= 50
+
+    def test_snapshot_summarizes_faulted_links(self):
+        # The picklable snapshot names each router's downed ports so a
+        # WatchdogError under injected faults is diagnosable without
+        # rerunning the point.
+        from repro.faults.watchdog import deadlock_snapshot
+        from repro.netsim.simulator import build_network
+
+        plan = FaultPlan(
+            link_faults=(LinkFault(9, 1, 0, None), LinkFault(9, 3, 0, None)),
+        )
+        cfg = replace(CFG, faults=plan)
+        net = build_network(cfg)
+        fault_state = plan.materialize(
+            [r.num_ports for r in net.routers], net.routers[0].num_vcs, 420
+        )
+        net.attach_fault_state(fault_state)
+        net.run(120)
+        snapshot = deadlock_snapshot(net, 50)
+        assert snapshot["faulted_links_by_router"] == {"9": [1, 3]}
+        assert pickle.loads(pickle.dumps(snapshot)) == snapshot
+        # Stalled-packet samples carry the bounded-misroute counter.
+        assert snapshot["stalled_packets"]
+        for entry in snapshot["stalled_packets"]:
+            assert entry["misroutes"] == 0
+
+
+class TestDegradedCompletion:
+    def test_link_blackout_completes_degraded(self):
+        cfg = replace(CFG, faults=LINK_BLACKOUT, watchdog_cycles=50)
+        result = run_simulation(cfg)  # must not raise
+        assert result.degraded_mode
+        assert result.fault_counters["watchdog_degraded_trips"] == 1
+        # The fabric was wedged from cycle 0: nothing was delivered.
+        assert result.measured_packets == 0
+
+    def test_degraded_flag_survives_payload_round_trip(self):
+        cfg = replace(CFG, faults=LINK_BLACKOUT, watchdog_cycles=50)
+        result = run_simulation(cfg)
+        from repro.netsim.simulator import SimulationResult
+
+        clone = SimulationResult.from_payload(result.to_payload())
+        assert clone.degraded_mode
+        assert clone.delivered_fraction == result.delivered_fraction
+
+    def test_transient_stall_defers_the_verdict(self):
+        # A transient outage of every link that ends well before the
+        # run does: the watchdog must ride out the fault window instead
+        # of declaring livelock, and the run must complete normally.
+        plan = FaultPlan(
+            link_faults=tuple(
+                LinkFault(r, p, 0, 400) for r in range(64) for p in range(1, 5)
+            )
+        )
+        cfg = replace(
+            CFG, drain_cycles=600, faults=plan, watchdog_cycles=50
+        )
+        result = run_simulation(cfg)  # must not raise
+        assert not result.degraded_mode
+        assert result.fault_counters["watchdog_deferrals"] >= 1
 
 
 class TestDoesNotFire:

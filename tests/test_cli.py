@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -213,6 +215,61 @@ class TestCommands:
         rc = main(["faults", "--archs", "quantum"])
         assert rc == 2
         assert "--archs" in capsys.readouterr().err
+
+    def test_resilience_command_smoke(self, capsys, tmp_path):
+        out_path = tmp_path / "resilience.json"
+        rc = main(
+            ["resilience", "--counts", "0,1", "--cycles", "150",
+             "--no-cache", "--require-full-delivery", "1",
+             "--output", str(out_path)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "ft_dor delivered" in out
+        assert "full delivery holds" in out
+        artifact = json.loads(out_path.read_text())
+        assert artifact["schema"] == "repro/resilience/v1"
+
+    def test_resilience_gate_fails_on_an_undeliverable_mode(
+        self, capsys, tmp_path
+    ):
+        # Plain DOR cannot tolerate a permanent fault, so gating a
+        # default-only campaign must exit nonzero ("ft_dor missing").
+        rc = main(
+            ["resilience", "--counts", "1", "--cycles", "150",
+             "--modes", "default", "--no-cache",
+             "--require-full-delivery", "1"]
+        )
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().err
+
+    def test_resilience_rejects_bad_counts(self, capsys):
+        rc = main(["resilience", "--counts", "three"])
+        assert rc == 2
+        assert "--counts" in capsys.readouterr().err
+
+    def test_resilience_rejects_bad_mode(self, capsys):
+        rc = main(["resilience", "--modes", "adaptive"])
+        assert rc == 2
+        assert "--modes" in capsys.readouterr().err
+
+    def test_perf_report_renders_resilience_panel(self, capsys, tmp_path):
+        out_path = tmp_path / "resilience.json"
+        assert main(
+            ["resilience", "--counts", "0", "--cycles", "150",
+             "--no-cache", "--output", str(out_path)]
+        ) == 0
+        capsys.readouterr()
+        html_path = tmp_path / "perf.html"
+        rc = main(
+            ["perf", "report", "--bench", str(tmp_path / "missing.json"),
+             "--history", str(tmp_path / "missing.jsonl"),
+             "--resilience", str(out_path), "--output", str(html_path)]
+        )
+        assert rc == 0
+        html = html_path.read_text()
+        assert "Resilience" in html
+        assert "ft_dor routing" in html
 
     def test_report_missing_dir(self, capsys, tmp_path):
         rc = main(["report", str(tmp_path / "nope")])
