@@ -12,12 +12,15 @@ observatory's schemas: ``--bench FILE`` validates a bench report
 (including per-phase profiles when present), ``--ledger FILE``
 validates the append-only bench-history ledger and ``--resilience
 FILE`` validates a ``repro resilience`` degradation-curve artifact.
+``--serve STATE_DIR`` validates a sweep server's state directory:
+the ``serve_event`` scheduling log (``telemetry/server.jsonl``) and
+every per-sweep ``telemetry/sweep-*.jsonl`` written by ``repro serve``.
 
 Usage::
 
     python scripts/validate_telemetry.py [DIR] [--trace FILE]
         [--bench BENCH_kernel.json] [--ledger BENCH_history.jsonl]
-        [--resilience resilience.json]
+        [--resilience resilience.json] [--serve STATE_DIR]
 """
 
 from __future__ import annotations
@@ -52,6 +55,26 @@ HISTORY_KEYS = {
 PHASES = {
     "setup", "delivery", "event_calendar", "traffic", "routing",
     "vc_alloc", "sw_alloc", "link_traversal", "stats",
+}
+# serve_event rows (repro serve scheduling log): per-event required
+# fields beyond the common {kind, event, ts} envelope.
+SERVE_EVENT_FIELDS = {
+    "server_started": {"host", "port", "cached_entries"},
+    "server_stopped": set(),
+    "handshake_refused": {"reason"},
+    "worker_connected": {"worker"},
+    "worker_disconnected": {"worker"},
+    "client_connected": {"client"},
+    "client_disconnected": {"client"},
+    "sweep_submitted": {"client", "signature", "points", "recovered"},
+    "enqueued": {"client", "tasks"},
+    "lease": {"key", "worker"},
+    "requeue": {"key", "reason", "worker", "lease_attempts"},
+    "retry": {"key", "worker", "attempt", "delay_s"},
+    "point_done": {"key", "worker"},
+    "point_failed": {"key", "fail_kind", "error", "attempts"},
+    "sweep_done": {"signature", "completed", "failed", "cache_hits"},
+    "sweep_abandoned": {"signature", "remaining"},
 }
 
 
@@ -254,6 +277,41 @@ def check_resilience(path: Path) -> None:
           f"simulated point(s)")
 
 
+def check_serve(state_dir: Path) -> None:
+    log = state_dir / "telemetry" / "server.jsonl"
+    if not log.exists():
+        fail(f"{log}: no server event log")
+    rows = load_jsonl(log)
+    if not rows:
+        fail(f"{log}: empty")
+    events = []
+    for i, row in enumerate(rows, 1):
+        if row.get("kind") != "serve_event":
+            fail(f"{log}:{i}: kind {row.get('kind')!r} != 'serve_event'")
+        event = row.get("event")
+        if event not in SERVE_EVENT_FIELDS:
+            fail(f"{log}:{i}: unknown serve event {event!r}")
+        if not isinstance(row.get("ts"), (int, float)):
+            fail(f"{log}:{i}: missing/bad timestamp")
+        missing = SERVE_EVENT_FIELDS[event] - set(row)
+        if missing:
+            fail(f"{log}:{i}: {event} row missing keys {sorted(missing)}")
+        events.append(event)
+    if events[0] != "server_started":
+        fail(f"{log}: first event {events[0]!r} != 'server_started'")
+    done = events.count("point_done")
+    leases = events.count("lease")
+    if done > leases:
+        fail(f"{log}: {done} point_done event(s) but only {leases} lease(s)")
+    print(f"  server.jsonl: {len(rows)} event(s), {leases} lease(s), "
+          f"{done} point(s) done, {events.count('requeue')} requeue(s)")
+    sweep_logs = sorted((state_dir / "telemetry").glob("sweep-*.jsonl"))
+    if not sweep_logs:
+        fail(f"{state_dir}: no per-sweep telemetry written")
+    for sweep_log in sweep_logs:
+        check_sweep(sweep_log)
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("dir", nargs="?", default=None,
@@ -268,12 +326,15 @@ def main(argv=None) -> int:
     parser.add_argument("--resilience", default=None,
                         help="resilience artifact (repro resilience "
                              "--output) to validate")
+    parser.add_argument("--serve", default=None, metavar="STATE_DIR",
+                        help="sweep-server state dir (repro serve "
+                             "--state-dir) to validate")
     args = parser.parse_args(argv)
 
     if (args.dir is None and args.bench is None and args.ledger is None
-            and args.resilience is None):
+            and args.resilience is None and args.serve is None):
         fail("nothing to validate: give a telemetry DIR, --bench, "
-             "--ledger or --resilience")
+             "--ledger, --resilience or --serve")
     if args.dir is not None:
         directory = Path(args.dir)
         if not directory.is_dir():
@@ -303,6 +364,12 @@ def main(argv=None) -> int:
             fail(f"{resilience} does not exist")
         print(f"validating resilience artifact {resilience}")
         check_resilience(resilience)
+    if args.serve is not None:
+        state_dir = Path(args.serve)
+        if not state_dir.is_dir():
+            fail(f"{state_dir} is not a directory")
+        print(f"validating sweep-server state in {state_dir}")
+        check_serve(state_dir)
     print("validate_telemetry: OK")
     return 0
 

@@ -11,7 +11,13 @@ Exposes the experiment harness without writing any Python:
   opt-in observability: ``--metrics DIR`` collects per-router metrics
   and sweep telemetry, ``--trace FILE`` records a Perfetto-loadable
   flit trace; hardened execution via ``--faults/--watchdog/--timeout/
-  --retries/--resume``;
+  --retries/--resume``; ``--connect HOST:PORT`` computes the points on
+  a ``repro serve`` job-queue server instead of locally;
+* ``serve``       -- distributed sweep scheduler: shards submitted
+  points across connected workers behind a shared, sharded result
+  cache (docs/DISTRIBUTED.md);
+* ``work``        -- one remote worker: lease points from a server,
+  compute, report;
 * ``faults``      -- saturation throughput vs injected fault rate per
   allocator architecture (robustness extension, beyond the paper);
 * ``report``      -- summarize a ``--metrics`` telemetry directory
@@ -93,6 +99,23 @@ def _nonnegative_float(value: str) -> float:
     return x
 
 
+def _parse_hotspots(text: Optional[str]) -> Optional[List[int]]:
+    """``--hotspots "3,17"`` -> ``[3, 17]`` (None passes through)."""
+    if text is None:
+        return None
+    try:
+        hotspots = [int(t) for t in text.split(",") if t.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"--hotspots must be a comma list of terminal indices, "
+            f"got {text!r}"
+        ) from None
+    if not hotspots:
+        raise argparse.ArgumentTypeError("--hotspots must name at least "
+                                         "one terminal")
+    return hotspots
+
+
 def _point(args) -> DesignPoint:
     ports = 5 if args.topology == "mesh" else 10
     return DesignPoint(args.topology, ports, args.vcs_per_class)
@@ -159,6 +182,7 @@ def cmd_simulate(args) -> int:
         vc_alloc_arch=args.vc_alloc,
         speculation=args.speculation,
         traffic_pattern=args.pattern,
+        hotspot_terminals=args.hotspots,
         warmup_cycles=args.cycles // 3,
         measure_cycles=args.cycles,
         drain_cycles=args.cycles,
@@ -213,6 +237,7 @@ def cmd_sweep(args) -> int:
         vc_alloc_arch=args.vc_alloc,
         speculation=args.speculation,
         traffic_pattern=args.pattern,
+        hotspot_terminals=args.hotspots,
         warmup_cycles=args.cycles // 3,
         measure_cycles=args.cycles,
         drain_cycles=args.cycles,
@@ -259,6 +284,24 @@ def cmd_sweep(args) -> int:
         )
         sim_fn = lambda cfg: run_simulation(cfg, observer=observer)  # noqa: E731
 
+    scheduler = None
+    if args.connect:
+        if instrumented:
+            print("error: --connect cannot carry --metrics/--trace "
+                  "(observers cannot cross machines)", file=sys.stderr)
+            return 2
+        from .serve.client import RemoteScheduler
+
+        scheduler = RemoteScheduler(args.connect)
+        if not args.no_cache:
+            # The server owns the shared result cache; a local disk
+            # cache would just shadow it.  Note on stderr only, so
+            # stdout tables stay byte-identical to a local run.
+            print(f"note: --connect {args.connect} uses the server's "
+                  "shared cache; the local cache file is not touched",
+                  file=sys.stderr)
+        args.no_cache = True
+
     cache = None
     if not args.no_cache and not instrumented:
         cache = ResultCache(args.cache_path or default_cache_path())
@@ -302,12 +345,22 @@ def cmd_sweep(args) -> int:
     reporter = MultiReporter(*reporters)
 
     t0 = time.perf_counter()
-    curve = latency_sweep(
-        base, rates, stop_after_saturation=False,
-        jobs=jobs, cache=cache, reporter=reporter, sim_fn=sim_fn,
-        timeout=args.timeout, retries=args.retries, backoff=args.backoff,
-        on_failure=on_failure, checkpoint=checkpoint,
-    )
+    try:
+        curve = latency_sweep(
+            base, rates, stop_after_saturation=False,
+            jobs=jobs, cache=cache, reporter=reporter, sim_fn=sim_fn,
+            timeout=args.timeout, retries=args.retries, backoff=args.backoff,
+            on_failure=on_failure, checkpoint=checkpoint, scheduler=scheduler,
+        )
+    except Exception as exc:
+        from .serve.protocol import ProtocolError
+
+        if scheduler is None or not isinstance(
+            exc, (ConnectionError, OSError, ProtocolError)
+        ):
+            raise
+        print(f"error: sweep server {args.connect}: {exc}", file=sys.stderr)
+        return 1
     wall = time.perf_counter() - t0
 
     if observer is not None:
@@ -360,6 +413,77 @@ def cmd_sweep(args) -> int:
               f"(metrics.jsonl, sweep.jsonl, manifest.json)")
     if args.trace:
         print(f"trace: {args.trace} (load in https://ui.perfetto.dev)")
+    return 0
+
+
+def cmd_serve(args) -> int:
+    """Run the distributed sweep job-queue server (docs/DISTRIBUTED.md)."""
+    import asyncio
+    import subprocess
+
+    from .serve.server import SweepServer
+
+    async def amain() -> int:
+        server = SweepServer(
+            host=args.host,
+            port=args.port,
+            state_dir=args.state_dir,
+            retries=args.retries,
+            backoff=args.backoff,
+            lease_timeout=args.lease_timeout,
+            max_requeues=args.max_requeues,
+            cache_shards=args.cache_shards,
+        )
+        await server.start()
+        # Parseable by wrapper scripts (tests/CI start with --port 0).
+        print(f"serving on {server.host}:{server.port}", flush=True)
+        print(f"state: {server.state_dir} "
+              f"({len(server.cache)} cached result(s))", file=sys.stderr)
+        workers = []
+        try:
+            for _ in range(args.workers):
+                cmdline = [
+                    sys.executable, "-m", "repro", "work",
+                    "--connect", f"{server.host}:{server.port}",
+                ]
+                if args.worker_fn:
+                    cmdline += ["--worker-fn", args.worker_fn]
+                workers.append(subprocess.Popen(cmdline))
+            await server.serve_forever()
+        finally:
+            for proc in workers:
+                proc.terminate()
+            for proc in workers:
+                try:
+                    proc.wait(timeout=5.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+            await server.close()
+        return 0
+
+    try:
+        return asyncio.run(amain())
+    except KeyboardInterrupt:
+        print("serve: interrupted, state preserved for restart",
+              file=sys.stderr)
+        return 0
+
+
+def cmd_work(args) -> int:
+    """Attach one worker to a sweep server and compute leased points."""
+    from .serve.protocol import ProtocolError
+    from .serve.worker import run_worker
+
+    try:
+        run_worker(
+            args.connect, worker_fn=args.worker_fn,
+            max_points=args.max_points,
+        )
+    except (ConnectionError, OSError, ProtocolError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except KeyboardInterrupt:
+        return 0
     return 0
 
 
@@ -777,6 +901,10 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=["nonspec", "pessimistic", "conventional"],
                        default="pessimistic")
         p.add_argument("--pattern", default="uniform")
+        p.add_argument("--hotspots", type=_parse_hotspots, default=None,
+                       metavar="T0,T1,...",
+                       help="hotspot terminal indices for --pattern "
+                            "hotspot (default: terminals 0 and N/2)")
         p.add_argument("--cycles", type=int, default=2000)
         p.add_argument("--seed", type=int, default=1)
         if name == "simulate":
@@ -840,7 +968,68 @@ def build_parser() -> argparse.ArgumentParser:
                            help="checkpoint journal path (implies "
                                 "--resume; default: derived from the "
                                 "cache path)")
+            p.add_argument("--connect", default=None, metavar="HOST:PORT",
+                           help="compute pending points on a 'repro "
+                                "serve' job-queue server instead of "
+                                "locally (results are bit-identical; "
+                                "see docs/DISTRIBUTED.md)")
             p.set_defaults(fn=cmd_sweep)
+
+    p = sub.add_parser(
+        "serve",
+        help="distributed sweep job-queue server (docs/DISTRIBUTED.md)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="bind address (default: 127.0.0.1; use 0.0.0.0 "
+                        "to accept remote workers)")
+    p.add_argument("--port", type=_nonnegative_int, default=0,
+                   help="TCP port (default: 0 = pick a free port and "
+                        "print it)")
+    p.add_argument("--state-dir", default=".repro-serve", metavar="DIR",
+                   help="server state: sharded result cache, per-sweep "
+                        "checkpoint journals, telemetry (default: "
+                        ".repro-serve)")
+    p.add_argument("--workers", type=_nonnegative_int, default=0,
+                   metavar="N",
+                   help="also spawn N local 'repro work' processes "
+                        "attached to this server (default: 0)")
+    p.add_argument("--retries", type=_nonnegative_int, default=1,
+                   metavar="K",
+                   help="re-queue a point whose worker reported an "
+                        "exception up to K times (default: 1)")
+    p.add_argument("--backoff", type=_nonnegative_float, default=0.5,
+                   metavar="SECONDS",
+                   help="base re-queue delay after a reported failure, "
+                        "doubled per attempt (default: 0.5)")
+    p.add_argument("--lease-timeout", type=_positive_float, default=600.0,
+                   metavar="SECONDS",
+                   help="re-queue a leased point if no result arrives "
+                        "within this budget (default: 600)")
+    p.add_argument("--max-requeues", type=_nonnegative_int, default=3,
+                   metavar="K",
+                   help="give up on a point after K lost leases "
+                        "(worker deaths/timeouts; default: 3)")
+    p.add_argument("--cache-shards", type=_positive_int, default=8,
+                   metavar="N",
+                   help="shard count of the shared result cache "
+                        "(default: 8)")
+    p.add_argument("--worker-fn", default=None, metavar="MOD:FN",
+                   help="compute function for --workers subprocesses "
+                        "(default: the real simulator worker)")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "work",
+        help="attach a worker to a 'repro serve' server")
+    p.add_argument("--connect", required=True, metavar="HOST:PORT",
+                   help="server address (printed by 'repro serve')")
+    p.add_argument("--worker-fn", default=None, metavar="MOD:FN",
+                   help="compute function, as 'pkg.module:callable' "
+                        "(default: the real simulator worker)")
+    p.add_argument("--max-points", type=_positive_int, default=None,
+                   metavar="N",
+                   help="exit after computing N points (default: serve "
+                        "until the server goes away)")
+    p.set_defaults(fn=cmd_work)
 
     p = sub.add_parser(
         "faults",

@@ -126,6 +126,7 @@ def latency_sweep(
     backoff: float = 1.0,
     on_failure: str = "raise",
     checkpoint=None,
+    scheduler=None,
 ) -> LatencyCurve:
     """Run the simulator across ``rates`` and collect a latency curve.
 
@@ -143,10 +144,13 @@ def latency_sweep(
     path (the CLI uses it to attach a :mod:`repro.obs` observer); the
     process pool always runs the real uninstrumented worker.
 
-    ``timeout``/``retries``/``backoff``/``on_failure``/``checkpoint``
-    pass straight through to :func:`~repro.eval.runner.run_sweep`; with
-    ``on_failure="record"`` a failed point keeps its slot in the curve
-    as a :class:`SweepPoint` with ``failed=True``.
+    ``timeout``/``retries``/``backoff``/``on_failure``/``checkpoint``/
+    ``scheduler`` pass straight through to
+    :func:`~repro.eval.runner.run_sweep`; with ``on_failure="record"``
+    a failed point keeps its slot in the curve as a :class:`SweepPoint`
+    with ``failed=True``, and a non-``None`` ``scheduler`` (e.g. a
+    :class:`~repro.serve.client.RemoteScheduler`) decides where cache
+    misses are computed.
     """
     configs = [replace(base, injection_rate=rate) for rate in rates]
     points: List[SweepPoint] = []
@@ -156,11 +160,11 @@ def latency_sweep(
         or checkpoint is not None
         or on_failure != "raise"
     )
-    if jobs > 1 or reporter is not None or hardened:
+    if jobs > 1 or reporter is not None or hardened or scheduler is not None:
         results = run_sweep(
             configs, jobs=jobs, cache=cache, reporter=reporter, sim_fn=sim_fn,
             timeout=timeout, retries=retries, backoff=backoff,
-            on_failure=on_failure, checkpoint=checkpoint,
+            on_failure=on_failure, checkpoint=checkpoint, scheduler=scheduler,
         )
         for rate, res in zip(rates, results):
             points.append(_to_point(rate, res))
@@ -172,6 +176,8 @@ def latency_sweep(
             points.append(_to_point(rate, res))
             if stop_after_saturation and res.saturated:
                 break
+        if cache is not None:
+            cache.flush()  # persistence is batched; see ResultCache
     return LatencyCurve(label or base.sw_alloc_arch, points)
 
 
@@ -209,12 +215,16 @@ def saturation_throughput(
         )
         return not res.saturated and res.avg_latency <= limit
 
-    if not stable(lo):
+    try:
+        if not stable(lo):
+            return lo
+        for _ in range(iterations):
+            mid = 0.5 * (lo + hi)
+            if stable(mid):
+                lo = mid
+            else:
+                hi = mid
         return lo
-    for _ in range(iterations):
-        mid = 0.5 * (lo + hi)
-        if stable(mid):
-            lo = mid
-        else:
-            hi = mid
-    return lo
+    finally:
+        if cache is not None:
+            cache.flush()  # persistence is batched; see ResultCache

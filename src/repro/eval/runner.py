@@ -68,6 +68,9 @@ __all__ = [
     "SweepStats",
     "PointFailure",
     "SweepPointError",
+    "PointScheduler",
+    "InlineScheduler",
+    "ProcessPoolScheduler",
     "run_point",
     "run_sweep",
 ]
@@ -125,13 +128,33 @@ class ResultCache:
     checksum existed load normally.  Writes go through a temp file +
     ``os.replace`` so a crash mid-write can never truncate an existing
     cache.
+
+    Persistence is *batched*: :meth:`put` only marks the store dirty,
+    and the full-file rewrite happens once ``flush_every`` inserts or
+    ``flush_interval`` seconds have accumulated (whichever comes
+    first), or on an explicit :meth:`flush` -- the sweep engine flushes
+    at sweep end.  Rewriting the whole document per insert was O(n^2)
+    I/O across a sweep; entries are recomputable simulation results, so
+    losing the last unflushed batch to a crash is degraded service, not
+    data loss (crash-safe durability is the checkpoint journal's job,
+    see :mod:`repro.eval.checkpoint`).
     """
 
-    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+    def __init__(
+        self,
+        path: Optional[os.PathLike] = None,
+        flush_every: int = 32,
+        flush_interval: float = 5.0,
+    ) -> None:
         self.path = Path(path) if path is not None else default_cache_path()
         self.salt = f"sim-rev-{SIMULATOR_REV}"
+        self.flush_every = max(int(flush_every), 1)
+        self.flush_interval = flush_interval
         self.hits = 0
         self.misses = 0
+        self.flushes = 0  # full-file rewrites actually performed
+        self._dirty = 0  # inserts since the last successful flush
+        self._last_flush = time.monotonic()
         self._entries: Dict[str, dict] = {}
         self._load()
 
@@ -224,28 +247,47 @@ class ResultCache:
 
     def get(self, cfg: SimulationConfig) -> Optional[SimulationResult]:
         """Cached result for ``cfg``, or ``None`` (counted as a miss)."""
-        key = self.key(cfg)
-        payload = self._entries.get(key)
-        if payload is not None:
-            try:
-                result = SimulationResult.from_payload(payload)
-            except (TypeError, KeyError, ValueError, AttributeError):
-                # Corrupt entry (hand-edited, or written by an
-                # incompatible build): drop it and recompute.
-                del self._entries[key]
-                result = None
-            else:
-                self.hits += 1
-                return result
+        result = self.get_by_key(self.key(cfg))
+        if result is not None:
+            self.hits += 1
+            return result
         self.misses += 1
         return None
 
+    def get_by_key(self, key: str) -> Optional[SimulationResult]:
+        """Validated result for a precomputed key; does not touch the
+        hit/miss counters (servers account per-sweep, not per-store)."""
+        payload = self._entries.get(key)
+        if payload is None:
+            return None
+        try:
+            return SimulationResult.from_payload(payload)
+        except (TypeError, KeyError, ValueError, AttributeError):
+            # Corrupt entry (hand-edited, or written by an
+            # incompatible build): drop it and recompute.
+            del self._entries[key]
+            self._dirty += 1  # the drop must eventually persist too
+            return None
+
+    def get_payload(self, key: str) -> Optional[dict]:
+        """Raw stored payload for a precomputed key (no validation)."""
+        return self._entries.get(key)
+
     def put(self, cfg: SimulationConfig, result: SimulationResult) -> None:
-        self._entries[self.key(cfg)] = result.to_payload()
-        self.flush()
+        self.put_payload(self.key(cfg), result.to_payload())
+
+    def put_payload(self, key: str, payload: dict) -> None:
+        """Insert a raw payload under a precomputed key (batched)."""
+        self._entries[key] = payload
+        self._dirty += 1
+        if (
+            self._dirty >= self.flush_every
+            or time.monotonic() - self._last_flush >= self.flush_interval
+        ):
+            self.flush()
 
     def flush(self) -> None:
-        """Atomically persist the cache.
+        """Atomically persist the cache (no-op while nothing is dirty).
 
         Write-to-temp + ``os.replace`` guarantees the on-disk file is
         always a complete document -- a crash mid-write leaves the old
@@ -253,6 +295,8 @@ class ResultCache:
         emits a structured warning (results are recomputable, so this is
         degraded service, not an error).
         """
+        if self._dirty == 0:
+            return
         doc = {
             "schema": CACHE_SCHEMA_VERSION,
             "salt": self.salt,
@@ -267,7 +311,13 @@ class ResultCache:
                 fh.flush()
                 os.fsync(fh.fileno())
             os.replace(tmp, self.path)
+            self._dirty = 0
+            self._last_flush = time.monotonic()
+            self.flushes += 1
         except OSError as exc:
+            # Entries stay dirty (a later flush retries); resetting the
+            # interval clock keeps a dead disk from warning per insert.
+            self._last_flush = time.monotonic()
             emit_warning(
                 "cache_flush_failed",
                 f"cannot persist sweep cache to {self.path}: {exc} "
@@ -618,6 +668,105 @@ def _run_hardened_pool(
             reap(proc)
 
 
+class PointScheduler:
+    """Transport-agnostic executor for a sweep's pending points.
+
+    :func:`run_sweep` owns everything around the scheduling loop --
+    cache lookups, checkpoint recovery/journaling, reporters, failure
+    policy -- and hands the scheduler only the points that actually
+    need computing.  Implementations decide *where* the work runs:
+
+    * :class:`InlineScheduler` -- this process, one point at a time;
+    * :class:`ProcessPoolScheduler` -- the hardened one-process-per-
+      point local pool (crash/timeout isolation);
+    * :class:`repro.serve.client.RemoteScheduler` -- a ``repro serve``
+      job-queue server sharding points across worker fleets.
+
+    All three are bit-identical by contract: every simulation seeds its
+    RNG streams purely from ``(config.seed, terminal_id)``, so *where* a
+    point runs can never change *what* it returns.
+    """
+
+    def run(
+        self,
+        configs: Sequence[SimulationConfig],
+        pending: List[int],
+        record: Callable[..., None],
+        fail: Callable[[int, str, str, str, Optional[dict], int], None],
+        stats: SweepStats,
+    ) -> None:
+        """Compute every ``configs[i]`` for ``i in pending``.
+
+        Call ``record(i, result)`` per completed point (keyword
+        ``cached=True`` when it was served from a warm store rather
+        than computed) and ``fail(i, kind, error, message, detail,
+        attempts)`` for a point whose attempt budget is exhausted --
+        ``fail`` raises under ``on_failure="raise"``, so it must be
+        allowed to propagate.
+        """
+        raise NotImplementedError
+
+
+class InlineScheduler(PointScheduler):
+    """Serial in-process execution with bounded retry."""
+
+    def __init__(
+        self,
+        sim_fn: Optional[Callable[[SimulationConfig], SimulationResult]] = None,
+        retries: int = 0,
+        backoff: float = 1.0,
+    ) -> None:
+        self.sim_fn = sim_fn or run_simulation
+        self.retries = retries
+        self.backoff = backoff
+
+    def run(self, configs, pending, record, fail, stats) -> None:
+        for i in pending:
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    result = self.sim_fn(configs[i])
+                except Exception as exc:
+                    if attempt <= self.retries:
+                        stats.retries += 1
+                        time.sleep(self.backoff * (2 ** (attempt - 1)))
+                        continue
+                    detail = getattr(exc, "snapshot", None)
+                    if detail is not None and not isinstance(detail, dict):
+                        detail = None
+                    fail(i, "exception", type(exc).__name__, str(exc),
+                         detail, attempt)
+                    break
+                else:
+                    record(i, result)
+                    break
+
+
+class ProcessPoolScheduler(PointScheduler):
+    """One hardened OS process per point (see :func:`_run_hardened_pool`)."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        timeout: Optional[float] = None,
+        retries: int = 0,
+        backoff: float = 1.0,
+        worker_fn: Optional[Callable[[dict], dict]] = None,
+    ) -> None:
+        self.jobs = max(jobs, 1)
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.worker_fn = worker_fn or run_simulation_worker
+
+    def run(self, configs, pending, record, fail, stats) -> None:
+        _run_hardened_pool(
+            configs, pending, self.jobs, record, fail, stats,
+            self.timeout, self.retries, self.backoff, self.worker_fn,
+        )
+
+
 def run_sweep(
     configs: Sequence[SimulationConfig],
     jobs: int = 1,
@@ -630,6 +779,7 @@ def run_sweep(
     on_failure: str = "raise",
     checkpoint=None,
     worker_fn: Optional[Callable[[dict], dict]] = None,
+    scheduler: Optional[PointScheduler] = None,
 ) -> List[Optional[SimulationResult]]:
     """Evaluate every config, in input order, cache-first.
 
@@ -659,6 +809,10 @@ def run_sweep(
       are journaled as they land and recovered points are served
       without recomputation, so a sweep killed mid-flight resumes where
       it stopped.
+    * ``scheduler`` -- an explicit :class:`PointScheduler` overrides
+      the default selection above; ``repro sweep --connect`` passes a
+      :class:`~repro.serve.client.RemoteScheduler` here to shard the
+      pending points across a job-queue server's worker fleet.
     """
     if on_failure not in ("raise", "record"):
         raise ValueError(f"on_failure must be 'raise' or 'record', got {on_failure!r}")
@@ -690,14 +844,19 @@ def run_sweep(
         else:
             pending.append(i)
 
-    def record(i: int, result: SimulationResult) -> None:
+    def record(i: int, result: SimulationResult, cached: bool = False) -> None:
+        # ``cached=True`` means a scheduler served the point from a warm
+        # store (e.g. the serve server's shared cache): it still lands in
+        # the local cache, but counts as a hit and is not re-journaled.
         results[i] = result
         if cache is not None:
             cache.put(configs[i], result)
-        if checkpoint is not None:
+        if checkpoint is not None and not cached:
             checkpoint.record(keys[i], result.to_payload())
         stats.completed += 1
-        reporter.point_done(configs[i], result, False, stats)
+        if cached:
+            stats.cache_hits += 1
+        reporter.point_done(configs[i], result, cached, stats)
 
     def fail(
         i: int, kind: str, error: str, message: str,
@@ -719,40 +878,32 @@ def run_sweep(
         stats.completed += 1
         reporter.point_failed(configs[i], failure, stats)
 
-    use_pool = pending and sim_fn is None and (jobs > 1 or timeout is not None)
-    try:
+    if scheduler is None:
+        # Default selection preserves the pre-PointScheduler behavior
+        # exactly: sim_fn pins execution inline (tests inject analytic
+        # models); jobs>1 or a timeout route through the hardened pool.
+        use_pool = sim_fn is None and (jobs > 1 or timeout is not None)
         if use_pool:
-            _run_hardened_pool(
-                configs, pending, max(jobs, 1), record, fail, stats,
-                timeout, retries, backoff, worker_fn or run_simulation_worker,
+            scheduler = ProcessPoolScheduler(
+                jobs=jobs, timeout=timeout, retries=retries,
+                backoff=backoff, worker_fn=worker_fn,
             )
         else:
-            fn = sim_fn or run_simulation
-            for i in pending:
-                attempt = 0
-                while True:
-                    attempt += 1
-                    try:
-                        result = fn(configs[i])
-                    except Exception as exc:
-                        if attempt <= retries:
-                            stats.retries += 1
-                            time.sleep(backoff * (2 ** (attempt - 1)))
-                            continue
-                        detail = getattr(exc, "snapshot", None)
-                        if detail is not None and not isinstance(detail, dict):
-                            detail = None
-                        fail(i, "exception", type(exc).__name__, str(exc),
-                             detail, attempt)
-                        break
-                    else:
-                        record(i, result)
-                        break
+            scheduler = InlineScheduler(
+                sim_fn=sim_fn, retries=retries, backoff=backoff,
+            )
+    try:
+        if pending:
+            scheduler.run(configs, pending, record, fail, stats)
     finally:
         # Aborted or not, never leave the journal handle open; an
         # aborted sweep keeps its file so --resume can pick it up.
         if checkpoint is not None:
             checkpoint.close()
+        # Batched cache persistence: whatever landed since the last
+        # threshold-triggered flush is written out exactly once here.
+        if cache is not None:
+            cache.flush()
 
     if checkpoint is not None and stats.failed == 0:
         checkpoint.complete()  # finished cleanly: nothing left to resume

@@ -29,6 +29,7 @@ __all__ = [
     "run_simulation",
     "run_simulation_worker",
     "build_network",
+    "topology_num_terminals",
     "SIMULATOR_REV",
 ]
 
@@ -94,6 +95,11 @@ class SimulationConfig:
     # no flit moves for this many cycles while work is pending.  0
     # disables the watchdog (and is omitted from the serialized form).
     watchdog_cycles: int = 0
+    # Hotspot placement for ``traffic_pattern="hotspot"``: the terminal
+    # indices that attract the hot traffic fraction.  None keeps the
+    # historical ``[0, N // 2]`` placement and is omitted from the
+    # serialized form, so pre-existing cache keys are unchanged.
+    hotspot_terminals: Optional[List[int]] = None
 
     @property
     def packet_rate(self) -> float:
@@ -116,6 +122,10 @@ class SimulationConfig:
             del out["watchdog_cycles"]
         if self.routing == "default":
             del out["routing"]
+        if self.hotspot_terminals is None:
+            del out["hotspot_terminals"]
+        else:
+            out["hotspot_terminals"] = list(self.hotspot_terminals)
         return out
 
     @classmethod
@@ -238,7 +248,32 @@ class SimulationResult:
         return cls(**{k: v for k, v in data.items() if k in known})
 
 
-def _resolve_pattern(name: str, num_terminals: int):
+# Geometry of the paper's topology instantiations (Section 3 / 5).
+# build_network hands these same constants to the builders, and
+# topology_num_terminals derives the terminal count from them, so
+# traffic patterns (which permute terminal indices) can never assume a
+# stale network size.
+_MESH_K = 8  # 8x8 mesh, one terminal per router
+_TORUS_K = 8  # 8x8 torus, one terminal per router
+_FBFLY_ROWS, _FBFLY_COLS, _FBFLY_CONC = 4, 4, 4  # c=4 concentration
+
+
+def topology_num_terminals(topology: str) -> int:
+    """Terminal count of the named paper topology."""
+    if topology == "mesh":
+        return _MESH_K * _MESH_K
+    if topology == "fbfly":
+        return _FBFLY_ROWS * _FBFLY_COLS * _FBFLY_CONC
+    if topology == "torus":
+        return _TORUS_K * _TORUS_K
+    raise ValueError(f"unknown topology {topology!r}")
+
+
+def _resolve_pattern(
+    name: str,
+    num_terminals: int,
+    hotspots: Optional[List[int]] = None,
+):
     from . import patterns
 
     if name == "uniform":
@@ -251,7 +286,15 @@ def _resolve_pattern(name: str, num_terminals: int):
         "neighbor": patterns.neighbor_pattern,
     }
     if name == "hotspot":
-        return patterns.hotspot_pattern([0, num_terminals // 2])
+        if hotspots is None:
+            hotspots = [0, num_terminals // 2]
+        bad = [t for t in hotspots if not 0 <= t < num_terminals]
+        if bad:
+            raise ValueError(
+                f"hotspot terminal(s) {bad} out of range for a "
+                f"{num_terminals}-terminal network"
+            )
+        return patterns.hotspot_pattern(list(hotspots))
     try:
         return makers[name](num_terminals)
     except KeyError:
@@ -269,7 +312,11 @@ def build_network(cfg: SimulationConfig, kernel: str = "fast") -> Network:
     enter the simulation config (or its cache key).
     """
     kwargs = dict(
-        dest_fn=_resolve_pattern(cfg.traffic_pattern, 64),
+        dest_fn=_resolve_pattern(
+            cfg.traffic_pattern,
+            topology_num_terminals(cfg.topology),
+            cfg.hotspot_terminals,
+        ),
         vcs_per_class=cfg.vcs_per_class,
         packet_rate=cfg.packet_rate,
         seed=cfg.seed,
@@ -283,16 +330,19 @@ def build_network(cfg: SimulationConfig, kernel: str = "fast") -> Network:
         lookahead=cfg.lookahead,
     )
     if cfg.topology == "mesh":
-        net = build_mesh(8, routing=cfg.routing, **kwargs)
+        net = build_mesh(_MESH_K, routing=cfg.routing, **kwargs)
     elif cfg.topology == "fbfly":
-        net = build_fbfly(4, 4, 4, routing=cfg.routing, **kwargs)
+        net = build_fbfly(
+            _FBFLY_ROWS, _FBFLY_COLS, _FBFLY_CONC,
+            routing=cfg.routing, **kwargs,
+        )
     elif cfg.topology == "torus":
         if cfg.routing != "default":
             raise ValueError(
                 f"routing mode {cfg.routing!r} is not supported on the "
                 "torus (fault-aware routing covers mesh and fbfly)"
             )
-        net = build_torus(8, **kwargs)
+        net = build_torus(_TORUS_K, **kwargs)
     else:
         raise ValueError(f"unknown topology {cfg.topology!r}")
     net.set_kernel(kernel)

@@ -1,0 +1,154 @@
+"""Batched cache persistence: O(1) full-file rewrites per sweep.
+
+``ResultCache.put`` used to rewrite and fsync the whole JSON document
+on every insert -- O(n^2) I/O across a sweep, and the pathology that
+would sink a multi-tenant ``repro serve`` deployment.  The contract is
+now: ``put`` marks the store dirty, a full-file rewrite happens only
+every ``flush_every`` inserts / ``flush_interval`` seconds / explicit
+``flush()``, and the sweep engine flushes once at sweep end.
+"""
+
+import json
+import os
+import time
+
+from repro.eval.runner import ResultCache, run_sweep
+from repro.netsim.simulator import SimulationConfig, SimulationResult
+
+
+def _result(cfg: SimulationConfig) -> SimulationResult:
+    return SimulationResult(
+        config=cfg,
+        avg_latency=20.0 + cfg.injection_rate,
+        measured_packets=100,
+        delivered_packets=100,
+        injected_flit_rate=cfg.injection_rate,
+        accepted_flit_rate=cfg.injection_rate,
+        saturated=False,
+    )
+
+
+class _ReplaceCounter:
+    """Counts ``os.replace`` calls that land on one target path."""
+
+    def __init__(self, monkeypatch, target):
+        self.count = 0
+        self.target = str(target)
+        real = os.replace
+
+        def counting(src, dst, *a, **kw):
+            if str(dst) == self.target:
+                self.count += 1
+            return real(src, dst, *a, **kw)
+
+        monkeypatch.setattr(os, "replace", counting)
+
+
+class TestBatchedFlush:
+    def test_put_alone_does_not_touch_disk(self, tmp_path):
+        cache = ResultCache(tmp_path / "c.json")
+        cfg = SimulationConfig()
+        cache.put(cfg, _result(cfg))
+        assert not (tmp_path / "c.json").exists()
+        cache.flush()
+        assert (tmp_path / "c.json").exists()
+
+    def test_flush_is_noop_while_clean(self, tmp_path, monkeypatch):
+        cache = ResultCache(tmp_path / "c.json")
+        cfg = SimulationConfig()
+        cache.put(cfg, _result(cfg))
+        counter = _ReplaceCounter(monkeypatch, tmp_path / "c.json")
+        cache.flush()
+        cache.flush()
+        cache.flush()
+        assert counter.count == 1
+
+    def test_flush_every_threshold(self, tmp_path):
+        cache = ResultCache(
+            tmp_path / "c.json", flush_every=4, flush_interval=3600.0
+        )
+        for i in range(3):
+            cfg = SimulationConfig(injection_rate=0.01 * (i + 1))
+            cache.put(cfg, _result(cfg))
+        assert cache.flushes == 0
+        cfg = SimulationConfig(injection_rate=0.04)
+        cache.put(cfg, _result(cfg))  # 4th dirty insert crosses the bar
+        assert cache.flushes == 1
+        assert len(json.loads((tmp_path / "c.json").read_text())["entries"]) == 4
+
+    def test_flush_interval_threshold(self, tmp_path):
+        cache = ResultCache(
+            tmp_path / "c.json", flush_every=10_000, flush_interval=0.0
+        )
+        cfg = SimulationConfig()
+        cache.put(cfg, _result(cfg))  # interval 0: every insert flushes
+        assert cache.flushes == 1
+
+    def test_100_point_sweep_is_o1_rewrites(self, tmp_path, monkeypatch):
+        # The regression the satellite fix is for: a 100-point sweep
+        # must not rewrite the cache file 100 times.  With the default
+        # flush_every=32 it is 3 threshold flushes + 1 end-of-sweep
+        # flush (the interval clock can only add, never remove, so the
+        # bound is deliberately a <=).
+        path = tmp_path / "c.json"
+        counter = _ReplaceCounter(monkeypatch, path)
+        cache = ResultCache(path)
+        configs = [
+            SimulationConfig(injection_rate=0.001 * (i + 1)) for i in range(100)
+        ]
+        run_sweep(configs, cache=cache, sim_fn=_result)
+        assert len(json.loads(path.read_text())["entries"]) == 100
+        assert 1 <= counter.count <= 5
+        assert counter.count == cache.flushes
+
+    def test_run_sweep_flushes_at_sweep_end(self, tmp_path):
+        # Fewer points than flush_every: without the end-of-sweep flush
+        # nothing would ever persist (the CI cached-rerun smoke greps
+        # for "4 hit(s), 0 miss(es)" and relies on exactly this).
+        path = tmp_path / "c.json"
+        configs = [
+            SimulationConfig(injection_rate=0.05 * (i + 1)) for i in range(4)
+        ]
+        run_sweep(configs, cache=ResultCache(path), sim_fn=_result)
+        rerun_cache = ResultCache(path)
+        run_sweep(configs, cache=rerun_cache, sim_fn=_result)
+        assert (rerun_cache.hits, rerun_cache.misses) == (4, 0)
+
+    def test_failed_flush_keeps_entries_dirty_and_retries(
+        self, tmp_path, monkeypatch
+    ):
+        path = tmp_path / "c.json"
+        cache = ResultCache(path)
+        cfg = SimulationConfig()
+        cache.put(cfg, _result(cfg))
+
+        real = os.replace
+
+        def broken(src, dst, *a, **kw):
+            raise OSError("disk full")
+
+        monkeypatch.setattr(os, "replace", broken)
+        cache.flush()
+        assert not path.exists()
+        monkeypatch.setattr(os, "replace", real)
+        cache.flush()  # entries stayed dirty: the retry persists them
+        assert ResultCache(path).get(cfg) is not None
+
+    def test_corrupt_entry_drop_is_persisted(self, tmp_path):
+        # get_by_key dropping a corrupt entry marks the store dirty so
+        # the drop itself eventually reaches disk.
+        path = tmp_path / "c.json"
+        cache = ResultCache(path)
+        cfg = SimulationConfig()
+        cache.put(cfg, _result(cfg))
+        cache.flush()
+        doc = json.loads(path.read_text())
+        key = next(iter(doc["entries"]))
+        doc["entries"][key] = {"vandalized": True}
+        doc["checksum"] = None
+        path.write_text(json.dumps(doc))
+
+        fresh = ResultCache(path)
+        assert fresh.get_by_key(key) is None  # dropped in memory
+        fresh.flush()
+        assert key not in json.loads(path.read_text())["entries"]

@@ -57,6 +57,7 @@ class TestHitMiss:
         cache = ResultCache(tmp_path / "c.json")
         assert cache.get(cfg) is None
         cache.put(cfg, _result(cfg))
+        cache.flush()  # persistence is batched; see test_cache_flush_batching
         reread = ResultCache(tmp_path / "c.json").get(cfg)
         assert reread == _result(cfg)
         # JSON stringifies dict keys; they must come back as ints.
@@ -101,7 +102,10 @@ class TestKeying:
         }
         # Optional fields default to a sentinel that is *omitted* from
         # the serialized form; bump them to their smallest enabled value.
-        overrides = {"faults": FaultPlan(stuck_vc_rate=0.25)}
+        overrides = {
+            "faults": FaultPlan(stuck_vc_rate=0.25),
+            "hotspot_terminals": [0, 5],
+        }
         for f in dataclasses.fields(SimulationConfig):
             value = getattr(base, f.name)
             if f.name in overrides:
@@ -159,6 +163,7 @@ class TestKernelIndependence:
         cfg = SimulationConfig(injection_rate=0.2, **self.WINDOWS)
         cache = ResultCache(tmp_path / "c.json")
         cache.put(cfg, run_simulation(cfg, kernel=producer))
+        cache.flush()
 
         # A later sweep -- whatever kernel it would have used -- hits.
         sim = _FakeSim()
@@ -176,12 +181,14 @@ class TestCorruptionRecovery:
         cfg = SimulationConfig()
         assert cache.get(cfg) is None
         cache.put(cfg, _result(cfg))
+        cache.flush()
         assert ResultCache(path).get(cfg) is not None
 
     def test_truncated_file_starts_empty(self, tmp_path):
         path = tmp_path / "c.json"
         good = ResultCache(path)
         good.put(SimulationConfig(), _result(SimulationConfig()))
+        good.flush()
         blob = path.read_text()
         path.write_text(blob[: len(blob) // 2])
         assert len(ResultCache(path)) == 0
@@ -191,6 +198,7 @@ class TestCorruptionRecovery:
         cfg = SimulationConfig()
         cache = ResultCache(path)
         cache.put(cfg, _result(cfg))
+        cache.flush()
         doc = json.loads(path.read_text())
         key = next(iter(doc["entries"]))
         doc["entries"][key] = {"avg_latency": "not-even-close"}
@@ -207,6 +215,7 @@ class TestCorruptionRecovery:
         cfg = SimulationConfig()
         cache = ResultCache(path)
         cache.put(cfg, _result(cfg))
+        cache.flush()
         doc = json.loads(path.read_text())
         doc["schema"] = CACHE_SCHEMA_VERSION + 1
         path.write_text(json.dumps(doc))
@@ -217,6 +226,7 @@ class TestCorruptionRecovery:
         cfg = SimulationConfig()
         cache = ResultCache(path)
         cache.put(cfg, _result(cfg))
+        cache.flush()
         doc = json.loads(path.read_text())
         doc["salt"] = "sim-rev-999"
         path.write_text(json.dumps(doc))
@@ -239,6 +249,7 @@ class TestCorruptionRecovery:
         bad_cfg = SimulationConfig(injection_rate=0.2)
         cache.put(good_cfg, _result(good_cfg))
         cache.put(bad_cfg, _result(bad_cfg))
+        cache.flush()
         doc = json.loads(path.read_text())
         bad_key = ResultCache(path).key(bad_cfg)
         doc["entries"][bad_key] = {"vandalized": True}
@@ -273,6 +284,7 @@ class TestCorruptionRecovery:
         monkeypatch.setattr(os_mod, "replace", broken_replace)
         try:
             cache.put(SimulationConfig(), _result(SimulationConfig()))
+            cache.flush()  # put() alone only marks the entry dirty
         finally:
             remove_warning_sink(warnings.append)
         assert any(w.code == "cache_flush_failed" for w in warnings)
@@ -285,6 +297,7 @@ class TestCorruptionRecovery:
         for r in (0.1, 0.2, 0.3):
             cfg = SimulationConfig(injection_rate=r)
             cache.put(cfg, _result(cfg))
+        cache.flush()
         leftovers = [p for p in tmp_path.iterdir() if p.name != "c.json"]
         assert leftovers == []
         assert len(json.loads(path.read_text())["entries"]) == 3

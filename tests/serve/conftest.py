@@ -1,0 +1,96 @@
+"""Shared harness: an in-process sweep server plus worker threads.
+
+The server runs its asyncio loop on a background thread; workers run
+the real synchronous ``run_worker`` loop on further threads (same
+wire protocol as a remote machine, without subprocess startup cost).
+Tests that need an actually killable worker spawn ``repro work`` as a
+subprocess instead -- see ``test_serve_integration.py``.
+"""
+
+import asyncio
+import json
+import threading
+import time
+
+import pytest
+
+from repro.serve.server import SweepServer
+from repro.serve.worker import run_worker
+
+
+class ServeHarness:
+    def __init__(self, state_dir, **server_kwargs):
+        self.state_dir = state_dir
+        self.server = None
+        self._loop = None
+        self._stop = None
+        self._started = threading.Event()
+        self._server_kwargs = server_kwargs
+        self._thread = threading.Thread(target=self._run, daemon=True)
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("sweep server failed to start")
+        self.worker_threads = []
+
+    def _run(self):
+        async def amain():
+            self.server = SweepServer(
+                state_dir=self.state_dir, **self._server_kwargs
+            )
+            await self.server.start()
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self._started.set()
+            await self._stop.wait()
+            await self.server.close()
+
+        asyncio.run(amain())
+
+    @property
+    def address(self) -> str:
+        return f"127.0.0.1:{self.server.port}"
+
+    def start_worker(
+        self, worker_fn="repro.serve.testing:analytic_worker", **kwargs
+    ):
+        thread = threading.Thread(
+            target=run_worker,
+            args=(self.address,),
+            kwargs=dict(worker_fn=worker_fn, log=lambda _: None, **kwargs),
+            daemon=True,
+        )
+        thread.start()
+        self.worker_threads.append(thread)
+        return thread
+
+    def events(self):
+        """Parsed serve_event rows from the server telemetry log."""
+        path = self.state_dir / "telemetry" / "server.jsonl"
+        if not path.exists():
+            return []
+        return [
+            json.loads(line)
+            for line in path.read_text().splitlines()
+            if line.strip()
+        ]
+
+    def wait_for_event(self, event: str, timeout: float = 10.0) -> dict:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for row in self.events():
+                if row.get("event") == event:
+                    return row
+            time.sleep(0.05)
+        raise AssertionError(f"no {event!r} event within {timeout}s")
+
+    def stop(self):
+        if self._loop is not None:
+            self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10.0)
+
+
+@pytest.fixture
+def harness(tmp_path):
+    h = ServeHarness(tmp_path / "state")
+    yield h
+    h.stop()
