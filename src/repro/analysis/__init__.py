@@ -17,12 +17,15 @@ gates CI on:
 
 Accepted pre-existing findings are suppressed through a baseline file
 (:class:`~repro.analysis.findings.Baseline`) so CI only gates on *new*
-findings.  See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
+findings, and the baseline itself is ratcheted
+(:mod:`repro.analysis.ratchet`): suppressions may shrink but never
+grow.  See ``docs/STATIC_ANALYSIS.md`` for the rule catalogue.
 """
 
 from .drc import DrcConfig, NetlistDRC, run_drc
 from .findings import Baseline, Finding, format_findings
 from .netlists import iter_paper_netlists, lint_paper_netlists
+from .ratchet import check_baseline_ratchet
 from .revguard import check_simulator_rev
 from .srclint import lint_generated_kernels, lint_source_file, lint_source_tree
 
@@ -31,6 +34,7 @@ __all__ = [
     "DrcConfig",
     "Finding",
     "NetlistDRC",
+    "check_baseline_ratchet",
     "check_simulator_rev",
     "format_findings",
     "iter_paper_netlists",

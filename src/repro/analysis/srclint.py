@@ -29,6 +29,13 @@ rule id                   severity  violation
                                     contract (CHANGES.md PRs 2-3), and
                                     fault-aware routing branches must sit
                                     behind the same guard idiom
+``SRC-ASYNC-BLOCKING``    error     blocking calls (``time.sleep``, sync
+                                    ``open``/``socket``/``subprocess``)
+                                    directly inside an ``async def`` body in
+                                    ``repro/serve``: one blocked coroutine
+                                    stalls the whole event loop -- every
+                                    worker lease, heartbeat and cache probe
+                                    behind it
 ========================  ========  ==========================================
 
 Scopes are decided from the path relative to the package root, so unit
@@ -54,6 +61,7 @@ __all__ = [
     "SIMULATION_PACKAGES",
     "HOT_LOOP_PACKAGES",
     "GUARDED_PACKAGES",
+    "ASYNC_PACKAGES",
     "ALL_SRC_RULES",
 ]
 
@@ -62,6 +70,7 @@ ALL_SRC_RULES: Tuple[str, ...] = (
     "SRC-WALL-CLOCK",
     "SRC-SET-ITERATION",
     "SRC-OBSERVER-GUARD",
+    "SRC-ASYNC-BLOCKING",
 )
 
 #: Packages whose code runs inside a simulation (determinism-bearing).
@@ -71,6 +80,9 @@ HOT_LOOP_PACKAGES = ("core", "netsim")
 #: Packages where observer/fault_state access must stay behind the
 #: is-not-None fast path.
 GUARDED_PACKAGES = ("netsim",)
+#: Packages running under an asyncio event loop, where a blocking call
+#: in a coroutine stalls every other task on the loop.
+ASYNC_PACKAGES = ("serve",)
 
 #: Module-level RNG entry points (the unseeded global generators).
 _RANDOM_MODULE_FUNCS = {
@@ -99,6 +111,20 @@ _SEEDED_RNG_CONSTRUCTORS = {
 }
 #: Attribute names whose access must be None-guarded in GUARDED_PACKAGES.
 _GUARDED_ATTRS = ("observer", "fault_state", "profiler")
+
+#: Calls that block the thread, with the async-native replacement the
+#: finding message recommends.  Matched on the trailing two components
+#: of the dotted call, like the wall-clock table.
+_BLOCKING_CALLS: Dict[Tuple[str, str], str] = {
+    ("time", "sleep"): "await asyncio.sleep(...)",
+    ("socket", "socket"): "asyncio.open_connection / loop.sock_* APIs",
+    ("socket", "create_connection"): "asyncio.open_connection(...)",
+    ("subprocess", "run"): "asyncio.create_subprocess_exec(...)",
+    ("subprocess", "Popen"): "asyncio.create_subprocess_exec(...)",
+    ("subprocess", "call"): "asyncio.create_subprocess_exec(...)",
+    ("subprocess", "check_output"): "asyncio.create_subprocess_exec(...)",
+    ("subprocess", "check_call"): "asyncio.create_subprocess_exec(...)",
+}
 
 _IGNORE_RE = re.compile(r"#\s*lint:\s*ignore\[([A-Z0-9-]+(?:,\s*[A-Z0-9-]+)*)\]")
 
@@ -156,10 +182,15 @@ class _SourceLinter(ast.NodeVisitor):
         self.in_simulation = top in SIMULATION_PACKAGES
         self.in_hot_loop = top in HOT_LOOP_PACKAGES
         self.in_guarded = top in GUARDED_PACKAGES
+        self.in_async_pkg = top in ASYNC_PACKAGES
         #: stack of guard expressions proven non-None on this path
         self._guards: List[Set[str]] = []
         #: per-function aliases: local name -> guarded dotted source
         self._alias_stack: List[Dict[str, str]] = []
+        #: one entry per enclosing def; True while the innermost
+        #: enclosing function is an ``async def`` (a sync helper nested
+        #: inside a coroutine is scheduled by its caller, not the loop)
+        self._async_stack: List[bool] = []
 
     # -- reporting -----------------------------------------------------
     def _emit(self, rule: str, node: ast.AST, message: str) -> None:
@@ -172,12 +203,39 @@ class _SourceLinter(ast.NodeVisitor):
 
     # -- determinism rules ---------------------------------------------
     def visit_Call(self, node: ast.Call) -> None:
-        if self.in_simulation:
-            dotted = _dotted(node.func)
-            if dotted:
-                self._check_random(node, dotted)
-                self._check_wall_clock(node, dotted)
+        dotted = _dotted(node.func)
+        if self.in_simulation and dotted:
+            self._check_random(node, dotted)
+            self._check_wall_clock(node, dotted)
+        if (
+            self.in_async_pkg
+            and self._async_stack
+            and self._async_stack[-1]
+        ):
+            self._check_async_blocking(node, dotted)
         self.generic_visit(node)
+
+    def _check_async_blocking(self, node: ast.Call, dotted: Optional[str]) -> None:
+        """Inside an ``async def``: flag calls that block the thread."""
+        if dotted == "open":
+            self._emit(
+                "SRC-ASYNC-BLOCKING", node,
+                "synchronous open() inside an async def blocks the event "
+                "loop; run file I/O via loop.run_in_executor(...) or do it "
+                "before entering the coroutine",
+            )
+            return
+        if dotted is None:
+            return
+        parts = dotted.split(".")
+        if len(parts) >= 2:
+            hint = _BLOCKING_CALLS.get((parts[-2], parts[-1]))
+            if hint is not None:
+                self._emit(
+                    "SRC-ASYNC-BLOCKING", node,
+                    f"blocking call {dotted}() inside an async def stalls "
+                    f"the whole event loop; use {hint}",
+                )
 
     def _check_random(self, node: ast.Call, dotted: str) -> None:
         parts = dotted.split(".")
@@ -348,20 +406,22 @@ class _SourceLinter(ast.NodeVisitor):
         self._visit_block(node.finalbody)
 
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._enter_function(node)
+        self._enter_function(node, is_async=False)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._enter_function(node)
+        self._enter_function(node, is_async=True)
 
-    def _enter_function(self, node) -> None:
+    def _enter_function(self, node, is_async: bool = False) -> None:
         for dec in node.decorator_list:
             self.visit(dec)
         self.visit(node.args)
         self._alias_stack.append({})
+        self._async_stack.append(is_async)
         outer_guards = self._guards
         self._guards = []
         self._visit_block(node.body)
         self._guards = outer_guards
+        self._async_stack.pop()
         self._alias_stack.pop()
 
     def visit_Assign(self, node: ast.Assign) -> None:

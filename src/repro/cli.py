@@ -31,6 +31,11 @@ Exposes the experiment harness without writing any Python:
 * ``perf``        -- performance observatory: ``perf report`` renders a
   self-contained HTML dashboard from bench reports, the history ledger
   and sweep telemetry;
+* ``verify``      -- formal verification (docs/STATIC_ANALYSIS.md):
+  proves every paper design-point netlist equivalent to the behavioural
+  allocators over all inputs and reachable states, checks the allocator
+  safety properties the paper assumes, and (``--mutation``) measures the
+  checker's own coverage by mutation testing;
 * ``lint``        -- static verification (docs/STATIC_ANALYSIS.md):
   ``--netlists`` runs the gate-level DRC over every paper design point,
   ``--source`` runs the repo-invariant AST linter over ``src/repro``,
@@ -757,6 +762,7 @@ def cmd_lint(args) -> int:
     from .analysis import (
         Baseline,
         DrcConfig,
+        check_baseline_ratchet,
         check_simulator_rev,
         format_findings,
         lint_generated_kernels,
@@ -768,7 +774,8 @@ def cmd_lint(args) -> int:
     run_netlists = args.netlists
     run_source = args.source
     run_rev = args.rev_guard is not None
-    if not (run_netlists or run_source or run_rev):
+    run_ratchet = args.ratchet is not None
+    if not (run_netlists or run_source or run_rev or run_ratchet):
         run_netlists = run_source = True
 
     findings = []
@@ -806,6 +813,14 @@ def cmd_lint(args) -> int:
     baseline_path = args.baseline
     if baseline_path is None and Path("lint-baseline.json").exists():
         baseline_path = "lint-baseline.json"
+    if run_ratchet:
+        findings.extend(
+            check_baseline_ratchet(
+                Path.cwd(),
+                baseline_path=baseline_path or "lint-baseline.json",
+                base_ref=args.ratchet,
+            )
+        )
     if baseline_path is not None:
         try:
             baseline = Baseline.load(Path(baseline_path))
@@ -815,12 +830,14 @@ def cmd_lint(args) -> int:
     else:
         baseline = Baseline()
     unsuppressed, suppressed = baseline.partition(findings)
-    stale = baseline.unused_entries()
-    for entry in stale:
-        print(
-            f"note: stale baseline entry matched nothing: {entry}",
-            file=sys.stderr,
-        )
+    if run_netlists or run_source:
+        # Staleness is only meaningful when the stages that produce
+        # baseline-matched findings actually ran.
+        for entry in baseline.unused_entries():
+            print(
+                f"note: stale baseline entry matched nothing: {entry}",
+                file=sys.stderr,
+            )
 
     if args.write_baseline:
         new = Baseline(
@@ -848,6 +865,117 @@ def cmd_lint(args) -> int:
     else:
         print(report)
     return 1 if unsuppressed else 0
+
+
+def cmd_verify(args) -> int:
+    """Formal verification: equivalence proofs, properties, mutation."""
+    from .analysis import Baseline, format_findings
+    from .analysis.findings import findings_to_json
+    from .verify import run_mutation_campaign, verify_paper_netlists
+
+    run_points = args.points
+    run_props = args.properties
+    run_mutation = args.mutation
+    if not (run_points or run_props or run_mutation):
+        run_points = run_props = True
+
+    progress = (
+        (lambda msg: print(msg, file=sys.stderr)) if args.progress else None
+    )
+    findings = []
+    meta = {}
+    if run_points or run_props:
+        kwargs = {}
+        if args.max_cells is not None:
+            kwargs["max_cells"] = args.max_cells
+        found, skipped, checked = verify_paper_netlists(
+            include_vc=run_points,
+            include_sw=run_points,
+            include_e2e=run_points,
+            include_models=run_props,
+            quick=args.quick,
+            progress=progress,
+            **kwargs,
+        )
+        findings.extend(found)
+        meta["netlists_proved"] = checked
+        meta["netlists_skipped"] = [
+            {"label": label, "reason": reason} for label, reason in skipped
+        ]
+        for label, reason in skipped:
+            print(f"note: skipped {label}: {reason}", file=sys.stderr)
+
+    mutation_failed = False
+    if run_mutation:
+        report = run_mutation_campaign(
+            seed=args.seed, mutants_per_target=args.mutants
+        )
+        meta["mutation"] = {
+            "total": report.total,
+            "killed": report.killed,
+            "kill_rate": report.kill_rate,
+            "min_kill_rate": args.min_kill_rate,
+            "survivors": [
+                {"target": o.target, "mutant": o.mutant_index,
+                 "description": o.description}
+                for o in report.survivors
+            ],
+        }
+        print(f"mutation: {report.summary()}", file=sys.stderr)
+        for o in report.survivors:
+            print(f"note: surviving mutant {o.target}#{o.mutant_index}: "
+                  f"{o.description}", file=sys.stderr)
+        if report.kill_rate < args.min_kill_rate:
+            mutation_failed = True
+            print(f"FAIL: mutation kill rate {report.kill_rate:.1%} below "
+                  f"the {args.min_kill_rate:.0%} floor", file=sys.stderr)
+
+    baseline_path = args.baseline
+    if baseline_path is None and Path("verify-baseline.json").exists():
+        baseline_path = "verify-baseline.json"
+    if baseline_path is not None:
+        try:
+            baseline = Baseline.load(Path(baseline_path))
+        except (OSError, ValueError) as exc:
+            print(f"error: bad baseline {baseline_path}: {exc}",
+                  file=sys.stderr)
+            return 2
+    else:
+        baseline = Baseline()
+    unsuppressed, suppressed = baseline.partition(findings)
+    for entry in baseline.unused_entries():
+        print(f"note: stale baseline entry matched nothing: {entry}",
+              file=sys.stderr)
+
+    if args.write_baseline:
+        new = Baseline(
+            [
+                {
+                    "rule": f.rule,
+                    "scope": f.scope,
+                    "location": f.location,
+                    "reason": "baselined by --write-baseline",
+                }
+                for f in unsuppressed
+            ]
+        )
+        new.dump(Path(args.write_baseline))
+        print(f"wrote {len(new.entries)} suppression(s) to "
+              f"{args.write_baseline}", file=sys.stderr)
+
+    if args.json:
+        report_text = findings_to_json(unsuppressed, suppressed, meta=meta)
+    else:
+        report_text = format_findings(
+            unsuppressed, suppressed=len(suppressed),
+            title="formal verification findings",
+        )
+    if args.output:
+        Path(args.output).write_text(report_text + "\n")
+        print(f"wrote {args.output}")
+    else:
+        print(report_text)
+    return 1 if (unsuppressed or mutation_failed) else 0
 
 
 def cmd_report(args) -> int:
@@ -1179,6 +1307,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--rev-guard", default=None, metavar="BASE_REF",
                    help="check the SIMULATOR_REV discipline for changes "
                         "since BASE_REF (e.g. origin/main)")
+    p.add_argument("--ratchet", nargs="?", const="HEAD", default=None,
+                   metavar="BASE_REF",
+                   help="fail if the baseline gained suppressions vs its "
+                        "committed version at BASE_REF (default when the "
+                        "flag is bare: HEAD)")
     p.add_argument("--baseline", default=None, metavar="PATH",
                    help="suppression file for accepted findings (default: "
                         "lint-baseline.json in the working directory, if "
@@ -1201,6 +1334,52 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--progress", action="store_true",
                    help="report per-netlist progress on stderr")
     p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser(
+        "verify",
+        help="formal verification: gate/behavioural equivalence proofs, "
+             "allocator properties, mutation coverage "
+             "(docs/STATIC_ANALYSIS.md)")
+    p.add_argument("--points", action="store_true",
+                   help="prove every paper design-point netlist against "
+                        "the behavioural models (components + end-to-end; "
+                        "default: points + properties)")
+    p.add_argument("--properties", action="store_true",
+                   help="check the model-level property layer: oracle "
+                        "cross-validation and the round-robin starvation "
+                        "bound")
+    p.add_argument("--mutation", action="store_true",
+                   help="run the mutation self-test of the checker and "
+                        "gate on --min-kill-rate")
+    p.add_argument("--mutants", type=_positive_int, default=25,
+                   metavar="N",
+                   help="mutants per target for --mutation (default: 25)")
+    p.add_argument("--min-kill-rate", type=float, default=0.95,
+                   metavar="R",
+                   help="minimum mutation kill rate for --mutation "
+                        "(default: 0.95)")
+    p.add_argument("--seed", type=int, default=0,
+                   help="mutation campaign seed (default: 0)")
+    p.add_argument("--quick", action="store_true",
+                   help="smallest design point and reduced widths (smoke)")
+    p.add_argument("--max-cells", type=_positive_int, default=None,
+                   help="synthesis capacity model for the design-point "
+                        "matrix (default: the synthesis flow's budget)")
+    p.add_argument("--baseline", default=None, metavar="PATH",
+                   help="suppression file for accepted findings (default: "
+                        "verify-baseline.json in the working directory, "
+                        "if present)")
+    p.add_argument("--write-baseline", default=None, metavar="PATH",
+                   help="write the current unsuppressed findings out as "
+                        "a new baseline file")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable JSON report (the CI "
+                        "artifact format)")
+    p.add_argument("--output", default=None, metavar="FILE",
+                   help="write the report to FILE instead of stdout")
+    p.add_argument("--progress", action="store_true",
+                   help="report per-stage progress on stderr")
+    p.set_defaults(fn=cmd_verify)
 
     p = sub.add_parser(
         "report", help="summarize a --metrics telemetry directory")

@@ -172,6 +172,19 @@ class RoundRobinArbiter(Arbiter):
     def reset(self) -> None:
         self._pointer = 0
 
+    def set_pointer(self, pointer: int) -> None:
+        """Force the priority pointer (verification oracle entry point).
+
+        Lets :mod:`repro.verify` enumerate every reachable priority
+        state and query :meth:`select` as a pure function of
+        ``(state, requests)``; never used on simulation paths.
+        """
+        if not 0 <= pointer < self.num_inputs:
+            raise ValueError(
+                f"pointer {pointer} out of range [0, {self.num_inputs})"
+            )
+        self._pointer = pointer
+
     def select_sparse(self, indices: Sequence[int]) -> Optional[int]:
         # First requester at or after the pointer, else the first
         # requester overall (cyclic priority; indices are ascending).
@@ -206,6 +219,25 @@ class MatrixArbiter(Arbiter):
     def beats(self, i: int, j: int) -> bool:
         """True if input ``i`` currently has priority over input ``j``."""
         return self._beats[i][j]
+
+    def set_beats(self, beats: Sequence[Sequence[bool]]) -> None:
+        """Force the priority matrix (verification oracle entry point).
+
+        ``beats`` must be antisymmetric off the diagonal
+        (``beats[i][j] != beats[j][i]`` for ``i != j``) -- the invariant
+        the hardware's triangle storage enforces by construction and
+        that :mod:`repro.verify` proves inductive.
+        """
+        n = self.num_inputs
+        if len(beats) != n or any(len(row) != n for row in beats):
+            raise ValueError(f"expected an {n}x{n} matrix")
+        for i in range(n):
+            for j in range(i + 1, n):
+                if bool(beats[i][j]) == bool(beats[j][i]):
+                    raise ValueError(
+                        f"beats[{i}][{j}] must differ from beats[{j}][{i}]"
+                    )
+        self._beats = [[bool(v) for v in row] for row in beats]
 
     def select(self, requests: Sequence[bool]) -> Optional[int]:
         self._check_requests(requests)

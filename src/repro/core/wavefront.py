@@ -64,6 +64,19 @@ class WavefrontAllocator(Allocator):
     def reset(self) -> None:
         self._diagonal = 0
 
+    def set_diagonal(self, diagonal: int) -> None:
+        """Force the priority diagonal (verification oracle entry point).
+
+        Lets :mod:`repro.verify` enumerate every reachable priority
+        state and treat :meth:`allocate` as a pure function of
+        ``(state, requests)``; never used on simulation paths.
+        """
+        if not 0 <= diagonal < self._size:
+            raise ValueError(
+                f"diagonal {diagonal} out of range [0, {self._size})"
+            )
+        self._diagonal = diagonal
+
     def advance_priority(self) -> None:
         """Rotate the priority diagonal exactly as one non-empty
         :meth:`allocate` call would.

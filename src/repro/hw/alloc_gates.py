@@ -18,6 +18,7 @@ from typing import Callable, List, Optional, Sequence
 from .arbiter_gates import build_arbiter
 from .logic import fanout_tree, onehot_mux, or_reduce
 from .netlist import Netlist
+from .trace import WavefrontTrace, WfTileTrace, active_trace
 
 __all__ = [
     "build_separable_matrix",
@@ -123,6 +124,17 @@ def build_wavefront_matrix(nl: Netlist, requests: NetMatrix) -> NetMatrix:
             ptr[d], nl.gate("MUX2", ptr[d], ptr[(d - 1) % n], en_leaves[d])
         )
 
+    trace = active_trace()
+    record = None
+    if trace is not None:
+        record = WavefrontTrace(
+            n=n,
+            request_nets=[list(row) for row in requests],
+            ptr_regs=list(ptr),
+            rotate_en=rotate_en,
+        )
+        trace.wavefronts.append(record)
+
     # Requests fan out to every copy through buffer trees.
     req_leaves = [[fanout_tree(nl, requests[i][j], n) for j in range(n)] for i in range(n)]
     # Copy-select signals drive up to n^2 AND gates each.
@@ -135,6 +147,7 @@ def build_wavefront_matrix(nl: Netlist, requests: NetMatrix) -> NetMatrix:
         x_token: List[Optional[int]] = [None] * n
         y_token: List[Optional[int]] = [None] * n
         gnt_d: NetMatrix = [[0] * n for _ in range(n)]
+        tiles: List[WfTileTrace] = []
         for k in range(n):
             diag = (d + k) % n
             for i in range(n):
@@ -151,11 +164,25 @@ def build_wavefront_matrix(nl: Netlist, requests: NetMatrix) -> NetMatrix:
                 else:
                     gnt = nl.gate("AND3", req, x, y)
                 gnt_d[i][j] = gnt
+                tile = (
+                    WfTileTrace(i=i, j=j, k=k, req_leaf=req, gnt=gnt,
+                                x_in=x, y_in=y)
+                    if record is not None
+                    else None
+                )
                 if k < n - 1:  # tokens past the last diagonal are unused
                     ngnt = nl.gate("INV", gnt)
                     x_token[i] = ngnt if x is None else nl.gate("AND2", x, ngnt)
                     y_token[j] = ngnt if y is None else nl.gate("AND2", y, ngnt)
+                    if tile is not None:
+                        tile.x_out = x_token[i]
+                        tile.y_out = y_token[j]
+                if tile is not None:
+                    tiles.append(tile)
         copy_grants.append(gnt_d)
+        if record is not None:
+            record.copies.append(tiles)
+            record.copy_grant_nets.append([list(row) for row in gnt_d])
 
     # One-hot select of the active copy's grant matrix.
     grants: NetMatrix = [[0] * n for _ in range(n)]
@@ -164,6 +191,8 @@ def build_wavefront_matrix(nl: Netlist, requests: NetMatrix) -> NetMatrix:
             sels = [sel_leaves[d][i * n + j] for d in range(n)]
             data = [copy_grants[d][i][j] for d in range(n)]
             grants[i][j] = onehot_mux(nl, sels, data)
+    if record is not None:
+        record.grant_nets = [list(row) for row in grants]
     return grants
 
 

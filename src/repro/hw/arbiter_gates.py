@@ -35,6 +35,7 @@ from .logic import (
     rotating_mask_update,
 )
 from .netlist import Netlist
+from .trace import ArbiterTrace, TreeTrace, active_trace
 
 __all__ = [
     "ArbiterNets",
@@ -69,7 +70,18 @@ def is_stateless(finish: Callable[[Optional[int]], None]) -> bool:
 
 def build_fixed_priority(nl: Netlist, requests: Sequence[int]) -> ArbiterNets:
     """Static-priority arbiter; stateless, so ``finish`` is a no-op."""
-    return fixed_priority_grants(nl, requests), _no_state
+    grants = fixed_priority_grants(nl, requests)
+    trace = active_trace()
+    if trace is not None and len(requests) > 1:
+        trace.arbiters.append(
+            ArbiterTrace(
+                kind="fixed",
+                request_nets=list(requests),
+                grant_nets=list(grants),
+                finished=True,
+            )
+        )
+    return grants, _no_state
 
 
 def build_round_robin(nl: Netlist, requests: Sequence[int]) -> ArbiterNets:
@@ -95,6 +107,17 @@ def build_round_robin(nl: Netlist, requests: Sequence[int]) -> ArbiterNets:
         for i in range(n)
     ]
 
+    trace = active_trace()
+    record = None
+    if trace is not None:
+        record = ArbiterTrace(
+            kind="rr",
+            request_nets=list(requests),
+            grant_nets=list(grants),
+            state_regs=list(mask),
+        )
+        trace.arbiters.append(record)
+
     def finish(update_enable: Optional[int]) -> None:
         # On a successful grant to i the new mask is 1 strictly after i
         # (the winner becomes lowest priority): mask'[j] = prefix(gnt)[j-1].
@@ -105,6 +128,9 @@ def build_round_robin(nl: Netlist, requests: Sequence[int]) -> ArbiterNets:
             else any_grant
         )
         rotating_mask_update(nl, mask, grants, upd)
+        if record is not None:
+            record.update_enable = update_enable
+            record.finished = True
 
     return grants, finish
 
@@ -129,14 +155,35 @@ def build_matrix(nl: Netlist, requests: Sequence[int]) -> ArbiterNets:
             beats[j][i] = nl.gate("INV", q)
 
     grants: List[int] = []
+    deny_nets: List[Optional[int]] = []
+    deny_terms: List[List[Tuple[int, int, int]]] = []
     for i in range(n):
-        terms = [
-            nl.gate("AND2", requests[j], beats[j][i])  # type: ignore[arg-type]
-            for j in range(n)
-            if j != i
-        ]
+        row_terms: List[Tuple[int, int, int]] = []
+        terms: List[int] = []
+        for j in range(n):
+            if j == i:
+                continue
+            term = nl.gate("AND2", requests[j], beats[j][i])  # type: ignore[arg-type]
+            terms.append(term)
+            row_terms.append((j, term, beats[j][i]))  # type: ignore[arg-type]
         deny = or_reduce(nl, terms)
+        deny_nets.append(deny)
+        deny_terms.append(row_terms)
         grants.append(nl.gate("AND2", requests[i], nl.gate("INV", deny)))
+
+    trace = active_trace()
+    record = None
+    if trace is not None:
+        record = ArbiterTrace(
+            kind="matrix",
+            request_nets=list(requests),
+            grant_nets=list(grants),
+            state_regs=[w_reg[p] for p in sorted(w_reg)],
+            pairs=sorted(w_reg),
+            deny_nets=deny_nets,
+            deny_terms=deny_terms,
+        )
+        trace.arbiters.append(record)
 
     def finish(update_enable: Optional[int]) -> None:
         # Winner i loses priority to everyone:
@@ -161,6 +208,9 @@ def build_matrix(nl: Netlist, requests: Sequence[int]) -> ArbiterNets:
             if update_enable is not None:
                 nxt = nl.gate("MUX2", q, nxt, upd_leaves[idx])
             nl.connect_reg(q, nxt)
+        if record is not None:
+            record.update_enable = update_enable
+            record.finished = True
 
     return grants, finish
 
@@ -194,6 +244,21 @@ def build_tree_rr(
     for g in range(num_groups):
         for k in range(gs):
             grants.append(nl.gate("AND2", local_grants[g][k], top[g]))
+
+    trace = active_trace()
+    if trace is not None:
+        trace.trees.append(
+            TreeTrace(
+                group_request_nets=[
+                    list(requests[g * gs : (g + 1) * gs])
+                    for g in range(num_groups)
+                ],
+                group_any_nets=list(group_any),
+                local_grant_nets=[list(lg) for lg in local_grants],
+                top_grant_nets=list(top),
+                grant_nets=list(grants),
+            )
+        )
 
     def finish(update_enable: Optional[int]) -> None:
         for fin in finishers:

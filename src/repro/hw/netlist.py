@@ -168,6 +168,40 @@ class Netlist:
             cons[d].append(q)
         return cons
 
+    def support(
+        self, targets: Iterable[int], cut: Iterable[int] = ()
+    ) -> Tuple[List[int], List[int]]:
+        """Combinational cone of ``targets``, stopped at ``cut``.
+
+        Returns ``(cone, leaves)``: ``cone`` is the id-ordered (hence
+        topologically ordered) list of combinational cell nodes whose
+        output feeds a target through combinational logic, and
+        ``leaves`` is the id-ordered list of boundary nets the cone
+        reads -- cut nets, primary inputs and register Q outputs.
+        Constant nets are part of neither list; evaluators resolve them
+        directly from their kind.  A target that is itself a leaf (or a
+        constant) contributes no cone nodes.
+        """
+        cut_set = frozenset(cut)
+        cone: set = set()
+        leaves: set = set()
+        stack = [t for t in set(targets) if 0 <= t < len(self.kinds)]
+        seen: set = set()
+        while stack:
+            net = stack.pop()
+            if net in seen:
+                continue
+            seen.add(net)
+            kind = self.kinds[net]
+            if kind in (KIND_CONST0, KIND_CONST1):
+                continue
+            if net in cut_set or kind == KIND_INPUT or kind == _DFF_IX:
+                leaves.add(net)
+                continue
+            cone.add(net)
+            stack.extend(self.fanins[net])
+        return sorted(cone), sorted(leaves)
+
     def validate(self) -> None:
         """Structural checks: connected registers, outputs in range.
 

@@ -24,6 +24,7 @@ from .alloc_gates import build_wavefront_matrix, wavefront_gate_estimate
 from .arbiter_gates import arbiter_gate_estimate, build_arbiter, is_stateless
 from .logic import fixed_priority_grants, or_reduce, rotating_mask_update
 from .netlist import Netlist
+from .trace import PreselectTrace, active_trace
 
 __all__ = [
     "build_switch_allocator_netlist",
@@ -234,7 +235,7 @@ def _core_wf(
     # shared rotating-mask register, combinationally replicated per
     # output port over the VCs requesting that output.
     vc_out: List[List[int]] = []
-    pending_masks: List[Tuple[int, List[int], List[int]]] = []
+    pending_masks: List[Tuple[int, List[int], List[int], object]] = []
     for p in range(P):
         if V == 1:
             # The lone VC wins whenever its port gets any output; the
@@ -259,11 +260,26 @@ def _core_wf(
             terms = [nl.gate("AND2", sel_by_q[q][v], xbar[p][q]) for q in range(P)]
             grants_v.append(or_reduce(nl, terms))
         vc_out.append(grants_v)
+        trace = active_trace()
+        presel = None
+        if trace is not None:
+            presel = PreselectTrace(
+                port=p,
+                mask_regs=list(mask),
+                line_nets=[[req[p][v][q] for v in range(V)] for q in range(P)],
+                sel_nets=[list(row) for row in sel_by_q],
+                xbar_row=list(xbar[p]),
+                grants_v=list(grants_v),
+            )
+            trace.preselects.append(presel)
         if defer_updates:
-            pending_masks.append((p, mask, grants_v))
+            pending_masks.append((p, mask, grants_v, presel))
         else:
             # Rotate the shared mask past the winning VC on success.
-            rotating_mask_update(nl, mask, grants_v, or_reduce(nl, grants_v))
+            upd = or_reduce(nl, grants_v)
+            rotating_mask_update(nl, mask, grants_v, upd)
+            if presel is not None:
+                presel.update_enable = upd
     if not defer_updates:
         return CoreNets(xbar, vc_out, None)
 
@@ -277,8 +293,10 @@ def _core_wf(
         # *allocation* -- see build_wavefront_matrix -- matching the
         # behavioural model.
         del surv_col  # wavefront mask state is per input port only
-        for p, mask, grants_v in pending_masks:
+        for p, mask, grants_v, presel in pending_masks:
             rotating_mask_update(nl, mask, grants_v, surv_row[p])
+            if presel is not None:
+                presel.update_enable = surv_row[p]
 
     return CoreNets(xbar, vc_out, finalize, needs_surv_col=False)
 

@@ -1,0 +1,246 @@
+"""Build-time structural traces for formal verification.
+
+The gate builders in :mod:`repro.hw` flatten everything into one
+anonymous sea of cells -- good for cost modelling, hopeless for
+verification, which needs to know *which* nets are an arbiter's request
+vector, grant vector and priority registers.  This module lets
+:mod:`repro.verify` recover that structure without re-deriving it:
+while a :func:`tracing` context is active, the builders append one
+record per component instance describing the net ids of its interface.
+
+A trace records net *locations* only (ids into the netlist), never
+logic -- the verifier independently proves that the logic between those
+nets matches the behavioural oracle, so a wrong trace can only cause a
+spurious failure, never a spurious pass of wrong hardware.  Tracing is
+off by default and adds zero work to untraced builds (one module-level
+``None`` check per component).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "ArbiterTrace",
+    "TreeTrace",
+    "WfTileTrace",
+    "WavefrontTrace",
+    "PreselectTrace",
+    "BuildTrace",
+    "tracing",
+    "active_trace",
+]
+
+
+@dataclass
+class ArbiterTrace:
+    """One flat arbiter instance (fixed / round-robin / matrix).
+
+    ``state_regs`` are the priority registers in builder order: the
+    rotating mask bits for ``rr`` (empty for stateless instances), the
+    upper-triangle ``w[i][j]`` bits for ``matrix`` (``pairs[k]`` gives
+    the ``(i, j)`` each register holds).  ``deny_nets``/``deny_terms``
+    expose the matrix deny tree for structural checking at widths where
+    an exhaustive sweep cannot reach: ``deny_terms[i]`` lists
+    ``(j, term_net, beats_net)`` for each competing input ``j``.
+    """
+
+    kind: str  # "fixed" | "rr" | "matrix"
+    request_nets: List[int]
+    grant_nets: List[int] = field(default_factory=list)
+    state_regs: List[int] = field(default_factory=list)
+    pairs: List[Tuple[int, int]] = field(default_factory=list)
+    update_enable: Optional[int] = None
+    finished: bool = False
+    deny_nets: List[Optional[int]] = field(default_factory=list)
+    deny_terms: List[List[Tuple[int, int, int]]] = field(default_factory=list)
+    role: str = ""
+
+
+@dataclass
+class TreeTrace:
+    """A two-level tree round-robin arbiter; the leaf/top ``rr``
+    instances are recorded separately as :class:`ArbiterTrace`."""
+
+    group_request_nets: List[List[int]]
+    group_any_nets: List[int]
+    local_grant_nets: List[List[int]]
+    top_grant_nets: List[int]
+    grant_nets: List[int]
+    role: str = ""
+
+
+@dataclass
+class WfTileTrace:
+    """One wavefront cell evaluation in one priority copy: grant
+    ``gnt = req & x_in & y_in`` and the consumed-token outputs."""
+
+    i: int
+    j: int
+    k: int  # wave index within the copy
+    req_leaf: int
+    gnt: int
+    x_in: Optional[int] = None  # None on the starting diagonal
+    y_in: Optional[int] = None
+    x_out: Optional[int] = None
+    y_out: Optional[int] = None
+
+
+@dataclass
+class WavefrontTrace:
+    """A rotating-priority wavefront block (``build_wavefront_matrix``).
+
+    ``copies[d]`` lists the tile traces of the priority-``d`` copy;
+    ``copy_grant_nets[d][i][j]`` is that copy's grant for cell (i, j)
+    and ``grant_nets[i][j]`` the pointer-muxed final grant.
+    """
+
+    n: int
+    request_nets: List[List[int]]
+    ptr_regs: List[int]
+    rotate_en: Optional[int] = None
+    update_enable: Optional[int] = None
+    copies: List[List[WfTileTrace]] = field(default_factory=list)
+    copy_grant_nets: List[List[List[int]]] = field(default_factory=list)
+    grant_nets: List[List[int]] = field(default_factory=list)
+    role: str = ""
+
+
+@dataclass
+class PreselectTrace:
+    """Per-input-port VC preselect of the ``wf`` switch-allocator core:
+    a register-masked round-robin line over the port's V requests, plus
+    the OR-of-AND reduction producing the port's VC grants."""
+
+    port: int
+    mask_regs: List[int]
+    line_nets: List[List[int]]  # [q][v] request line into the select
+    sel_nets: List[List[int]]  # [q][v] one-hot select out
+    xbar_row: List[int] = field(default_factory=list)
+    grants_v: List[int] = field(default_factory=list)
+    update_enable: Optional[int] = None
+    role: str = ""
+
+
+@dataclass
+class BuildTrace:
+    """Everything recorded while one netlist was built under tracing."""
+
+    arbiters: List[ArbiterTrace] = field(default_factory=list)
+    trees: List[TreeTrace] = field(default_factory=list)
+    wavefronts: List[WavefrontTrace] = field(default_factory=list)
+    preselects: List[PreselectTrace] = field(default_factory=list)
+
+    def remap(self, fn: Callable[[int], int]) -> "BuildTrace":
+        """A copy with every recorded net id passed through ``fn``.
+
+        Used by the mutation harness when a rebuild shifts net ids
+        (e.g. inserting an inverter pair renumbers everything after the
+        insertion point).
+        """
+
+        def m(x: Optional[int]) -> Optional[int]:
+            return None if x is None else fn(x)
+
+        out = BuildTrace()
+        for a in self.arbiters:
+            out.arbiters.append(
+                ArbiterTrace(
+                    kind=a.kind,
+                    request_nets=[fn(x) for x in a.request_nets],
+                    grant_nets=[fn(x) for x in a.grant_nets],
+                    state_regs=[fn(x) for x in a.state_regs],
+                    pairs=list(a.pairs),
+                    update_enable=m(a.update_enable),
+                    finished=a.finished,
+                    deny_nets=[m(x) for x in a.deny_nets],
+                    deny_terms=[
+                        [(j, fn(t), fn(b)) for j, t, b in terms]
+                        for terms in a.deny_terms
+                    ],
+                    role=a.role,
+                )
+            )
+        for t in self.trees:
+            out.trees.append(
+                TreeTrace(
+                    group_request_nets=[
+                        [fn(x) for x in g] for g in t.group_request_nets
+                    ],
+                    group_any_nets=[fn(x) for x in t.group_any_nets],
+                    local_grant_nets=[
+                        [fn(x) for x in g] for g in t.local_grant_nets
+                    ],
+                    top_grant_nets=[fn(x) for x in t.top_grant_nets],
+                    grant_nets=[fn(x) for x in t.grant_nets],
+                    role=t.role,
+                )
+            )
+        for w in self.wavefronts:
+            out.wavefronts.append(
+                WavefrontTrace(
+                    n=w.n,
+                    request_nets=[[fn(x) for x in row] for row in w.request_nets],
+                    ptr_regs=[fn(x) for x in w.ptr_regs],
+                    rotate_en=m(w.rotate_en),
+                    update_enable=m(w.update_enable),
+                    copies=[
+                        [
+                            WfTileTrace(
+                                i=t.i, j=t.j, k=t.k,
+                                req_leaf=fn(t.req_leaf),
+                                gnt=fn(t.gnt),
+                                x_in=m(t.x_in), y_in=m(t.y_in),
+                                x_out=m(t.x_out), y_out=m(t.y_out),
+                            )
+                            for t in copy
+                        ]
+                        for copy in w.copies
+                    ],
+                    copy_grant_nets=[
+                        [[fn(x) for x in row] for row in copy]
+                        for copy in w.copy_grant_nets
+                    ],
+                    grant_nets=[[fn(x) for x in row] for row in w.grant_nets],
+                    role=w.role,
+                )
+            )
+        for p in self.preselects:
+            out.preselects.append(
+                PreselectTrace(
+                    port=p.port,
+                    mask_regs=[fn(x) for x in p.mask_regs],
+                    line_nets=[[fn(x) for x in row] for row in p.line_nets],
+                    sel_nets=[[fn(x) for x in row] for row in p.sel_nets],
+                    xbar_row=[fn(x) for x in p.xbar_row],
+                    grants_v=[fn(x) for x in p.grants_v],
+                    update_enable=m(p.update_enable),
+                    role=p.role,
+                )
+            )
+        return out
+
+
+#: The currently-active trace, if any.  Builders consult this through
+#: :func:`active_trace`; everything else leaves it alone.
+_ACTIVE: Optional[BuildTrace] = None
+
+
+def active_trace() -> Optional[BuildTrace]:
+    """The trace collecting records right now, or None."""
+    return _ACTIVE
+
+
+@contextmanager
+def tracing() -> Iterator[BuildTrace]:
+    """Collect build traces for every netlist built inside the block."""
+    global _ACTIVE
+    prev = _ACTIVE
+    trace = BuildTrace()
+    _ACTIVE = trace
+    try:
+        yield trace
+    finally:
+        _ACTIVE = prev

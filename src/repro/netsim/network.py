@@ -342,3 +342,16 @@ class Network:
         on_links = sum(len(v) for v in self._flit_events.values())
         sending = sum(len(t._flits) for t in self.terminals)
         return buffered + on_links + sending
+
+    def in_flight_credits(self) -> int:
+        """Credits still travelling upstream (drain check).
+
+        A credit is scheduled up to ``2 + link_latency`` cycles after
+        the departure that freed the buffer slot, so a network can have
+        zero in-flight flits while a credit is still on the wire.  A
+        drain check that asserts ``credits == buffer_depth`` must also
+        wait for this to reach zero, otherwise the final ejection's
+        credit return races the end of the drain window and the check
+        misreads an in-transit credit as a leak.
+        """
+        return sum(len(v) for v in self._credit_events.values())

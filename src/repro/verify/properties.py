@@ -1,0 +1,303 @@
+"""Declarative safety properties over packed evaluation lanes.
+
+The paper's allocator analysis rests on a handful of invariants it
+never states as proof obligations: a grant is only ever issued to a
+requester, each arbiter issues at most one grant, an arbiter with any
+request pending issues exactly one grant (work conservation), and the
+round-robin pointer guarantees bounded waiting for a persistent
+requester.  This module makes those invariants first-class objects: a
+:class:`Property` names an invariant, cites the paper section it backs,
+and builds a boolean :class:`Term` over named signal vectors that the
+equivalence sweeps evaluate on every lane of every reachable state --
+so a property report of "holds" means *holds for every input and every
+reachable priority state*, not "held during simulation".
+
+Terms evaluate over an environment mapping signal names (``req[i]``,
+``gnt[i]``) to packed words; the result is a packed word whose zero
+lanes are counterexamples.  Keeping the AST tiny (var/not/and/or) is
+deliberate: a property you can read in one line is a property a
+reviewer can check against the paper's prose.
+
+:func:`rr_starvation_bound` is the one *temporal* argument: an explicit
+dynamic-programming walk of the round-robin pointer state space proving
+a persistent requester waits at most ``n - 1`` grants to other inputs.
+Combined with the proved gate/behavioural equivalence it transfers to
+the netlists.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence, Tuple
+
+__all__ = [
+    "Term",
+    "var",
+    "not_",
+    "and_",
+    "or_",
+    "implies",
+    "Property",
+    "ARBITER_PROPERTIES",
+    "check_property",
+    "wavefront_properties",
+    "rr_starvation_bound",
+]
+
+
+@dataclass(frozen=True)
+class Term:
+    """Boolean expression tree over named packed signals.
+
+    ``op`` is one of ``"var"`` (leaf, ``name`` set), ``"not"`` (one
+    child), ``"and"`` / ``"or"`` (>= 1 children).
+    """
+
+    op: str
+    name: str = ""
+    children: Tuple["Term", ...] = ()
+
+    def eval(self, env: Dict[str, int], mask: int) -> int:
+        if self.op == "var":
+            try:
+                return env[self.name] & mask
+            except KeyError:
+                raise KeyError(
+                    f"property references unknown signal {self.name!r}; "
+                    f"environment has {sorted(env)}"
+                ) from None
+        if self.op == "not":
+            return mask ^ self.children[0].eval(env, mask)
+        if self.op == "and":
+            v = mask
+            for c in self.children:
+                v &= c.eval(env, mask)
+            return v
+        if self.op == "or":
+            v = 0
+            for c in self.children:
+                v |= c.eval(env, mask)
+            return v
+        raise ValueError(f"unknown term op {self.op!r}")
+
+    def __str__(self) -> str:
+        if self.op == "var":
+            return self.name
+        if self.op == "not":
+            return f"!{self.children[0]}"
+        joiner = " & " if self.op == "and" else " | "
+        return "(" + joiner.join(str(c) for c in self.children) + ")"
+
+
+def var(name: str) -> Term:
+    return Term("var", name=name)
+
+
+def not_(t: Term) -> Term:
+    return Term("not", children=(t,))
+
+
+def and_(*ts: Term) -> Term:
+    if not ts:
+        raise ValueError("and_ needs >= 1 term")
+    return Term("and", children=ts)
+
+
+def or_(*ts: Term) -> Term:
+    if not ts:
+        raise ValueError("or_ needs >= 1 term")
+    return Term("or", children=ts)
+
+
+def implies(a: Term, b: Term) -> Term:
+    return or_(not_(a), b)
+
+
+@dataclass(frozen=True)
+class Property:
+    """A named invariant instantiated per arbiter width.
+
+    ``build(n)`` returns the term that must evaluate to all-ones over
+    an environment with signals ``req[0..n-1]`` and ``gnt[0..n-1]``.
+    """
+
+    name: str
+    description: str
+    paper_ref: str
+    build: Callable[[int], Term]
+
+
+def _grant_implies_request(n: int) -> Term:
+    return and_(
+        *(implies(var(f"gnt[{i}]"), var(f"req[{i}]")) for i in range(n))
+    )
+
+
+def _at_most_one_grant(n: int) -> Term:
+    clauses = [
+        not_(and_(var(f"gnt[{i}]"), var(f"gnt[{j}]")))
+        for i in range(n)
+        for j in range(i + 1, n)
+    ]
+    if not clauses:  # n == 1: vacuously true
+        return or_(var("gnt[0]"), not_(var("gnt[0]")))
+    return and_(*clauses)
+
+
+def _work_conserving(n: int) -> Term:
+    return implies(
+        or_(*(var(f"req[{i}]") for i in range(n))),
+        or_(*(var(f"gnt[{i}]") for i in range(n))),
+    )
+
+
+ARBITER_PROPERTIES: Tuple[Property, ...] = (
+    Property(
+        name="grant-implies-request",
+        description="a grant is only issued to an input that requested",
+        paper_ref="Section 2.1 (arbiter definition)",
+        build=_grant_implies_request,
+    ),
+    Property(
+        name="at-most-one-grant",
+        description="an arbiter never grants two inputs simultaneously",
+        paper_ref="Section 2.1 (single-winner arbitration)",
+        build=_at_most_one_grant,
+    ),
+    Property(
+        name="work-conserving",
+        description="any pending request yields exactly one grant",
+        paper_ref="Section 2.1 (maximal arbitration)",
+        build=_work_conserving,
+    ),
+)
+
+
+def check_property(
+    prop: Property,
+    n: int,
+    req_words: Sequence[int],
+    gnt_words: Sequence[int],
+    mask: int,
+) -> int:
+    """Evaluate ``prop`` over packed lanes; returns the *violation* word.
+
+    A zero return means the property holds on every lane; a set bit
+    marks a counterexample lane (decode with
+    :func:`repro.verify.engine.decode_lane` against the sweep's
+    variable order).
+    """
+    env: Dict[str, int] = {}
+    for i in range(n):
+        env[f"req[{i}]"] = req_words[i]
+        env[f"gnt[{i}]"] = gnt_words[i]
+    holds = prop.build(n).eval(env, mask)
+    return mask ^ holds
+
+
+def wavefront_properties(n: int) -> List[Tuple[str, Term]]:
+    """Matching invariants of an ``n x n`` wavefront allocator copy.
+
+    Terms read signals ``req[i,j]`` / ``gnt[i,j]``.  ``maximal-matching``
+    is the paper's Section 2.2 claim that the wave sweep always produces
+    a *maximal* matching: any requested cell whose row and column are
+    both grant-free would have been granted, so every request implies a
+    grant somewhere in its row or column.
+    """
+
+    def r(i: int, j: int) -> Term:
+        return var(f"req[{i},{j}]")
+
+    def g(i: int, j: int) -> Term:
+        return var(f"gnt[{i},{j}]")
+
+    cells = [(i, j) for i in range(n) for j in range(n)]
+    props: List[Tuple[str, Term]] = [
+        (
+            "grant-implies-request",
+            and_(*(implies(g(i, j), r(i, j)) for i, j in cells)),
+        ),
+        (
+            "row-at-most-one",
+            and_(
+                *(
+                    not_(and_(g(i, j), g(i, k)))
+                    for i in range(n)
+                    for j in range(n)
+                    for k in range(j + 1, n)
+                )
+            ),
+        ),
+        (
+            "col-at-most-one",
+            and_(
+                *(
+                    not_(and_(g(i, j), g(k, j)))
+                    for j in range(n)
+                    for i in range(n)
+                    for k in range(i + 1, n)
+                )
+            ),
+        ),
+        (
+            "maximal-matching",
+            and_(
+                *(
+                    implies(
+                        r(i, j),
+                        or_(
+                            *(g(i, k) for k in range(n)),
+                            *(g(k, j) for k in range(n)),
+                        ),
+                    )
+                    for i, j in cells
+                )
+            ),
+        ),
+    ]
+    return props
+
+
+def rr_starvation_bound(n: int) -> Tuple[int, List[int]]:
+    """Exact worst-case starvation bound for an ``n``-input round-robin.
+
+    For a persistent requester ``i`` and pointer ``p``, adversarial
+    other requesters can win only at indices in the cyclic interval
+    ``[p, i)`` (the behavioural select scans from ``p`` and ``i`` is
+    always requesting, so nothing at or after ``i`` in scan order can
+    win first).  Each such win at ``j`` moves the pointer to
+    ``j + 1 (mod n)``, strictly shrinking the cyclic distance
+    ``(i - p) mod n`` -- so the walk terminates and memoisation over the
+    ``n`` pointer states is sound:
+
+        steps(p) = 0                               if [p, i) is empty
+                   1 + max_{j in [p, i)} steps(j+1 mod n)  otherwise
+
+    Returns ``(bound, per_pointer)``: the worst case over all pointer
+    states and the per-pointer-state bounds for requester 0 (by the
+    rotation symmetry of the arbiter, requester identity is
+    irrelevant: relabel indices so the persistent requester is 0).
+    The exact bound is ``n - 1`` -- each adversary index can win at
+    most once before the pointer passes it.
+    """
+    if n < 1:
+        raise ValueError("arbiter width must be >= 1")
+    i = 0
+    memo: Dict[int, int] = {}
+
+    def steps(p: int) -> int:
+        if p in memo:
+            return memo[p]
+        dist = (i - p) % n  # number of indices in cyclic [p, i)
+        if dist == 0:
+            memo[p] = 0
+            return 0
+        worst = 0
+        for k in range(dist):
+            j = (p + k) % n
+            worst = max(worst, 1 + steps((j + 1) % n))
+        memo[p] = worst
+        return worst
+
+    per_pointer = [steps(p) for p in range(n)]
+    return max(per_pointer), per_pointer

@@ -1,0 +1,173 @@
+"""Top-level driver: prove the full paper matrix, end to end.
+
+Runs, in order: (1) oracle cross-validation -- the packed reference
+functions the proofs compare against are themselves proved equal to the
+behavioural arbiters, so the trust chain bottoms out in
+:mod:`repro.core`, not in this package; (2) the round-robin bounded
+starvation argument; (3) the component equivalence/property checker
+over every buildable netlist of the paper's design-point matrix; and
+(4) the end-to-end allocator equivalence matrix.
+
+All results are :class:`~repro.analysis.findings.Finding` objects so
+the verify CLI shares the baseline/suppression machinery with the DRC
+and source linter.  Capacity-skipped design points are reported as
+``(label, reason)`` tuples, mirroring :func:`lint_paper_netlists` --
+a skip is visible but does not gate CI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from ..analysis.findings import Finding
+from ..analysis.netlists import iter_paper_netlists
+from ..hw.synthesis import DEFAULT_MAX_CELLS
+from ..hw.trace import tracing
+from .equivalence import check_netlist, e2e_check_matrix
+from .oracles import (
+    validate_matrix_oracle,
+    validate_rr_oracle,
+    validate_wavefront_oracle,
+)
+from .properties import rr_starvation_bound
+
+__all__ = ["VERIFY_RULES", "verify_paper_netlists"]
+
+#: Rule catalogue for ``repro verify`` findings.  Everything is emitted
+#: at severity ``error``: a verification finding is a disproof, and a
+#: disproof is never advisory.
+VERIFY_RULES = {
+    "VER-EQUIV": (
+        "netlist grant logic diverges from the behavioural "
+        "allocator/arbiter on some input and reachable priority state"
+    ),
+    "VER-STATE": (
+        "priority state-update logic diverges from the behavioural "
+        "update (induction step fails)"
+    ),
+    "VER-STRUCT": (
+        "gate structure does not match the proven component template"
+    ),
+    "VER-PROP": (
+        "a declared allocator safety property is violated on a "
+        "reachable state"
+    ),
+    "VER-STARVATION": (
+        "round-robin bounded-starvation guarantee does not hold"
+    ),
+    "VER-TRACE": (
+        "build trace is missing or inconsistent; the component could "
+        "not be brought under proof"
+    ),
+    "VER-ORACLE": (
+        "a packed oracle diverges from the behavioural model it "
+        "summarises"
+    ),
+}
+
+
+def _oracle_findings(quick: bool, progress) -> List[Finding]:
+    """Cross-validate every oracle width the component proofs rely on."""
+    findings: List[Finding] = []
+
+    def run(kind: str, n: int, fn: Callable[[], None]) -> None:
+        if progress is not None:
+            progress(f"oracle {kind} n={n}")
+        try:
+            fn()
+        except AssertionError as exc:
+            findings.append(
+                Finding(
+                    rule="VER-ORACLE",
+                    severity="error",
+                    scope="oracles",
+                    location=f"{kind}/n={n}",
+                    message=str(exc),
+                )
+            )
+
+    rr_widths = (2, 3) if quick else (2, 3, 4, 5)
+    for n in rr_widths:
+        run("rr", n, lambda n=n: validate_rr_oracle(n))
+    matrix_jobs = [(3, None)] if quick else [(3, None), (4, None), (6, 32)]
+    for n, samples in matrix_jobs:
+        if samples is None:
+            run("matrix", n, lambda n=n: validate_matrix_oracle(n))
+        else:
+            run(
+                "matrix", n,
+                lambda n=n, s=samples: validate_matrix_oracle(n, samples=s),
+            )
+    wf_widths = (2,) if quick else (2, 3)
+    for n in wf_widths:
+        run("wavefront", n, lambda n=n: validate_wavefront_oracle(n))
+    return findings
+
+
+def _starvation_findings(quick: bool) -> List[Finding]:
+    """Prove the n-1 round-robin starvation bound at every paper width."""
+    findings: List[Finding] = []
+    widths = range(2, 5) if quick else range(2, 17)
+    for n in widths:
+        bound, per_pointer = rr_starvation_bound(n)
+        if bound != n - 1:
+            findings.append(
+                Finding(
+                    rule="VER-STARVATION",
+                    severity="error",
+                    scope="properties",
+                    location=f"rr/n={n}",
+                    message=(
+                        f"worst-case starvation bound is {bound}, expected "
+                        f"{n - 1}; per-pointer bounds {per_pointer}"
+                    ),
+                )
+            )
+    return findings
+
+
+def verify_paper_netlists(
+    include_vc: bool = True,
+    include_sw: bool = True,
+    max_cells: int = DEFAULT_MAX_CELLS,
+    quick: bool = False,
+    progress=None,
+    include_e2e: bool = True,
+    include_models: bool = True,
+) -> Tuple[List[Finding], List[Tuple[str, str]], int]:
+    """Run the full verification campaign over the paper matrix.
+
+    Returns ``(findings, skipped, checked)`` in the same shape as
+    :func:`repro.analysis.netlists.lint_paper_netlists`: ``skipped``
+    holds ``(label, reason)`` for capacity-excluded design points and
+    ``checked`` counts netlists actually proved.  ``quick`` restricts
+    every stage to its smallest configuration for smoke runs;
+    ``include_models`` covers the oracle cross-validation and the
+    starvation bound (the model-level property layer).
+    """
+    findings: List[Finding] = []
+    if include_models:
+        findings.extend(_oracle_findings(quick, progress))
+        findings.extend(_starvation_findings(quick))
+
+    skipped: List[Tuple[str, str]] = []
+    checked = 0
+    for job in iter_paper_netlists(include_vc, include_sw, max_cells, quick):
+        if job.builder is None:
+            skipped.append((job.label, job.skip_reason))
+            if progress is not None:
+                progress(f"skip {job.label}: {job.skip_reason}")
+            continue
+        with tracing() as trace:
+            nl = job.builder()
+        found = check_netlist(nl, trace, scope=job.label)
+        findings.extend(found)
+        checked += 1
+        if progress is not None:
+            progress(
+                f"prove {job.label}: {nl.num_nets} nets, "
+                f"{len(found)} finding(s)"
+            )
+    if include_e2e:
+        findings.extend(e2e_check_matrix(progress=progress, quick=quick))
+    return findings, skipped, checked

@@ -9,6 +9,7 @@ import textwrap
 
 from repro.analysis.srclint import (
     ALL_SRC_RULES,
+    ASYNC_PACKAGES,
     GUARDED_PACKAGES,
     HOT_LOOP_PACKAGES,
     SIMULATION_PACKAGES,
@@ -20,6 +21,7 @@ NETSIM = "repro/netsim/mod.py"
 CORE = "repro/core/mod.py"
 HW = "repro/hw/mod.py"
 EVAL = "repro/eval/mod.py"
+SERVE = "repro/serve/mod.py"
 
 
 def rules(code, path=NETSIM):
@@ -30,7 +32,8 @@ class TestScopes:
     def test_package_constants_are_consistent(self):
         assert set(HOT_LOOP_PACKAGES) <= set(SIMULATION_PACKAGES)
         assert set(GUARDED_PACKAGES) <= set(SIMULATION_PACKAGES)
-        assert len(ALL_SRC_RULES) == 4
+        assert len(ALL_SRC_RULES) == 5
+        assert "serve" in ASYNC_PACKAGES
 
     def test_non_simulation_code_is_exempt(self):
         code = "import random\nx = random.random()\n"
@@ -289,6 +292,79 @@ class TestGuardedAttributeAccess:
             self.fault_state = fault_state
         """
         assert rules(code) == set()
+
+
+class TestAsyncBlocking:
+    """SRC-ASYNC-BLOCKING: no synchronous waits inside ``async def``
+    bodies in the event-loop packages -- one blocking call stalls every
+    worker sharing the loop."""
+
+    def test_blocking_sleep_in_async_def_flagged(self):
+        code = """
+        async def handler(self):
+            time.sleep(0.1)
+        """
+        findings = lint_source_file(SERVE, textwrap.dedent(code))
+        assert [f.rule for f in findings] == ["SRC-ASYNC-BLOCKING"]
+        assert "asyncio.sleep" in findings[0].message
+
+    def test_blocking_io_calls_flagged(self):
+        for call in (
+            "subprocess.run(cmd)",
+            "subprocess.check_output(cmd)",
+            "socket.create_connection(addr)",
+            "open('results.json')",
+        ):
+            code = f"async def handler(self):\n    x = {call}\n"
+            assert rules(code, SERVE) == {"SRC-ASYNC-BLOCKING"}, call
+
+    def test_sync_def_in_async_package_exempt(self):
+        code = """
+        def helper(self):
+            time.sleep(0.1)
+        """
+        assert rules(code, SERVE) == set()
+
+    def test_nested_sync_helper_inside_async_def_exempt(self):
+        # Only the innermost enclosing def matters: a sync closure is
+        # typically handed to run_in_executor and may block freely.
+        code = """
+        async def handler(self):
+            def work():
+                time.sleep(0.1)
+            await loop.run_in_executor(None, work)
+        """
+        assert rules(code, SERVE) == set()
+
+    def test_async_def_nested_in_sync_def_flagged(self):
+        code = """
+        def factory():
+            async def handler():
+                time.sleep(0.1)
+            return handler
+        """
+        assert rules(code, SERVE) == {"SRC-ASYNC-BLOCKING"}
+
+    def test_non_async_packages_exempt(self):
+        code = "async def handler(self):\n    time.sleep(0.1)\n"
+        assert rules(code, CORE) == set()
+        assert rules(code, NETSIM) == set()
+
+    def test_pragma_suppression(self):
+        code = (
+            "async def handler(self):\n"
+            "    time.sleep(0.1)  # lint: ignore[SRC-ASYNC-BLOCKING]\n"
+        )
+        assert rules(code, SERVE) == set()
+
+    def test_async_primitives_not_flagged(self):
+        code = """
+        async def handler(self):
+            await asyncio.sleep(0.1)
+            async with session.get(url) as resp:
+                data = await resp.json()
+        """
+        assert rules(code, SERVE) == set()
 
 
 class TestPragmasAndSyntax:

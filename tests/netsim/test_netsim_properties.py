@@ -26,7 +26,7 @@ CONFIG_STRATEGY = st.fixed_dictionaries(
 
 
 @given(params=CONFIG_STRATEGY)
-@settings(max_examples=12, deadline=None)
+@settings(max_examples=40, deadline=None)
 def test_conservation_under_random_configs(params):
     cfg = SimulationConfig(
         warmup_cycles=0, measure_cycles=150, drain_cycles=0, **params
@@ -36,12 +36,24 @@ def test_conservation_under_random_configs(params):
     for t in net.terminals:
         t.packet_rate = 0.0
     # Drain with a generous bound; saturated configurations need time.
+    # The drain condition must include in-flight *credits*: a credit is
+    # scheduled up to 2 + link_latency cycles after the ejection that
+    # freed the slot, so "no flits anywhere" does not yet imply
+    # "credits all returned" (this race was the ROADMAP wf/wf "leak").
     for _ in range(12):
         net.run(200)
-        if net.in_flight_flits() == 0 and net.total_backlog() == 0:
+        if (
+            net.in_flight_flits() == 0
+            and net.in_flight_credits() == 0
+            and net.total_backlog() == 0
+        ):
             break
 
-    drained = net.in_flight_flits() == 0 and net.total_backlog() == 0
+    drained = (
+        net.in_flight_flits() == 0
+        and net.in_flight_credits() == 0
+        and net.total_backlog() == 0
+    )
     if drained:
         # Full conservation: everything injected was ejected, credits
         # are back to full, no output VC is still held.
@@ -56,6 +68,48 @@ def test_conservation_under_random_configs(params):
         # delivered, in flight, or still at a source.
         in_network = net.in_flight_flits()
         assert net.total_injected_flits() == net.total_ejected_flits() + in_network
+
+
+def test_credit_return_race_roadmap_repro():
+    """Pinned ROADMAP repro of the wf/wf "credit leak": the last flit
+    ejects on the final cycle of a drain round and its credit is still
+    in transit when flit-only drain checks report the network empty.
+    With the credit-aware drain condition every credit comes home."""
+    cfg = SimulationConfig(
+        topology="mesh",
+        vcs_per_class=2,
+        sw_alloc_arch="wf",
+        vc_alloc_arch="wf",
+        speculation="nonspec",
+        injection_rate=0.5,
+        seed=2,
+        lookahead=False,
+        warmup_cycles=0,
+        measure_cycles=150,
+        drain_cycles=0,
+    )
+    net = build_network(cfg)
+    net.run(150)
+    for t in net.terminals:
+        t.packet_rate = 0.0
+    for _ in range(12):
+        net.run(200)
+        if (
+            net.in_flight_flits() == 0
+            and net.in_flight_credits() == 0
+            and net.total_backlog() == 0
+        ):
+            break
+    assert net.in_flight_flits() == 0
+    assert net.in_flight_credits() == 0
+    assert net.total_backlog() == 0
+    for r in net.routers:
+        for port in range(r.num_ports):
+            for v in range(r.num_vcs):
+                assert r.credits[port][v] == r.buffer_depth, (
+                    r.id, port, v, r.credits[port][v],
+                )
+                assert r.output_holder[port][v] is None
 
 
 @given(

@@ -1,0 +1,130 @@
+"""Bit-parallel evaluation engine unit tests."""
+
+import pytest
+
+from repro.hw.netlist import Netlist
+from repro.verify.engine import (
+    MAX_EXHAUSTIVE_BITS,
+    ConeEvaluator,
+    check_or_cone,
+    decode_lane,
+    first_failing_lane,
+    or_cone_leaves,
+    packed_eval,
+    sweep,
+    walk_buf_chain,
+)
+
+
+def small_netlist():
+    nl = Netlist("engine_test")
+    a = nl.input("a")
+    b = nl.input("b")
+    c = nl.input("c")
+    x = nl.gate("AND2", a, b)
+    y = nl.gate("OR2", x, c)
+    z = nl.gate("INV", y)
+    for net, name in ((y, "y"), (z, "z")):
+        nl.mark_output(net, name)
+    nl.validate()
+    return nl, (a, b, c, x, y, z)
+
+
+class TestConeEvaluator:
+    def test_exhaustive_truth_table(self):
+        nl, (a, b, c, x, y, z) = small_netlist()
+        ev = ConeEvaluator(nl, [y, z])
+        assert ev.num_vars == 3
+        vals = ev.evaluate_all()
+        wa, wb, wc = (ev.leaf_word(n) for n in (a, b, c))
+        full = (1 << ev.num_lanes) - 1
+        assert vals[y] == (wa & wb) | wc
+        assert vals[z] == full ^ vals[y]
+
+    def test_pin_reduces_vars(self):
+        nl, (a, b, c, x, y, z) = small_netlist()
+        ev = ConeEvaluator(nl, [y]).pin({c: 0})
+        assert ev.num_vars == 2
+        vals = ev.evaluate_all()
+        assert vals[y] == ev.leaf_word(a) & ev.leaf_word(b)
+        # Re-pinning is allowed and replaces the previous assignment.
+        ev.pin({c: 1})
+        full = (1 << ev.num_lanes) - 1
+        assert ev.evaluate_all()[y] == full
+
+    def test_cut_makes_internal_net_a_leaf(self):
+        nl, (a, b, c, x, y, z) = small_netlist()
+        ev = ConeEvaluator(nl, [y], cut=[x])
+        assert x in set(ev.leaves)
+        vals = ev.evaluate_all()
+        assert vals[y] == ev.leaf_word(x) | ev.leaf_word(c)
+
+    def test_leaf_word_rejects_non_leaves(self):
+        nl, (a, b, c, x, y, z) = small_netlist()
+        ev = ConeEvaluator(nl, [y])
+        with pytest.raises(KeyError):
+            ev.leaf_word(x)
+
+    def test_exhaustive_limit_enforced_at_evaluation(self):
+        nl = Netlist("wide")
+        ins = nl.inputs(MAX_EXHAUSTIVE_BITS + 1, "i")
+        acc = ins[0]
+        for net in ins[1:]:
+            acc = nl.gate("OR2", acc, net)
+        nl.mark_output(acc, "o")
+        ev = ConeEvaluator(nl, [acc])
+        with pytest.raises(ValueError):
+            ev.evaluate_all()
+        # Pinning below the limit makes the same evaluator usable.
+        ev.pin({n: 0 for n in ins[: len(ins) - MAX_EXHAUSTIVE_BITS + 4]})
+        ev.evaluate_all()
+
+    def test_sweep_helper(self):
+        nl, (a, b, c, x, y, z) = small_netlist()
+        vals, var_order, num_vars = sweep(nl, [z], pins={c: 1})
+        assert num_vars == 2
+        assert sorted(var_order) == [a, b]
+        assert vals[z] == 0
+
+
+class TestPackedEval:
+    def test_lane_vectors_and_registers(self):
+        nl = Netlist("regs")
+        a = nl.input("a")
+        q = nl.reg()
+        d = nl.gate("XOR2", a, q)
+        nl.connect_reg(q, d)
+        nl.mark_output(d, "d")
+        vals = packed_eval(nl, {a: 0b0101}, 4, reg_state={q: 1}, targets=[d])
+        assert vals[d] == 0b1010
+
+    def test_missing_inputs_default_zero(self):
+        nl, (a, b, c, x, y, z) = small_netlist()
+        vals = packed_eval(nl, {c: 0b11}, 2, {}, targets=[y])
+        assert vals[y] == 0b11
+
+
+class TestHelpers:
+    def test_decode_and_first_failing_lane(self):
+        assert decode_lane(0b101, 4) == [1, 0, 1, 0]
+        assert first_failing_lane(0b01000) == 3
+
+    def test_or_cone_analysis(self):
+        nl = Netlist("orcone")
+        ins = nl.inputs(5, "i")
+        t1 = nl.gate("OR2", ins[0], ins[1])
+        t2 = nl.gate("OR3", t1, ins[2], ins[3])
+        root = nl.gate("OR2", t2, ins[4])
+        leaves, err = or_cone_leaves(nl, root)
+        assert err is None
+        assert sorted(leaves) == sorted(ins)
+        assert check_or_cone(nl, root, ins) is None
+        assert check_or_cone(nl, root, ins[:4]) is not None
+
+    def test_walk_buf_chain(self):
+        nl = Netlist("bufs")
+        a = nl.input("a")
+        b1 = nl.gate("BUF", a)
+        b2 = nl.gate("BUF", b1)
+        nl.mark_output(b2, "o")
+        assert walk_buf_chain(nl, b2) == a

@@ -1,0 +1,73 @@
+"""Mutation self-test harness tests: determinism, kill reporting, and
+the one mutant class the checker must deliberately NOT kill."""
+
+from repro.hw.arbiter_gates import build_arbiter
+from repro.hw.netlist import Netlist
+from repro.hw.trace import tracing
+from repro.verify.equivalence import check_netlist
+from repro.verify.mutate import (
+    MUTATION_TARGETS,
+    MutationReport,
+    run_mutation_campaign,
+)
+
+
+def test_campaign_is_seed_deterministic():
+    kw = dict(seed=7, mutants_per_target=4, targets=["rr4", "matrix4"])
+    first = run_mutation_campaign(**kw)
+    second = run_mutation_campaign(**kw)
+    assert first.outcomes == second.outcomes
+    # A different seed samples different mutants.
+    other = run_mutation_campaign(
+        seed=8, mutants_per_target=4, targets=["rr4", "matrix4"]
+    )
+    assert [o.description for o in other.outcomes] != [
+        o.description for o in first.outcomes
+    ]
+
+
+def test_small_campaign_kills_arbiter_mutants():
+    report = run_mutation_campaign(
+        seed=1, mutants_per_target=4, targets=["rr4", "matrix4", "fixed5"]
+    )
+    assert report.total == 12
+    assert report.kill_rate >= 0.9
+    # Every outcome names the mutated gate by net id so a survivor can
+    # be replayed from the report alone.
+    for o in report.outcomes:
+        assert o.description.startswith("net ")
+        assert o.target in MUTATION_TARGETS
+    assert "killed" in report.summary()
+
+
+def test_survivors_are_reported_not_dropped():
+    outcomes = run_mutation_campaign(
+        seed=0, mutants_per_target=2, targets=["rr4"]
+    ).outcomes
+    report = MutationReport(
+        outcomes + [type(outcomes[0])("rr4", 99, "net 1 (BUF): x", False, "")]
+    )
+    assert report.total == len(outcomes) + 1
+    assert len(report.survivors) == 1
+    assert report.kill_rate < 1.0
+    assert "1 survivor" in report.summary()
+
+
+def test_semantically_equivalent_mutant_is_not_killed():
+    # The harness's 95% (not 100%) floor exists because single-gate
+    # edits can be functionally equivalent.  Build one by hand -- an
+    # inverter pair spliced into a request -- and confirm the checker
+    # correctly refuses to kill it.
+    nl = Netlist("rr4_equiv_mutant")
+    with tracing() as trace:
+        r0 = nl.input("req0")
+        bent = nl.gate("INV", nl.gate("INV", r0))
+        reqs = [bent] + [nl.input(f"req{i}") for i in range(1, 4)]
+        grants, fin = build_arbiter(nl, "rr", reqs)
+        fin(None)
+        for i, g in enumerate(grants):
+            nl.mark_output(g, f"gnt{i}")
+    nl.validate()
+    claimed = trace.remap(lambda n: r0 if n == bent else n)
+    killed = bool(check_netlist(nl, claimed, "rr4_equiv_mutant"))
+    assert not killed

@@ -1,0 +1,147 @@
+"""Behavioural oracle and property-DSL tests."""
+
+import pytest
+
+from repro.verify.oracles import (
+    fixed_priority_packed,
+    matrix_grants_packed,
+    rr_grants_packed,
+    rr_mask_states,
+    validate_matrix_oracle,
+    validate_rr_oracle,
+    validate_wavefront_oracle,
+    wavefront_grants_packed,
+)
+from repro.verify.properties import (
+    ARBITER_PROPERTIES,
+    and_,
+    check_property,
+    implies,
+    not_,
+    or_,
+    rr_starvation_bound,
+    var,
+    wavefront_properties,
+)
+
+
+class TestOracles:
+    def test_fixed_priority_lowest_index_wins(self):
+        # 2 lanes: lane 0 has req = {0, 2}, lane 1 has req = {1, 2}.
+        grants = fixed_priority_packed([0b01, 0b10, 0b11], 0b11)
+        assert grants == [0b01, 0b10, 0b00]
+
+    def test_rr_mask_states_shape(self):
+        states = rr_mask_states(4)
+        assert len(states) == 5
+        pointers = [p for p, _ in states]
+        assert pointers == [0, 1, 2, 3, 0]
+        # Thermometer suffix masks, all-ones first and all-zeros last.
+        assert states[0][1] == [1, 1, 1, 1]
+        assert states[2][1] == [0, 0, 1, 1]
+        assert states[4][1] == [0, 0, 0, 0]
+
+    def test_rr_grants_respect_pointer(self):
+        # Single lane, requests at 0 and 2, pointer at 1 -> grant 2.
+        grants = rr_grants_packed([1, 0, 1], [0, 1, 1], 1)
+        assert grants == [0, 0, 1]
+        # All-zeros mask falls back to fixed priority -> grant 0.
+        grants = rr_grants_packed([1, 0, 1], [0, 0, 0], 1)
+        assert grants == [1, 0, 0]
+
+    def test_matrix_grants_beat_semantics(self):
+        # n = 2, single lane, both request; 1 beats 0 -> grant to 1.
+        beats = {(0, 1): 0, (1, 0): 1}
+        grants = matrix_grants_packed([1, 1], beats, 1)
+        assert grants == [0, 1]
+
+    def test_wavefront_grants_are_a_matching(self):
+        n = 3
+        req = [[1] * n for _ in range(n)]
+        for diag in range(n):
+            grants = wavefront_grants_packed(req, diag, 1)
+            # Full request matrix -> perfect matching (n grants, one
+            # per row and column), priority diagonal granted first.
+            assert sum(grants[i][j] for i in range(n) for j in range(n)) == n
+            for i in range(n):
+                assert sum(grants[i]) == 1
+                assert sum(grants[j][i] for j in range(n)) == 1
+            for i in range(n):
+                assert grants[i][(diag - i) % n] == 1
+
+    def test_validators_pass(self):
+        validate_rr_oracle(3)
+        validate_matrix_oracle(3)
+        validate_wavefront_oracle(2)
+
+
+class TestPropertyDSL:
+    def test_term_eval_packed(self):
+        env = {"a": 0b1100, "b": 0b1010}
+        mask = 0b1111
+        assert and_(var("a"), var("b")).eval(env, mask) == 0b1000
+        assert or_(var("a"), var("b")).eval(env, mask) == 0b1110
+        assert not_(var("a")).eval(env, mask) == 0b0011
+        assert implies(var("a"), var("b")).eval(env, mask) == 0b1011
+
+    def test_unknown_signal_raises(self):
+        with pytest.raises(KeyError):
+            var("missing").eval({"a": 1}, 1)
+
+    def test_empty_connectives_rejected(self):
+        with pytest.raises(ValueError):
+            and_()
+        with pytest.raises(ValueError):
+            or_()
+
+    def test_arbiter_properties_on_legal_grants(self):
+        # n = 2 exhaustive: 4 lanes indexed by (req0, req1); grants
+        # from the fixed-priority oracle satisfy every arbiter property.
+        mask = 0b1111
+        req = [0b1010, 0b1100]  # lane L: bit i of L = req[i]
+        gnt = fixed_priority_packed(req, mask)
+        for prop in ARBITER_PROPERTIES:
+            assert check_property(prop, 2, req, gnt, mask) == 0
+
+    def test_property_violation_word_marks_lanes(self):
+        mask = 0b1111
+        req = [0b1010, 0b1100]
+        # Grant without request: grant index 0 on every lane.
+        bad = [mask, 0]
+        gir = next(
+            p for p in ARBITER_PROPERTIES if p.name == "grant-implies-request"
+        )
+        viol = check_property(gir, 2, req, bad, mask)
+        # Violated exactly on lanes where req[0] is low.
+        assert viol == mask ^ req[0]
+
+    def test_wavefront_properties_on_oracle_grants(self):
+        n = 2
+        num_lanes = 1 << (n * n)
+        mask = (1 << num_lanes) - 1
+        # Exhaustive request lanes: bit (i*n + j) of lane index.
+        req_w = [
+            [
+                sum(
+                    ((lane >> (i * n + j)) & 1) << lane
+                    for lane in range(num_lanes)
+                )
+                for j in range(n)
+            ]
+            for i in range(n)
+        ]
+        gnt_w = wavefront_grants_packed(req_w, 0, mask)
+        env = {}
+        for i in range(n):
+            for j in range(n):
+                env[f"req[{i},{j}]"] = req_w[i][j]
+                env[f"gnt[{i},{j}]"] = gnt_w[i][j]
+        for name, term in wavefront_properties(n):
+            assert term.eval(env, mask) == mask, name
+
+    def test_starvation_bound_is_n_minus_one(self):
+        for n in range(2, 6):
+            bound, per_pointer = rr_starvation_bound(n)
+            assert bound == n - 1
+            assert len(per_pointer) == n
+            assert max(per_pointer) == bound
